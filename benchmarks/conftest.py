@@ -1,0 +1,25 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+The 4-netlist x 5-configuration evaluation matrix is expensive (minutes),
+so it runs once per session and every benchmark reads from it.  Scale with
+``REPRO_SCALE`` (default 0.5); the paper's qualitative shapes hold from
+~0.4 upward.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import default_scale, run_matrix
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """The full evaluation matrix (cached for the whole benchmark run)."""
+    return run_matrix(scale=default_scale(), seed=1)
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated table under a recognizable banner."""
+    print(f"\n===== {title} =====")
+    print(text)

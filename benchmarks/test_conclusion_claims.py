@@ -1,0 +1,26 @@
+"""Benchmark: the Section V headline claims.
+
+"the heterogeneous 3-D ICs show a PPAC benefit ranging from 10% to 50%
+compared to 3-D designs, and the benefit increases to about 18%-57%
+compared to 2-D" -- regenerated as measured min/max PPC deltas.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import conclusion_claims
+
+
+def test_conclusion_claims(benchmark, matrix):
+    claims = benchmark(conclusion_claims, matrix)
+    emit(
+        "Section V: PPC benefit ranges of heterogeneous 3-D",
+        "\n".join(f"{k:16s} {v:8.1f}%" for k, v in claims.items()),
+    )
+    # The benefit must be positive against every 2-D configuration and
+    # almost every 3-D one; the single negative (LDPC vs 3-D 9-track, the
+    # pairing the paper itself flags as close) is documented in
+    # EXPERIMENTS.md and bounded here.
+    assert claims["ppc_vs_2d_min"] > 0
+    assert claims["ppc_vs_3d_min"] > -25
+    assert claims["ppc_vs_3d_max"] > 10
+    assert claims["ppc_vs_2d_max"] > claims["ppc_vs_3d_min"]

@@ -1,0 +1,136 @@
+"""Benchmarks for the paper's extension studies.
+
+Three studies the paper calls for but does not run:
+
+1. **PDN / IR drop** (Section V: "a thorough study of the power delivery
+   networks for heterogeneous 3-D ICs is required").
+2. **Level shifters** (Section III-B argues they are too costly at
+   monolithic interconnect density -- here the cost is measured).
+3. **Technology-mix exploration** (Section V: "more exploration is
+   beneficial").
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.explorer import explore_track_pairs
+from repro.experiments.runner import default_scale
+from repro.flow import run_flow_hetero_3d
+from repro.flow.levelshift import boundary_violations
+from repro.liberty.presets import make_library_pair, make_track_variant
+from repro.pdn import PdnConfig, analyze_pdn
+
+
+def test_pdn_study(benchmark, matrix):
+    """IR drop of the CPU in homogeneous vs heterogeneous 3-D.
+
+    The top die is fed through power vias, so it always drops more than
+    the pad-fed bottom die; the heterogeneous stack's low-power 9-track
+    die draws less current, which softens exactly that penalty.
+    """
+    homo = matrix.designs[("cpu", "3D_12T")]
+    het = matrix.designs[("cpu", "3D_HET")]
+    # emulate paper-scale current density (the paper's CPU is ~50x bigger)
+    scale_factor = 150_000 / max(1, len(het.netlist.instances))
+
+    def run():
+        return {
+            "3D_12T": analyze_pdn(homo, current_scale=scale_factor),
+            "3D_HET": analyze_pdn(het, current_scale=scale_factor),
+        }
+
+    reports = benchmark(run)
+    lines = []
+    for config, report in reports.items():
+        for tier, tr in sorted(report.tiers.items()):
+            lines.append(
+                f"{config} tier{tier} ({tr.vdd_v:.2f} V): "
+                f"I={tr.total_current_ma:8.1f} mA, "
+                f"worst drop {tr.worst_drop_mv:6.2f} mV "
+                f"({tr.worst_drop_fraction:.2%})"
+            )
+    emit("Extension: PDN IR-drop study (CPU, paper-scale currents)",
+         "\n".join(lines))
+
+    for config, report in reports.items():
+        # the via-fed top tier always drops more than the pad-fed bottom
+        assert (
+            report.tiers[1].worst_drop_mv >= report.tiers[0].worst_drop_mv
+        ), config
+    # the hetero top die draws less current than the homogeneous one
+    assert (
+        reports["3D_HET"].tiers[1].total_current_ma
+        < reports["3D_12T"].tiers[1].total_current_ma
+    )
+
+
+def test_level_shifter_study(benchmark):
+    """PPA cost of violating the voltage rule and shifting every crossing."""
+    lib12, _lib9 = make_library_pair()
+    low = make_track_variant(9, vdd_v=0.55)  # gap 0.35 V > Vth: illegal
+    scale = min(0.4, default_scale())
+
+    def run():
+        d_rule, r_rule = run_flow_hetero_3d(
+            "netcard", lib12, make_track_variant(9), period_ns=0.8,
+            scale=scale, seed=3,
+        )
+        d_ls, r_ls = run_flow_hetero_3d(
+            "netcard", lib12, low, period_ns=0.8, scale=scale, seed=3,
+            allow_level_shifters=True,
+        )
+        return (d_rule, r_rule), (d_ls, r_ls)
+
+    (d_rule, r_rule), (d_ls, r_ls) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "Extension: level-shifter cost study (netcard)",
+        f"voltage-rule pair (0.90/0.81 V): WNS {r_rule.wns_ns:+.3f} ns, "
+        f"power {r_rule.total_power_mw:.3f} mW, 0 shifters\n"
+        f"large-gap pair (0.90/0.55 V):   WNS {r_ls.wns_ns:+.3f} ns, "
+        f"power {r_ls.total_power_mw:.3f} mW, "
+        f"{d_ls.notes.get('level_shifters', 0):.0f} shifters",
+    )
+    # insertion actually happened and left no illegal crossing behind
+    assert d_ls.notes.get("level_shifters", 0) > 0
+    assert boundary_violations(d_ls) == []
+    # and the rule-compliant pair needs none
+    assert boundary_violations(d_rule) == []
+    # the paper's argument: the large-gap stack pays for its shifters
+    assert r_ls.wns_ns <= r_rule.wns_ns + 0.02
+    assert r_ls.total_power_mw > r_rule.total_power_mw
+
+
+def test_track_mix_exploration(benchmark):
+    """Sweep track pairs; the published 9+12 choice must rank well."""
+    scale = min(0.4, default_scale())
+
+    def run():
+        return explore_track_pairs(
+            "aes", (8, 9, 10, 12), period_ns=0.55, scale=scale, seed=2,
+            opt_iterations=6,
+        )
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Extension: technology-mix exploration (AES)",
+        "\n".join(
+            f"{p.label:8s} "
+            + (
+                f"PPC {p.ppc:10.1f}, power {p.result.total_power_mw:6.3f} mW, "
+                f"WNS {p.result.wns_ns:+.3f}"
+                if p.result
+                else "incompatible (needs level shifters)"
+            )
+            for p in pairs
+        ),
+    )
+    ran = [p for p in pairs if p.result is not None]
+    assert len(ran) >= 4
+    # every compatible pair satisfies the Section II-B voltage rule
+    assert all(p.compatible for p in ran)
+    # the published 9+12 mix lands in the upper half of the ranking
+    labels = [p.label for p in ran]
+    assert "9+12T" in labels
+    assert labels.index("9+12T") <= len(ran) // 2

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 1 (the five technology/design configurations)."""
+
+from conftest import emit
+
+from repro.experiments.figures import fig1_configurations
+
+
+def test_fig1_configurations(benchmark):
+    configs = benchmark(fig1_configurations)
+    lines = [
+        f"({chr(ord('a') + i)}) {c['name']:8s} {c['tiers']} tier(s), "
+        f"{c['tracks']:>5s}-track: {c['description']}"
+        for i, c in enumerate(configs)
+    ]
+    emit("Fig. 1: the five configurations", "\n".join(lines))
+
+    names = {c["name"] for c in configs}
+    assert names == {"2D_9T", "2D_12T", "3D_9T", "3D_12T", "3D_HET"}
+    by_name = {c["name"]: c for c in configs}
+    assert by_name["2D_9T"]["tiers"] == "1"
+    assert by_name["2D_12T"]["tiers"] == "1"
+    assert by_name["3D_9T"]["tiers"] == "2"
+    assert by_name["3D_12T"]["tiers"] == "2"
+    assert by_name["3D_HET"]["tiers"] == "2"
+    assert by_name["3D_HET"]["tracks"] == "9+12"

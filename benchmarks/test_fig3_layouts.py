@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Fig. 3 (CPU layouts: 2-D 9T, 2-D 12T, hetero 3-D).
+
+The figure's quantitative content: die outlines, per-tier row pitches
+(the visibly different cell heights of Fig. 3(c)), densities, and ASCII
+density maps standing in for the placement screenshots.
+"""
+
+import pytest
+from conftest import emit
+
+from repro.experiments.figures import density_heatmap, fig3_layout_stats
+
+
+def test_fig3_layout_stats(benchmark, matrix):
+    stats = benchmark(fig3_layout_stats, matrix)
+    text = [s.describe() for s in stats]
+
+    het_design = matrix.designs[("cpu", "3D_HET")]
+    for tier, label in ((0, "bottom/12T"), (1, "top/9T")):
+        text.append(f"[hetero 3-D, {label}]")
+        text.append(density_heatmap(het_design, tier=tier))
+    emit("Fig. 3: CPU layouts", "\n".join(text))
+
+    by_config = {s.config: s for s in stats}
+    two_9, two_12, het = (
+        by_config["2D_9T"], by_config["2D_12T"], by_config["3D_HET"],
+    )
+
+    # 2-D implementations are wider than the 3-D one (Table VII widths).
+    assert het.width_um < two_9.width_um
+    assert het.width_um < two_12.width_um
+    # the hetero design has two tiers with *different* row pitches --
+    # the visibly different cell heights of Fig. 3(c)
+    assert het.tiers == 2
+    assert het.row_pitch_by_tier[0] == pytest.approx(1.2)
+    assert het.row_pitch_by_tier[1] == pytest.approx(0.9)
+    # both tiers actually hold cells
+    assert het.cells_by_tier.get(0, 0) > 0
+    assert het.cells_by_tier.get(1, 0) > 0
+    # macros present in every implementation
+    assert two_9.macro_count == two_12.macro_count == het.macro_count

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 4 (clock tree, memory nets, critical path).
+
+The figure overlays clock wiring, memory-macro nets, and the critical
+path on the 2-D and heterogeneous-3-D CPU layouts; this regenerates the
+quantities those overlays visualize.
+"""
+
+from conftest import emit
+
+from repro.experiments.figures import fig4_overlays
+
+
+def test_fig4_overlays(benchmark, matrix):
+    rows = benchmark(fig4_overlays, matrix)
+    lines = []
+    for config, row in rows.items():
+        lines.append(f"-- {config} --")
+        for key, value in row.items():
+            lines.append(f"  {key:28s} {value:10.3f}")
+    emit("Fig. 4: overlay data (clock / memory nets / critical path)",
+         "\n".join(lines))
+
+    two_d = rows["2D_12T"]
+    het = rows["3D_HET"]
+    # (a) the clock tree serves every sink in both implementations
+    assert het["clock_sink_count"] == two_d["clock_sink_count"]
+    assert het["clock_buffer_count"] > 0
+    # (b) memory nets shorten in 3-D (the figure's visual point)
+    assert het["mem_output_latency_ps"] <= two_d["mem_output_latency_ps"] * 1.2
+    # (c) both critical paths are real register-to-register paths
+    assert het["crit_path_cells"] > 3
+    assert two_d["crit_path_cells"] > 3

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table I (qualitative PPAC ranks of the 5 configs)."""
+
+from conftest import emit
+
+from repro.experiments.tables import PAPER_TABLE1, table1_qualitative_ranks
+
+CONFIGS = ("2D_9T", "3D_9T", "2D_12T", "3D_12T", "3D_HET")
+
+
+def test_table1_qualitative(benchmark):
+    ranks = benchmark(table1_qualitative_ranks)
+
+    lines = [f"{'metric':16s}" + "".join(f"{c:>9s}" for c in CONFIGS)]
+    for metric in PAPER_TABLE1:
+        ours = "".join(f"{ranks[metric][c]:9d}" for c in CONFIGS)
+        paper = "".join(f"{PAPER_TABLE1[metric][c]:9d}" for c in CONFIGS)
+        lines.append(f"{metric:16s}" + ours + "   (ours)")
+        lines.append(f"{'':16s}" + paper + "   (paper)")
+    emit("Table I: qualitative PPAC ranks (1=worst, 5=best)", "\n".join(lines))
+
+    # Rows our physical model reproduces exactly:
+    assert ranks["frequency"] == PAPER_TABLE1["frequency"]
+    assert ranks["power"] == PAPER_TABLE1["power"]
+    assert ranks["die_cost"] == PAPER_TABLE1["die_cost"]
+    si = ranks["si_area"]
+    assert si["2D_9T"] == si["3D_9T"]  # equal Si area, as the paper marks
+    assert si["2D_12T"] == si["3D_12T"]
+    assert si["2D_9T"] > si["3D_HET"] > si["2D_12T"]
+
+    # Rows where the paper's hand-assigned ranks conflict with its own
+    # quantitative tables (footprint: 2D-9T above 3D-12T despite 0.75 vs
+    # 0.50 relative outlines) -- we assert the load-bearing relations only
+    # and document the deviation in EXPERIMENTS.md.
+    ppf = ranks["power_per_freq"]
+    assert ppf["3D_HET"] > ppf["3D_12T"]  # hetero beats both 12-track...
+    assert ppf["3D_HET"] > ppf["2D_12T"]  # ...variants on power/freq
+    fp = ranks["footprint"]
+    assert fp["3D_9T"] == max(fp.values())
+    assert fp["2D_12T"] == min(fp.values())
+    assert fp["3D_HET"] > fp["3D_12T"]

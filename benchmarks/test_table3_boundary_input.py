@@ -1,0 +1,62 @@
+"""Benchmark: regenerate Table III (FO-4 heterogeneity at the driver input)."""
+
+from conftest import emit
+
+from repro.experiments.tables import table3_input_boundary
+
+
+def pct(a, b):
+    return (a - b) / b * 100.0
+
+
+def test_table3_boundary_input(benchmark):
+    rows = benchmark(table3_input_boundary)
+    by_label = {r.label: r for r in rows}
+    fast_base = by_label["fast Case-I"]
+    fast_mix = by_label["fast Case-II"]
+    slow_base = by_label["slow Case-I"]
+    slow_mix = by_label["slow Case-II"]
+
+    lines = [
+        f"{'':12s}{'f/f':>10s}{'f<-slow':>10s}{'d%':>8s}"
+        f"{'s/s':>10s}{'s<-fast':>10s}{'d%':>8s}"
+    ]
+    for attr, label in (
+        ("rise_slew_ps", "Rise Slew"),
+        ("fall_slew_ps", "Fall Slew"),
+        ("rise_delay_ps", "Rise Del."),
+        ("fall_delay_ps", "Fall Del."),
+        ("leakage_uw", "Lkg. Pow."),
+        ("total_power_uw", "Total Pow."),
+    ):
+        fb, fm = getattr(fast_base, attr), getattr(fast_mix, attr)
+        sb, sm = getattr(slow_base, attr), getattr(slow_mix, attr)
+        lines.append(
+            f"{label:12s}{fb:10.3f}{fm:10.3f}{pct(fm, fb):8.1f}"
+            f"{sb:10.3f}{sm:10.3f}{pct(sm, sb):8.1f}"
+        )
+    emit("Table III: heterogeneity at driver input (time ps, power uW)",
+         "\n".join(lines))
+
+    # Underdriven fast gate: slightly slower everywhere (paper: +3..+8%).
+    for attr in ("rise_slew_ps", "fall_slew_ps", "rise_delay_ps",
+                 "fall_delay_ps"):
+        delta = pct(getattr(fast_mix, attr), getattr(fast_base, attr))
+        assert 0 < delta < 15, (attr, delta)
+    # Overdriven slow gate: slightly faster everywhere (paper: -5..-10%).
+    for attr in ("rise_slew_ps", "fall_slew_ps", "rise_delay_ps",
+                 "fall_delay_ps"):
+        delta = pct(getattr(slow_mix, attr), getattr(slow_base, attr))
+        assert -15 < delta < 0, (attr, delta)
+
+    # The leakage asymmetry is the table's headline: a huge increase for
+    # fast cells driven from the low rail (paper +250%), a moderate
+    # decrease for the converse (paper -44.9%).
+    up = pct(fast_mix.leakage_uw, fast_base.leakage_uw)
+    down = pct(slow_mix.leakage_uw, slow_base.leakage_uw)
+    assert 150 < up < 400, up
+    assert -70 < down < -20, down
+
+    # Total power moves mildly (paper: +9.2% / -0.6%).
+    assert 0 < pct(fast_mix.total_power_uw, fast_base.total_power_uw) < 20
+    assert abs(pct(slow_mix.total_power_uw, slow_base.total_power_uw)) < 5

@@ -1,0 +1,45 @@
+"""Benchmark: regenerate Table IV (the cost model) and check its constants."""
+
+import pytest
+from conftest import emit
+
+from repro.cost.model import CostModel
+from repro.experiments.tables import table4_cost_model
+
+
+def test_table4_cost_model(benchmark):
+    values = benchmark(table4_cost_model)
+    lines = [f"{k:28s} {v:10.4f}" for k, v in values.items()]
+    emit("Table IV: cost model assumptions (in units of C')", "\n".join(lines))
+
+    # Published constants, exactly.
+    assert values["wafer_cost_2d"] == pytest.approx(0.96)
+    assert values["wafer_cost_3d"] == pytest.approx(1.97)
+    assert values["feol_cost"] == pytest.approx(0.30)
+    assert values["integration_penalty"] == pytest.approx(0.05)
+    assert values["wafer_diameter_mm"] == 300.0
+    assert values["defect_density_per_mm2"] == pytest.approx(0.2)
+    assert values["wafer_yield"] == pytest.approx(0.95)
+    assert values["yield_degradation_3d"] == pytest.approx(0.95)
+
+
+def test_table4_die_cost_at_paper_scale(benchmark):
+    """Check Eq. (1)-(5) land near the paper's Table VI die costs."""
+    model = CostModel()
+
+    def paper_scale_costs():
+        # Table VI footprints: Si area / 2 per tier (mm^2)
+        return {
+            "netcard": model.die_cost(0.384 / 2, 2).die_cost * 1e6,
+            "aes": model.die_cost(0.126 / 2, 2).die_cost * 1e6,
+            "ldpc": model.die_cost(0.216 / 2, 2).die_cost * 1e6,
+            "cpu": model.die_cost(0.390 / 2, 2).die_cost * 1e6,
+        }
+
+    costs = benchmark(paper_scale_costs)
+    emit("Table IV applied to Table VI footprints (1e-6 C')",
+         "\n".join(f"{k:10s} {v:8.2f}" for k, v in costs.items()))
+    # Paper Table VI: netcard 6.16, aes 1.97, ldpc 3.41, cpu 6.26
+    paper = {"netcard": 6.16, "aes": 1.97, "ldpc": 3.41, "cpu": 6.26}
+    for name, value in costs.items():
+        assert value == pytest.approx(paper[name], rel=0.25), name

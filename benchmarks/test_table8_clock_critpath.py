@@ -1,0 +1,56 @@
+"""Benchmark: regenerate Table VIII (clock / critical path / memory nets).
+
+The CPU design under the best 2-D (12-track), the best homogeneous 3-D
+(12-track), and the heterogeneous 3-D implementation.
+"""
+
+from conftest import emit
+
+from repro.experiments.tables import format_table, table8_detailed_analysis
+
+
+def test_table8_detailed_analysis(benchmark, matrix):
+    rows = benchmark(table8_detailed_analysis, matrix)
+    emit("Table VIII: clock network, critical path, memory interconnects (CPU)",
+         format_table(rows, ""))
+
+    two_d = rows["2D_12T"]
+    homo = rows["3D_12T"]
+    het = rows["3D_HET"]
+
+    # -- memory interconnects: 3-D shortens them, hetero the most --------
+    assert homo["mem_input_net_latency_ps"] <= two_d["mem_input_net_latency_ps"]
+    assert het["mem_net_switching_uw"] <= two_d["mem_net_switching_uw"]
+
+    # -- clock network ----------------------------------------------------
+    # hetero's clock buffer area is the smallest (9-track buffers)
+    assert het["clock_buffer_area_um2"] <= homo["clock_buffer_area_um2"]
+    # the hetero tree leans on the top die (paper: >75%; we assert majority)
+    top = het["clock_buffers_top"]
+    bottom = het["clock_buffers_bottom"]
+    assert top >= bottom
+    # insertion delay suffers on the slower tier (paper: 0.713 vs 0.292)
+    assert het["clock_max_latency_ns"] >= homo["clock_max_latency_ns"] * 0.7
+
+    # -- critical path ----------------------------------------------------
+    # same clock period across the three implementations (iso-performance)
+    assert two_d["crit_clock_period_ns"] == het["crit_clock_period_ns"]
+    # the hetero path leans on the fast bottom die (paper: 25 of 33 cells)
+    assert het["crit_bottom_cells"] >= het["crit_top_cells"]
+    # homogeneous 3-D splits roughly evenly
+    homo_split = homo["crit_top_cells"] / max(
+        1, homo["crit_top_cells"] + homo["crit_bottom_cells"]
+    )
+    assert 0.2 <= homo_split <= 0.8
+    # the slow tier's average stage delay is visibly larger (paper: ~2.3x)
+    if het["crit_top_cells"] >= 2:
+        assert (
+            het["crit_avg_top_delay_ns"]
+            > 1.2 * het["crit_avg_bottom_delay_ns"]
+        )
+    # path delay consistency: cells + wires == path delay
+    for row in rows.values():
+        assert abs(
+            row["crit_cell_delay_ns"] + row["crit_wire_delay_ns"]
+            - row["crit_path_delay_ns"]
+        ) < 1e-6

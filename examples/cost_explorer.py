@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Cost-model explorer: when does 3-D integration pay off? (Table IV)
+
+Sweeps die area and the cost model's knobs (3-D integration penalty,
+yield degradation, defect density) and prints the 2-D vs 3-D die-cost
+crossover the paper's Section II-C discussion is about: big dice win
+from 3-D's yield advantage (two small dice yield better than one big
+one), small dice just pay the integration premium.
+
+Usage::
+
+    python examples/cost_explorer.py
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel
+
+
+def sweep_die_area() -> None:
+    model = CostModel()
+    print("die area sweep (same total silicon, 2-D vs folded 3-D):")
+    print(f"{'Si mm2':>8s} {'2D cost':>12s} {'3D cost':>12s} {'3D/2D':>8s}")
+    for si_mm2 in (0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 25.0, 100.0, 400.0):
+        c2d = model.die_cost(si_mm2, 1).die_cost
+        c3d = model.die_cost(si_mm2 / 2, 2).die_cost
+        print(f"{si_mm2:8.2f} {c2d * 1e6:12.3f} {c3d * 1e6:12.3f} "
+              f"{c3d / c2d:8.3f}")
+    print("(costs in 1e-6 C'; ratio < 1 means 3-D is cheaper)\n")
+
+
+def sweep_integration_penalty() -> None:
+    print("3-D integration penalty sweep (alpha), 1 mm2 of silicon:")
+    print(f"{'alpha':>8s} {'3D/2D cost':>12s}")
+    for alpha in (0.0, 0.05, 0.10, 0.20, 0.40):
+        model = CostModel(integration_penalty=alpha)
+        c2d = model.die_cost(1.0, 1).die_cost
+        c3d = model.die_cost(0.5, 2).die_cost
+        print(f"{alpha:8.2f} {c3d / c2d:12.3f}")
+    print()
+
+
+def sweep_defect_density() -> None:
+    print("defect density sweep (D_w), 4 mm2 of silicon:")
+    print(f"{'D_w/mm2':>8s} {'2D yield':>10s} {'3D yield':>10s} {'3D/2D cost':>12s}")
+    for dw in (0.05, 0.1, 0.2, 0.5, 1.0):
+        model = CostModel(defect_density_per_mm2=dw)
+        r2d = model.die_cost(4.0, 1)
+        r3d = model.die_cost(2.0, 2)
+        print(f"{dw:8.2f} {r2d.die_yield:10.3f} {r3d.die_yield:10.3f} "
+              f"{r3d.die_cost / r2d.die_cost:12.3f}")
+    print("(higher defect densities favor folding into two smaller dice)\n")
+
+
+def paper_design_costs() -> None:
+    model = CostModel()
+    print("Table VI footprints through the cost model (1e-6 C'):")
+    print(f"{'design':>8s} {'Si mm2':>8s} {'hetero 3D':>10s} {'flat 2D':>10s}")
+    for name, si in (("netcard", 0.384), ("aes", 0.126),
+                     ("ldpc", 0.216), ("cpu", 0.390)):
+        c3d = model.die_cost(si / 2, 2).die_cost * 1e6
+        c2d = model.die_cost(si, 1).die_cost * 1e6
+        print(f"{name:>8s} {si:8.3f} {c3d:10.2f} {c2d:10.2f}")
+
+
+def main() -> None:
+    sweep_die_area()
+    sweep_integration_penalty()
+    sweep_defect_density()
+    paper_design_costs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Deep dive into one heterogeneous CPU implementation (Table VIII style).
+
+Implements the CPU core as a 9+12-track heterogeneous M3D design and
+reports everything Section IV-C analyzes: the clock network's tier
+distribution, the critical path's per-tier breakdown, the memory
+interconnect latencies, and ASCII density maps of both tiers
+(the Fig. 3(c)/Fig. 4 content).
+
+Usage::
+
+    python examples/hetero_cpu_deep_dive.py [--scale 0.5] [--period 1.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import make_library_pair
+from repro.experiments.figures import density_heatmap, layout_stats
+from repro.flow import run_flow_hetero_3d
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--period", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    lib12, lib9 = make_library_pair()
+    design, result = run_flow_hetero_3d(
+        "cpu", lib12, lib9, period_ns=args.period, scale=args.scale,
+        seed=args.seed,
+    )
+
+    print("== implementation ==")
+    print(layout_stats(design).describe())
+    print(f"WNS {result.wns_ns:+.3f} ns, TNS {result.tns_ns:+.2f} ns, "
+          f"power {result.total_power_mw:.3f} mW "
+          f"(clock {result.power.clock_mw:.3f} mW, "
+          f"leakage {result.power.leakage_mw * 1000:.2f} uW)")
+    print(f"flow notes: {design.notes}")
+
+    print("\n== clock network (Table VIII) ==")
+    clock = result.clock
+    print(f"buffers: {clock.buffer_count} total, "
+          f"{clock.buffer_count_by_tier.get(1, 0)} on the 9-track top die, "
+          f"{clock.buffer_count_by_tier.get(0, 0)} on the 12-track bottom die")
+    print(f"buffer area {clock.buffer_area_um2:.1f} um2, "
+          f"wirelength {clock.wirelength_mm:.3f} mm")
+    print(f"max latency {clock.max_latency_ns:.3f} ns, "
+          f"max skew {clock.max_skew_ns:.3f} ns, "
+          f"power {clock.power_mw:.3f} mW")
+
+    print("\n== critical path (Table VIII) ==")
+    cp = result.critical_path
+    print(f"endpoint {cp.endpoint[0]}.{cp.endpoint[1]}, "
+          f"slack {cp.slack_ns:+.3f} ns, skew {cp.clock_skew_ns:+.3f} ns")
+    print(f"{cp.total_cells} cells "
+          f"({cp.cells_on_tier(0)} bottom / {cp.cells_on_tier(1)} top), "
+          f"{cp.miv_count} MIV crossings")
+    print(f"cell delay {cp.cell_delay_ns:.3f} ns "
+          f"(bottom {cp.cell_delay_on_tier(0):.3f}, "
+          f"top {cp.cell_delay_on_tier(1):.3f}); "
+          f"wire delay {cp.wire_delay_ns:.3f} ns")
+    avg0 = cp.average_cell_delay_on_tier(0) * 1000
+    avg1 = cp.average_cell_delay_on_tier(1) * 1000
+    print(f"average stage delay: bottom {avg0:.1f} ps, top {avg1:.1f} ps")
+    print("stage-by-stage:")
+    for step in cp.steps:
+        tier = "BOT" if step.tier == 0 else "TOP"
+        marker = " <-- crosses tier" if step.crosses_tier else ""
+        print(f"  {tier} {step.cell_name:16s} arc {step.arc_delay_ns * 1e3:5.1f} ps"
+              f"  wire {step.wire_delay_ns * 1e3:5.2f} ps{marker}")
+
+    if result.memory_nets is not None:
+        print("\n== memory interconnects (Table VIII) ==")
+        m = result.memory_nets
+        print(f"input-net latency (RMS) {m.input_net_latency_ps:.1f} ps")
+        print(f"output-net latency (RMS) {m.output_net_latency_ps:.1f} ps")
+        print(f"net switching power {m.net_switching_power_uw:.2f} uW")
+
+    print("\n== tier density maps (Fig. 3(c)) ==")
+    for tier, label in ((0, "bottom / 12-track"), (1, "top / 9-track")):
+        print(f"[{label}]")
+        print(density_heatmap(design, tier=tier))
+        print()
+
+
+if __name__ == "__main__":
+    main()

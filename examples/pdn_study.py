@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Power delivery study: IR drop in heterogeneous vs homogeneous M3D.
+
+The paper's Section V names PDN analysis as required future work: the top
+die of a monolithic stack is fed through power vias from the bottom die,
+so its supply rail is softer.  This study quantifies the question for the
+CPU design: the heterogeneous stack's low-power 9-track top die draws
+less current, which offsets exactly that penalty.
+
+Usage::
+
+    python examples/pdn_study.py [--scale 0.4] [--period 1.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import make_library_pair
+from repro.flow import run_flow_hetero_3d, run_flow_pin3d
+from repro.pdn import PdnConfig, analyze_pdn
+
+PAPER_CPU_CELLS = 150_000
+
+
+def report(label: str, design) -> None:
+    scale_factor = PAPER_CPU_CELLS / max(1, len(design.netlist.instances))
+    result = analyze_pdn(design, current_scale=scale_factor)
+    print(f"== {label} (currents scaled x{scale_factor:.0f} to paper size) ==")
+    for tier, tr in sorted(result.tiers.items()):
+        verdict = "OK" if tr.meets_budget() else "VIOLATES 5% budget"
+        print(f"  tier {tier} ({tr.vdd_v:.2f} V): "
+              f"{tr.total_current_ma:8.1f} mA, "
+              f"worst drop {tr.worst_drop_mv:6.2f} mV "
+              f"({tr.worst_drop_fraction:6.2%})  [{verdict}]")
+    print()
+
+
+def via_sweep(design) -> None:
+    scale_factor = PAPER_CPU_CELLS / max(1, len(design.netlist.instances))
+    print("== power-via resistance sweep (hetero top die) ==")
+    print(f"{'via R (ohm)':>12s} {'top-die worst drop':>20s}")
+    for via_r in (0.1, 0.35, 1.0, 2.0, 5.0):
+        result = analyze_pdn(
+            design, PdnConfig(via_r_ohm=via_r), current_scale=scale_factor
+        )
+        print(f"{via_r:12.2f} {result.tiers[1].worst_drop_mv:17.2f} mV")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.4)
+    parser.add_argument("--period", type=float, default=1.2)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    lib12, lib9 = make_library_pair()
+    homo, _ = run_flow_pin3d(
+        "cpu", lib12, period_ns=args.period, scale=args.scale, seed=args.seed
+    )
+    het, _ = run_flow_hetero_3d(
+        "cpu", lib12, lib9, period_ns=args.period, scale=args.scale,
+        seed=args.seed,
+    )
+    report("homogeneous 12-track 3-D", homo)
+    report("heterogeneous 9+12-track 3-D", het)
+    via_sweep(het)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: implement one netlist in all five configurations.
+
+Runs the CPU design (a Cortex-A7-class synthetic core with cache macros)
+through the paper's five configurations of Fig. 1 at one frequency
+target, and prints the Table VI/VII-style comparison.
+
+Usage::
+
+    python examples/quickstart.py [--design cpu] [--scale 0.4] [--seed 0]
+
+Expect a couple of minutes at the default scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import make_library_pair
+from repro.flow import run_flow_2d, run_flow_hetero_3d, run_flow_pin3d
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="cpu",
+                        choices=["aes", "ldpc", "netcard", "cpu"])
+    parser.add_argument("--scale", type=float, default=0.4,
+                        help="netlist size scale (1.0 = a few thousand cells)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--period", type=float, default=None,
+                        help="clock period in ns (default: per-design preset)")
+    args = parser.parse_args()
+
+    presets = {"aes": 0.55, "ldpc": 0.5, "netcard": 0.7, "cpu": 1.2}
+    period = args.period or presets[args.design]
+
+    lib12, lib9 = make_library_pair()
+    runs = [
+        ("2D 9-track", lambda: run_flow_2d(
+            args.design, lib9, period_ns=period, scale=args.scale,
+            seed=args.seed)),
+        ("2D 12-track", lambda: run_flow_2d(
+            args.design, lib12, period_ns=period, scale=args.scale,
+            seed=args.seed)),
+        ("3D 9-track", lambda: run_flow_pin3d(
+            args.design, lib9, period_ns=period, scale=args.scale,
+            seed=args.seed)),
+        ("3D 12-track", lambda: run_flow_pin3d(
+            args.design, lib12, period_ns=period, scale=args.scale,
+            seed=args.seed)),
+        ("3D heterogeneous", lambda: run_flow_hetero_3d(
+            args.design, lib12, lib9, period_ns=period, scale=args.scale,
+            seed=args.seed)),
+    ]
+
+    print(f"design={args.design}  period={period} ns "
+          f"({1.0 / period:.2f} GHz)  scale={args.scale}\n")
+    header = (f"{'config':18s} {'WNS(ns)':>9s} {'Si(um2)':>10s} "
+              f"{'WL(mm)':>8s} {'P(mW)':>8s} {'PDP(pJ)':>9s} "
+              f"{'cost(1e-6C)':>12s} {'PPC':>9s}")
+    print(header)
+    print("-" * len(header))
+    for label, fn in runs:
+        t0 = time.time()
+        _design, r = fn()
+        print(
+            f"{label:18s} {r.wns_ns:+9.3f} {r.si_area_mm2 * 1e6:10.0f} "
+            f"{r.wirelength_mm:8.2f} {r.total_power_mw:8.3f} "
+            f"{r.pdp_pj:9.3f} {r.die_cost_1e6:12.4f} {r.ppc:9.1f}"
+            f"   [{time.time() - t0:.1f}s]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro: a heterogeneous monolithic 3-D IC EDA flow.
+
+A from-scratch Python reproduction of the Hetero-Pin-3D system: two
+vertically stacked dies in *different* standard-cell technologies
+(12-track at 0.90 V below, 9-track at 0.81 V above), with timing-driven
+tier partitioning, heterogeneous clock-tree synthesis, and ECO
+repartitioning -- plus every substrate the evaluation needs (netlist
+database and generators, NLDM libraries, STA, power analysis, placement,
+routing estimation, FM partitioning, CTS, and the Table IV cost model).
+
+Quick start::
+
+    from repro import make_library_pair, run_flow_hetero_3d
+
+    lib12, lib9 = make_library_pair()
+    design, result = run_flow_hetero_3d(
+        "cpu", lib12, lib9, period_ns=1.2, scale=0.5, seed=0
+    )
+    print(result.row())
+"""
+
+from repro.cost.model import CostModel
+from repro.flow import (
+    run_flow_2d,
+    run_flow_hetero_3d,
+    run_flow_pin3d,
+)
+from repro.flow.report import FlowResult
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "FlowResult",
+    "generate_netlist",
+    "make_library_pair",
+    "run_flow_2d",
+    "run_flow_hetero_3d",
+    "run_flow_pin3d",
+    "__version__",
+]

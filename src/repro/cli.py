@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``flow``     run one configuration of one netlist and print its PPAC row
+``matrix``   run the full Fig. 1 configuration set for one netlist
+``sweep``    find the 12-track 2-D maximum frequency of a netlist
+``export``   write the Verilog/DEF/Liberty artifacts of one implementation
+``tables``   regenerate the cheap paper tables (I-IV) as text
+``report``   run the full evaluation matrix and write a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.configs import CONFIG_NAMES, configurations
+from repro.experiments.runner import find_target_period
+from repro.experiments.tables import (
+    PAPER_TABLE1,
+    table1_qualitative_ranks,
+    table2_output_boundary,
+    table3_input_boundary,
+    table4_cost_model,
+)
+from repro.netlist.generators import DESIGN_NAMES
+
+__all__ = ["main"]
+
+
+def _print_result(result) -> None:
+    row = result.row()
+    print(f"{result.design} [{result.config}] @ {result.frequency_ghz:.2f} GHz")
+    for key, value in row.items():
+        print(f"  {key:22s} {value:12.4f}")
+
+
+def _cmd_flow(args: argparse.Namespace) -> int:
+    configs = configurations()
+    _design, result = configs[args.config].run(
+        args.design, period_ns=args.period, scale=args.scale, seed=args.seed
+    )
+    _print_result(result)
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    period = args.period or find_target_period(
+        args.design, scale=args.scale, seed=args.seed
+    )
+    print(f"target period {period:.3f} ns ({1 / period:.2f} GHz)")
+    configs = configurations()
+    for name in CONFIG_NAMES:
+        _design, result = configs[name].run(
+            args.design, period_ns=period, scale=args.scale, seed=args.seed
+        )
+        print(
+            f"{name:8s} WNS {result.wns_ns:+7.3f}  "
+            f"P {result.total_power_mw:8.3f} mW  "
+            f"PDP {result.pdp_pj:8.3f} pJ  "
+            f"cost {result.die_cost_1e6:8.4f}  PPC {result.ppc:10.1f}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    period = find_target_period(args.design, scale=args.scale, seed=args.seed)
+    print(f"{args.design}: max frequency {1 / period:.3f} GHz "
+          f"(period {period:.3f} ns)")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.io.def_writer import write_def
+    from repro.io.liberty_writer import write_liberty
+    from repro.netlist.verilog import write_verilog
+
+    configs = configurations()
+    design, _result = configs[args.config].run(
+        args.design, period_ns=args.period, scale=args.scale, seed=args.seed
+    )
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{args.design}.v").write_text(write_verilog(design.netlist))
+    (out / f"{args.design}.def").write_text(write_def(design))
+    for tier, lib in design.tier_libs.items():
+        (out / f"{lib.name}.lib").write_text(write_liberty(lib))
+    print(f"wrote Verilog/DEF/Liberty artifacts to {out}/")
+    return 0
+
+
+def _cmd_tables(_args: argparse.Namespace) -> int:
+    print("== Table I: qualitative ranks (ours vs paper) ==")
+    ranks = table1_qualitative_ranks()
+    for metric in ranks:
+        ours = {k: ranks[metric][k] for k in sorted(ranks[metric])}
+        print(f"  {metric:16s} ours  {ours}")
+        print(f"  {'':16s} paper {dict(sorted(PAPER_TABLE1[metric].items()))}")
+    print("\n== Table II: FO-4 heterogeneity at driver output ==")
+    for row in table2_output_boundary():
+        print(f"  {row.label:10s} {row.tier0}/{row.tier1}: "
+              f"delays {row.rise_delay_ps:.1f}/{row.fall_delay_ps:.1f} ps, "
+              f"leak {row.leakage_uw:.3f} uW, total {row.total_power_uw:.2f} uW")
+    print("\n== Table III: FO-4 heterogeneity at driver input ==")
+    for row in table3_input_boundary():
+        print(f"  {row.label:14s}: "
+              f"delays {row.rise_delay_ps:.1f}/{row.fall_delay_ps:.1f} ps, "
+              f"leak {row.leakage_uw:.3f} uW, total {row.total_power_uw:.2f} uW")
+    print("\n== Table IV: cost model ==")
+    for key, value in table4_cost_model().items():
+        print(f"  {key:24s} {value:10.4f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reportgen import render_report
+    from repro.experiments.runner import run_matrix
+
+    matrix = run_matrix(scale=args.scale, seed=args.seed)
+    text = render_report(matrix)
+    Path(args.output).write_text(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="heterogeneous M3D IC flow reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_config=True, with_period=True):
+        p.add_argument("design", choices=DESIGN_NAMES)
+        if with_config:
+            p.add_argument("--config", default="3D_HET", choices=CONFIG_NAMES)
+        if with_period:
+            p.add_argument("--period", type=float, default=None,
+                           help="clock period in ns")
+        p.add_argument("--scale", type=float, default=0.4)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_flow = sub.add_parser("flow", help="run one configuration")
+    add_common(p_flow)
+    p_flow.set_defaults(func=_cmd_flow)
+
+    p_matrix = sub.add_parser("matrix", help="run all five configurations")
+    add_common(p_matrix, with_config=False)
+    p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_sweep = sub.add_parser("sweep", help="find the 12T 2-D max frequency")
+    add_common(p_sweep, with_config=False, with_period=False)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_export = sub.add_parser("export", help="write Verilog/DEF/Liberty")
+    add_common(p_export)
+    p_export.add_argument("--output", default="out")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_tables = sub.add_parser("tables", help="print the cheap paper tables")
+    p_tables.set_defaults(func=_cmd_tables)
+
+    p_report = sub.add_parser(
+        "report", help="run the full matrix and write a markdown report"
+    )
+    p_report.add_argument("--scale", type=float, default=0.5)
+    p_report.add_argument("--seed", type=int, default=1)
+    p_report.add_argument("--output", default="paper_tables.md")
+    p_report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "flow" and args.period is None:
+        args.period = find_target_period(
+            args.design, scale=args.scale, seed=args.seed
+        )
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Cost modeling: wafer/die cost, yield, PPC, and PDP (Table IV)."""
+
+from repro.cost.model import (
+    CostModel,
+    DieCostReport,
+    performance_per_cost,
+    power_delay_product_pj,
+)
+
+__all__ = [
+    "CostModel",
+    "DieCostReport",
+    "performance_per_cost",
+    "power_delay_product_pj",
+]

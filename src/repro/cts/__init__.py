@@ -1,0 +1,5 @@
+"""Clock tree synthesis: geometric clustering, buffering, 3-D support."""
+
+from repro.cts.tree import ClockReport, ClockTreeSynthesizer, TierPolicy
+
+__all__ = ["ClockReport", "ClockTreeSynthesizer", "TierPolicy"]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so a
+caller can catch the whole family with a single ``except`` clause while
+still being able to distinguish the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class LibraryError(ReproError):
+    """A technology-library lookup or construction failed."""
+
+
+class NetlistError(ReproError):
+    """The netlist database is inconsistent or an edit is illegal."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis could not complete."""
+
+
+class PlacementError(ReproError):
+    """Placement or legalization failed (e.g. utilization > 100%)."""
+
+
+class PartitionError(ReproError):
+    """Tier partitioning could not satisfy its constraints."""
+
+
+class FlowError(ReproError):
+    """A design flow stage failed or was invoked out of order."""
+
+
+class CostModelError(ReproError):
+    """The cost model was given out-of-domain parameters."""

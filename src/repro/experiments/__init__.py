@@ -1,0 +1,13 @@
+"""Experiment harnesses: the 4-netlist x 5-configuration evaluation matrix."""
+
+from repro.experiments.configs import CONFIG_NAMES, Configuration, configurations
+from repro.experiments.runner import EvaluationMatrix, run_configuration, run_matrix
+
+__all__ = [
+    "CONFIG_NAMES",
+    "Configuration",
+    "configurations",
+    "EvaluationMatrix",
+    "run_configuration",
+    "run_matrix",
+]

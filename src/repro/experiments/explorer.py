@@ -1,0 +1,78 @@
+"""Technology-mix exploration (Section V).
+
+"Choosing the right mix of technologies is key for heterogeneous 3-D IC
+and is currently done manually as metal track variants only, and more
+exploration is beneficial."  This module performs that exploration: given
+a list of track heights, it builds every stackable (fast, slow) pair from
+:func:`repro.liberty.presets.make_track_variant`, runs the heterogeneous
+flow on each, and ranks the pairs by PPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow.hetero import run_flow_hetero_3d
+from repro.flow.report import FlowResult
+from repro.liberty.presets import make_track_variant
+
+__all__ = ["PairResult", "explore_track_pairs"]
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """One explored technology pair."""
+
+    fast_tracks: int
+    slow_tracks: int
+    compatible: bool
+    result: FlowResult | None
+
+    @property
+    def label(self) -> str:
+        return f"{self.slow_tracks}+{self.fast_tracks}T"
+
+    @property
+    def ppc(self) -> float:
+        """PPC of the implementation (0 when the pair was not run)."""
+        return self.result.ppc if self.result is not None else 0.0
+
+
+def explore_track_pairs(
+    design_name: str,
+    track_heights: tuple[int, ...] = (8, 9, 10, 12),
+    *,
+    period_ns: float,
+    scale: float = 0.4,
+    seed: int = 0,
+    opt_iterations: int = 8,
+) -> list[PairResult]:
+    """Run the heterogeneous flow over every stackable track pair.
+
+    The faster (taller) library always goes on the bottom tier.  Pairs
+    whose voltage gap violates the Section II-B rule are reported as
+    incompatible rather than run (they would need level shifters).
+    Results are sorted best-PPC first.
+    """
+    libs = {t: make_track_variant(t) for t in track_heights}
+    results: list[PairResult] = []
+    for fast in track_heights:
+        for slow in track_heights:
+            if slow >= fast:
+                continue  # the taller library is the fast one by design
+            fast_lib, slow_lib = libs[fast], libs[slow]
+            if not fast_lib.voltage_compatible_with(slow_lib):
+                results.append(PairResult(fast, slow, False, None))
+                continue
+            _design, result = run_flow_hetero_3d(
+                design_name,
+                fast_lib,
+                slow_lib,
+                period_ns=period_ns,
+                scale=scale,
+                seed=seed,
+                opt_iterations=opt_iterations,
+            )
+            results.append(PairResult(fast, slow, True, result))
+    results.sort(key=lambda p: p.ppc, reverse=True)
+    return results

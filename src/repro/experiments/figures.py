@@ -1,0 +1,164 @@
+"""Emitters for the paper's figures (data + ASCII renderings).
+
+The figures are layouts and diagrams; we regenerate their *content* --
+the quantitative statements each figure makes -- as structured data plus
+a terminal-friendly ASCII rendering:
+
+- **Fig. 1**: the five technology/design configurations.
+- **Fig. 2**: the two boundary-cell circuits (covered by the Table II/III
+  benchmarks; here we return the circuit descriptions).
+- **Fig. 3**: placement/routing layouts of the CPU in 2-D 9T, 2-D 12T and
+  heterogeneous 3-D -- die outlines, row pitches per tier, densities, and
+  a density heat-map.
+- **Fig. 4**: clock-tree, memory-net, and critical-path overlays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.configs import configurations
+from repro.experiments.runner import EvaluationMatrix
+from repro.flow.design import Design
+
+__all__ = [
+    "fig1_configurations",
+    "fig2_boundary_circuits",
+    "fig3_layout_stats",
+    "fig4_overlays",
+    "density_heatmap",
+]
+
+
+def fig1_configurations() -> list[dict[str, str]]:
+    """Fig. 1: the five configurations and their tier stacks."""
+    out = []
+    for name, config in configurations().items():
+        out.append(
+            {
+                "name": name,
+                "tiers": str(config.tiers),
+                "tracks": config.tracks,
+                "description": config.description,
+            }
+        )
+    return out
+
+
+def fig2_boundary_circuits() -> dict[str, str]:
+    """Fig. 2: the two FO-4 boundary conditions (textual description)."""
+    return {
+        "a": "heterogeneity at the driver output: driver on tier-0, the "
+             "four load inverters on tier-1 (load capacitance changes)",
+        "b": "heterogeneity at the driver input: driver and loads share "
+             "tier-1, the driver's gate is driven from tier-0's rail "
+             "(overdrive and leakage change)",
+    }
+
+
+@dataclass(frozen=True)
+class LayoutStats:
+    """Quantitative content of one Fig. 3 layout panel."""
+
+    config: str
+    width_um: float
+    height_um: float
+    tiers: int
+    row_pitch_by_tier: dict[int, float]
+    density: float
+    macro_count: int
+    cells_by_tier: dict[int, int]
+
+    def describe(self) -> str:
+        pitches = ", ".join(
+            f"tier{t}: {p:.2f}um" for t, p in sorted(self.row_pitch_by_tier.items())
+        )
+        return (
+            f"{self.config}: {self.width_um:.0f} x {self.height_um:.0f} um, "
+            f"{self.tiers} tier(s), rows [{pitches}], "
+            f"density {self.density:.0%}, {self.macro_count} macros"
+        )
+
+
+def layout_stats(design: Design) -> LayoutStats:
+    """Measure the Fig. 3 facts of one implemented design."""
+    fp = design.floorplan
+    cells_by_tier: dict[int, int] = {}
+    for inst in design.netlist.instances.values():
+        if inst.cell.is_macro:
+            continue
+        cells_by_tier[inst.tier] = cells_by_tier.get(inst.tier, 0) + 1
+    return LayoutStats(
+        config=design.config,
+        width_um=fp.width_um,
+        height_um=fp.height_um,
+        tiers=design.tiers,
+        row_pitch_by_tier={
+            t: lib.cell_height_um for t, lib in design.tier_libs.items()
+        },
+        density=fp.density(design.netlist),
+        macro_count=len(design.netlist.memory_macros()),
+        cells_by_tier=cells_by_tier,
+    )
+
+
+def fig3_layout_stats(matrix: EvaluationMatrix) -> list[LayoutStats]:
+    """Fig. 3: the CPU under 2-D 9T, 2-D 12T, and heterogeneous 3-D."""
+    stats = []
+    for config in ("2D_9T", "2D_12T", "3D_HET"):
+        design = matrix.designs[("cpu", config)]
+        stats.append(layout_stats(design))
+    return stats
+
+
+def density_heatmap(design: Design, *, bins: int = 12, tier: int | None = None) -> str:
+    """ASCII density map of a placed design (one Fig. 3 panel)."""
+    fp = design.floorplan
+    grid = np.zeros((bins, bins))
+    for inst in design.netlist.instances.values():
+        if inst.cell.is_macro or not inst.is_placed:
+            continue
+        if tier is not None and inst.tier != tier:
+            continue
+        cx, cy = inst.center()
+        bx = min(bins - 1, max(0, int(cx / fp.width_um * bins)))
+        by = min(bins - 1, max(0, int(cy / fp.height_um * bins)))
+        grid[by, bx] += inst.area_um2
+    bin_area = (fp.width_um / bins) * (fp.height_um / bins)
+    grid /= bin_area
+    shades = " .:-=+*#%@"
+    lines = []
+    for row in reversed(range(bins)):
+        line = "".join(
+            shades[min(len(shades) - 1, int(grid[row, col] * (len(shades) - 1)))]
+            for col in range(bins)
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def fig4_overlays(matrix: EvaluationMatrix) -> dict[str, dict[str, float]]:
+    """Fig. 4: clock tree (a), memory nets (b), critical path (c) data.
+
+    Returns per-configuration quantitative content: clock wirelength and
+    sink spread, memory-net latencies, and the critical-path geometry --
+    what the colored overlays of the figure visualize.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for config in ("2D_12T", "3D_HET"):
+        r = matrix.result("cpu", config)
+        cp = r.critical_path
+        row = {
+            "clock_wirelength_mm": r.clock.wirelength_mm,
+            "clock_buffer_count": float(r.clock.buffer_count),
+            "clock_sink_count": float(len(r.clock.latencies)),
+            "crit_path_cells": float(cp.total_cells),
+            "crit_path_wirelength_um": cp.wirelength_um,
+        }
+        if r.memory_nets is not None:
+            row["mem_input_latency_ps"] = r.memory_nets.input_net_latency_ps
+            row["mem_output_latency_ps"] = r.memory_nets.output_net_latency_ps
+        out[config] = row
+    return out

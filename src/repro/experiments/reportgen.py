@@ -1,0 +1,168 @@
+"""Markdown report generation from an evaluation matrix.
+
+Renders the full paper-shaped result set -- Tables I through VIII, the
+figure statistics, and the Section V claims -- as one self-contained
+markdown document, so a matrix run leaves a reviewable artifact behind
+(``python -m repro report`` writes it to disk).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig1_configurations, fig3_layout_stats
+from repro.experiments.runner import EvaluationMatrix
+from repro.experiments.tables import (
+    PAPER_TABLE1,
+    TABLE7_METRICS,
+    conclusion_claims,
+    table1_qualitative_ranks,
+    table2_output_boundary,
+    table3_input_boundary,
+    table4_cost_model,
+    table6_hetero_ppac,
+    table7_deltas,
+    table8_detailed_analysis,
+)
+
+__all__ = ["render_report"]
+
+_CONFIGS = ("2D_9T", "3D_9T", "2D_12T", "3D_12T", "3D_HET")
+_DESIGNS = ("netcard", "aes", "ldpc", "cpu")
+
+
+def _md_table(header: list[str], rows: list[list[str]]) -> str:
+    out = ["| " + " | ".join(header) + " |"]
+    out.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return "\n".join(out)
+
+
+def _section_table1() -> str:
+    ranks = table1_qualitative_ranks()
+    rows = []
+    for metric in PAPER_TABLE1:
+        rows.append([metric + " (ours)"]
+                    + [str(ranks[metric][c]) for c in _CONFIGS])
+        rows.append([metric + " (paper)"]
+                    + [str(PAPER_TABLE1[metric][c]) for c in _CONFIGS])
+    return "## Table I — qualitative PPAC ranks\n\n" + _md_table(
+        ["metric"] + list(_CONFIGS), rows
+    )
+
+
+def _section_boundary(title: str, rows) -> str:
+    header = ["case", "tiers", "rise del ps", "fall del ps",
+              "rise slew ps", "leak uW", "total uW"]
+    body = [
+        [r.label, f"{r.tier0}/{r.tier1}", f"{r.rise_delay_ps:.1f}",
+         f"{r.fall_delay_ps:.1f}", f"{r.rise_slew_ps:.1f}",
+         f"{r.leakage_uw:.3f}", f"{r.total_power_uw:.2f}"]
+        for r in rows
+    ]
+    return f"## {title}\n\n" + _md_table(header, body)
+
+
+def _section_table4() -> str:
+    values = table4_cost_model()
+    body = [[k, f"{v:.4f}"] for k, v in values.items()]
+    return "## Table IV — cost model\n\n" + _md_table(["parameter", "value"], body)
+
+
+def _section_table6(matrix: EvaluationMatrix) -> str:
+    rows6 = table6_hetero_ppac(matrix)
+    metrics = sorted(next(iter(rows6.values())))
+    body = [
+        [d] + [f"{rows6[d][m]:.4g}" for m in metrics] for d in _DESIGNS
+    ]
+    return (
+        "## Table VI — heterogeneous 3-D PPAC (repro scale)\n\n"
+        + _md_table(["design"] + metrics, body)
+    )
+
+
+def _section_table7(matrix: EvaluationMatrix) -> str:
+    deltas = table7_deltas(matrix)
+    parts = ["## Table VII — percent deltas, hetero vs homogeneous"]
+    for config, per_design in deltas.items():
+        body = [
+            [label] + [f"{per_design[d][metric]:+.1f}" for d in _DESIGNS]
+            for metric, label in TABLE7_METRICS.items()
+        ]
+        parts.append(f"### vs {config}\n\n"
+                     + _md_table(["metric"] + list(_DESIGNS), body))
+    return "\n\n".join(parts)
+
+
+def _section_table8(matrix: EvaluationMatrix) -> str:
+    rows8 = table8_detailed_analysis(matrix)
+    keys = sorted({k for row in rows8.values() for k in row})
+    body = [
+        [k] + [
+            f"{rows8[c].get(k, float('nan')):.4g}" if k in rows8[c] else "-"
+            for c in rows8
+        ]
+        for k in keys
+    ]
+    return (
+        "## Table VIII — clock / critical path / memory nets (CPU)\n\n"
+        + _md_table(["quantity"] + list(rows8), body)
+    )
+
+
+def _section_figures(matrix: EvaluationMatrix) -> str:
+    parts = ["## Figures"]
+    parts.append("### Fig. 1 — configurations\n\n" + _md_table(
+        ["name", "tiers", "tracks", "description"],
+        [[c["name"], c["tiers"], c["tracks"], c["description"]]
+         for c in fig1_configurations()],
+    ))
+    stats = fig3_layout_stats(matrix)
+    parts.append("### Fig. 3 — CPU layout statistics\n\n" + _md_table(
+        ["config", "die (um)", "tiers", "density", "macros"],
+        [[s.config, f"{s.width_um:.0f} x {s.height_um:.0f}", str(s.tiers),
+          f"{s.density:.0%}", str(s.macro_count)] for s in stats],
+    ))
+    return "\n\n".join(parts)
+
+
+def _section_claims(matrix: EvaluationMatrix) -> str:
+    claims = conclusion_claims(matrix)
+    body = [[k, f"{v:+.1f}%"] for k, v in claims.items()]
+    return "## Section V claims — PPC benefit ranges\n\n" + _md_table(
+        ["claim", "measured"], body
+    )
+
+
+def render_report(matrix: EvaluationMatrix) -> str:
+    """Render the complete markdown report for one matrix run."""
+    header = (
+        "# Regenerated paper tables and figures\n\n"
+        f"Matrix: scale={matrix.scale}, seed={matrix.seed}; frequency "
+        "targets from the 12-track 2-D max-frequency sweep:\n\n"
+        + _md_table(
+            ["design", "period (ns)", "frequency (GHz)"],
+            [
+                [d, f"{p:.3f}", f"{1 / p:.2f}"]
+                for d, p in sorted(matrix.target_periods.items())
+            ],
+        )
+    )
+    sections = [
+        header,
+        _section_table1(),
+        _section_boundary(
+            "Table II — FO-4, heterogeneity at driver output",
+            table2_output_boundary(),
+        ),
+        _section_boundary(
+            "Table III — FO-4, heterogeneity at driver input",
+            table3_input_boundary(),
+        ),
+        _section_table4(),
+        _section_table6(matrix),
+        _section_table7(matrix),
+        _section_table8(matrix),
+        _section_figures(matrix),
+        _section_claims(matrix),
+    ]
+    return "\n\n".join(sections) + "\n"

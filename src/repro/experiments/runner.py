@@ -1,0 +1,173 @@
+"""Evaluation-matrix runner: frequency targeting, execution, caching.
+
+Methodology (Section IV-A2):
+
+1. For each netlist, sweep the 12-track 2-D implementation over clock
+   periods to find the maximum achievable frequency, accepting a period
+   when WNS stays within ~5-7% of it.
+2. That max frequency becomes the iso-performance target for all five
+   configurations of the netlist.
+3. Run every configuration at the target and collect the
+   :class:`~repro.flow.report.FlowResult` for the tables.
+
+Flow runs are seconds-to-minutes, so results are cached in-process by
+``(design, config, scale, seed)``; every Table/Figure benchmark then
+reads the same matrix instead of re-running flows.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import CONFIG_NAMES, configurations
+from repro.flow.design import Design
+from repro.flow.report import FlowResult
+from repro.netlist.generators import DESIGN_NAMES
+
+__all__ = [
+    "default_scale",
+    "EvaluationMatrix",
+    "find_target_period",
+    "run_configuration",
+    "run_matrix",
+]
+
+#: Period sweep bounds per design (ns): generous brackets around each
+#: netlist's achievable range at the default scale.
+_SWEEP_BOUNDS: dict[str, tuple[float, float]] = {
+    "aes": (0.25, 1.6),
+    "ldpc": (0.4, 2.4),
+    "netcard": (0.4, 2.4),
+    "cpu": (0.5, 3.0),
+}
+
+#: WNS acceptance band as a fraction of the period (paper: ~5-7%).
+_WNS_TOLERANCE = 0.06
+
+_period_cache: dict[tuple[str, float, int], float] = {}
+_result_cache: dict[tuple[str, str, float, int], tuple[Design, FlowResult]] = {}
+
+
+def default_scale() -> float:
+    """Netlist scale used by benchmarks; override with $REPRO_SCALE."""
+    return float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+def find_target_period(
+    design_name: str,
+    *,
+    scale: float,
+    seed: int = 0,
+    iterations: int = 6,
+) -> float:
+    """Binary-search the 12-track 2-D max frequency for one netlist.
+
+    Each probe runs the full 2-D flow (with a reduced optimization budget
+    for speed) and checks the paper's timing-met criterion.  The result
+    is cached per (design, scale, seed).
+    """
+    key = (design_name, scale, seed)
+    cached = _period_cache.get(key)
+    if cached is not None:
+        return cached
+
+    configs = configurations()
+    lo, hi = _SWEEP_BOUNDS[design_name]
+    best = hi
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        _design, result = configs["2D_12T"].run(
+            design_name,
+            period_ns=mid,
+            scale=scale,
+            seed=seed,
+            opt_iterations=8,
+        )
+        if result.wns_ns >= -_WNS_TOLERANCE * mid:
+            best = mid
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < 0.02:
+            break
+    _period_cache[key] = best
+    return best
+
+
+def run_configuration(
+    design_name: str,
+    config_name: str,
+    *,
+    period_ns: float | None = None,
+    scale: float | None = None,
+    seed: int = 0,
+    **kwargs,
+) -> tuple[Design, FlowResult]:
+    """Run (and cache) one cell of the evaluation matrix."""
+    scale = default_scale() if scale is None else scale
+    if period_ns is None:
+        period_ns = find_target_period(design_name, scale=scale, seed=seed)
+    key = (design_name, config_name, scale, seed)
+    if key in _result_cache and not kwargs:
+        return _result_cache[key]
+    configs = configurations()
+    design, result = configs[config_name].run(
+        design_name, period_ns=period_ns, scale=scale, seed=seed, **kwargs
+    )
+    if not kwargs:
+        _result_cache[key] = (design, result)
+    return design, result
+
+
+@dataclass
+class EvaluationMatrix:
+    """All results of the 4 x 5 evaluation."""
+
+    scale: float
+    seed: int
+    target_periods: dict[str, float] = field(default_factory=dict)
+    results: dict[tuple[str, str], FlowResult] = field(default_factory=dict)
+    designs: dict[tuple[str, str], Design] = field(default_factory=dict)
+
+    def result(self, design: str, config: str) -> FlowResult:
+        """One cell of the matrix."""
+        return self.results[(design, config)]
+
+    def hetero(self, design: str) -> FlowResult:
+        """The heterogeneous implementation of one netlist."""
+        return self.results[(design, "3D_HET")]
+
+    def delta_pct(self, design: str, config: str, metric: str) -> float:
+        """Table VII delta: (hetero - config) / config * 100 for a metric."""
+        het = getattr(self.hetero(design), metric)
+        ref = getattr(self.result(design, config), metric)
+        if ref == 0:
+            return 0.0
+        return (het - ref) / ref * 100.0
+
+
+def run_matrix(
+    *,
+    designs: tuple[str, ...] = DESIGN_NAMES,
+    config_names: tuple[str, ...] = CONFIG_NAMES,
+    scale: float | None = None,
+    seed: int = 0,
+) -> EvaluationMatrix:
+    """Run the full evaluation matrix (cached per cell)."""
+    scale = default_scale() if scale is None else scale
+    matrix = EvaluationMatrix(scale=scale, seed=seed)
+    for design_name in designs:
+        period = find_target_period(design_name, scale=scale, seed=seed)
+        matrix.target_periods[design_name] = period
+        for config_name in config_names:
+            design, result = run_configuration(
+                design_name,
+                config_name,
+                period_ns=period,
+                scale=scale,
+                seed=seed,
+            )
+            matrix.results[(design_name, config_name)] = result
+            matrix.designs[(design_name, config_name)] = design
+    return matrix

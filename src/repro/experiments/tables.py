@@ -1,0 +1,354 @@
+"""Emitters for every table of the paper.
+
+Each ``table*`` function returns structured data (and a formatted text
+block) for one published table; the benchmark suite regenerates and
+checks them.  Functions that need flow results take an
+:class:`~repro.experiments.runner.EvaluationMatrix` so the expensive runs
+are shared across tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.model import CostModel
+from repro.experiments.runner import EvaluationMatrix, run_configuration
+from repro.liberty.presets import NINE_TRACK_CORNER, TWELVE_TRACK_CORNER
+from repro.liberty.spice import (
+    FAST_INVERTER,
+    SLOW_INVERTER,
+    simulate_fo4_input_boundary,
+    simulate_fo4_output_boundary,
+)
+
+__all__ = [
+    "table1_qualitative_ranks",
+    "PAPER_TABLE1",
+    "table2_output_boundary",
+    "table3_input_boundary",
+    "table4_cost_model",
+    "table5_flow_improvement",
+    "table6_hetero_ppac",
+    "table7_deltas",
+    "table8_detailed_analysis",
+    "conclusion_claims",
+]
+
+#: Table I as published: rank 1 = worst, 5 = best, per metric and config.
+PAPER_TABLE1: dict[str, dict[str, int]] = {
+    "frequency": {"2D_9T": 1, "3D_9T": 2, "2D_12T": 3, "3D_12T": 5, "3D_HET": 4},
+    "power": {"2D_9T": 4, "3D_9T": 5, "2D_12T": 1, "3D_12T": 2, "3D_HET": 3},
+    "power_per_freq": {"2D_9T": 3, "3D_9T": 4, "2D_12T": 1, "3D_12T": 2, "3D_HET": 5},
+    "footprint": {"2D_9T": 4, "3D_9T": 5, "2D_12T": 1, "3D_12T": 2, "3D_HET": 3},
+    "si_area": {"2D_9T": 5, "3D_9T": 5, "2D_12T": 1, "3D_12T": 1, "3D_HET": 3},
+    "die_cost": {"2D_9T": 5, "3D_9T": 4, "2D_12T": 2, "3D_12T": 1, "3D_HET": 3},
+}
+
+
+def table1_qualitative_ranks() -> dict[str, dict[str, int]]:
+    """Predict Table I's PPAC ranks from first principles.
+
+    Scores per configuration are built from the library corners (delay,
+    energy, area scale) and the configuration geometry (3-D halves the
+    footprint and shortens wires ~25%; 3-D adds wafer cost), then ranked.
+    Higher rank = better, matching the paper's convention.
+    """
+    fast = TWELVE_TRACK_CORNER
+    slow = NINE_TRACK_CORNER
+    model = CostModel()
+    configs = {
+        "2D_9T": dict(delay=slow.delay_scale, energy=slow.energy_scale,
+                      area=slow.area_scale, tiers=1),
+        "2D_12T": dict(delay=fast.delay_scale, energy=fast.energy_scale,
+                       area=fast.area_scale, tiers=1),
+        # 3-D halves the footprint: ~25% shorter wires cut delay ~7%
+        # and switched (wire) energy ~12%.
+        "3D_9T": dict(delay=slow.delay_scale * 0.93, energy=slow.energy_scale * 0.88,
+                      area=slow.area_scale, tiers=2),
+        "3D_12T": dict(delay=fast.delay_scale * 0.93, energy=fast.energy_scale * 0.88,
+                       area=fast.area_scale, tiers=2),
+        # heterogeneous: half the cells in each corner, critical cells fast
+        # (a small delay penalty vs pure 12-track 3-D)
+        "3D_HET": dict(
+            delay=fast.delay_scale * 0.93 * 1.04,
+            energy=0.5 * (fast.energy_scale + slow.energy_scale) * 0.88,
+            area=0.5 * (fast.area_scale + slow.area_scale),
+            tiers=2,
+        ),
+    }
+
+    ref_area_mm2 = 0.4  # representative die
+    metrics: dict[str, dict[str, float]] = {
+        "frequency": {}, "power": {}, "power_per_freq": {},
+        "footprint": {}, "si_area": {}, "die_cost": {},
+    }
+    for name, c in configs.items():
+        freq = 1.0 / c["delay"]
+        power = c["energy"] * freq
+        si_area = c["area"]
+        footprint = si_area / c["tiers"]
+        cost = model.die_cost(
+            ref_area_mm2 * footprint, c["tiers"]
+        ).die_cost
+        metrics["frequency"][name] = freq
+        metrics["power"][name] = -power  # lower is better
+        metrics["power_per_freq"][name] = -power / freq
+        metrics["footprint"][name] = -footprint
+        metrics["si_area"][name] = -si_area
+        metrics["die_cost"][name] = -cost
+
+    ranks: dict[str, dict[str, int]] = {}
+    for metric, values in metrics.items():
+        ordered = sorted(values, key=lambda k: values[k])
+        ranks[metric] = {}
+        rank = 0
+        prev = None
+        for i, name in enumerate(ordered):
+            # equal scores share a rank, as the paper's Si-area row does
+            if prev is None or abs(values[name] - prev) > 1e-9:
+                rank = i + 1
+            ranks[metric][name] = rank
+            prev = values[name]
+    return ranks
+
+
+@dataclass(frozen=True)
+class BoundaryRow:
+    """One case column of Table II/III."""
+
+    label: str
+    tier0: str
+    tier1: str
+    rise_slew_ps: float
+    fall_slew_ps: float
+    rise_delay_ps: float
+    fall_delay_ps: float
+    leakage_uw: float
+    total_power_uw: float
+
+
+def table2_output_boundary() -> list[BoundaryRow]:
+    """Table II: FO-4 with the load on the other tier (Fig. 2(a))."""
+    cases = [
+        ("Case-I", FAST_INVERTER, FAST_INVERTER, "fast", "fast"),
+        ("Case-II", FAST_INVERTER, SLOW_INVERTER, "fast", "slow"),
+        ("Case-III", SLOW_INVERTER, SLOW_INVERTER, "slow", "slow"),
+        ("Case-IV", SLOW_INVERTER, FAST_INVERTER, "slow", "fast"),
+    ]
+    rows = []
+    for label, driver, load, t0, t1 in cases:
+        r = simulate_fo4_output_boundary(driver, load)
+        rows.append(
+            BoundaryRow(
+                label, t0, t1, r.rise_slew_ps, r.fall_slew_ps,
+                r.rise_delay_ps, r.fall_delay_ps, r.leakage_uw,
+                r.total_power_uw,
+            )
+        )
+    return rows
+
+
+def table3_input_boundary() -> list[BoundaryRow]:
+    """Table III: FO-4 with the driver input from the other tier."""
+    cases = [
+        ("fast Case-I", FAST_INVERTER, FAST_INVERTER, "fast", "fast"),
+        ("fast Case-II", FAST_INVERTER, SLOW_INVERTER, "slow", "fast"),
+        ("slow Case-I", SLOW_INVERTER, SLOW_INVERTER, "slow", "slow"),
+        ("slow Case-II", SLOW_INVERTER, FAST_INVERTER, "fast", "slow"),
+    ]
+    rows = []
+    for label, cell, rail, t0, t1 in cases:
+        if cell is rail:
+            r = simulate_fo4_output_boundary(cell, cell)
+        else:
+            r = simulate_fo4_input_boundary(cell, rail)
+        rows.append(
+            BoundaryRow(
+                label, t0, t1, r.rise_slew_ps, r.fall_slew_ps,
+                r.rise_delay_ps, r.fall_delay_ps, r.leakage_uw,
+                r.total_power_uw,
+            )
+        )
+    return rows
+
+
+def table4_cost_model() -> dict[str, float]:
+    """Table IV: the cost-model constants, as implemented."""
+    model = CostModel()
+    return {
+        "feol_cost": model.feol_fraction,
+        "beol_cost_6_metals": model.beol_cost_per_layer * model.signal_layers,
+        "integration_penalty": model.integration_penalty,
+        "wafer_diameter_mm": model.wafer_diameter_mm,
+        "defect_density_per_mm2": model.defect_density_per_mm2,
+        "wafer_yield": model.wafer_yield,
+        "yield_degradation_3d": model.yield_degradation_3d,
+        "wafer_cost_2d": model.wafer_cost_2d(),
+        "wafer_cost_3d": model.wafer_cost_3d(),
+    }
+
+
+def table5_flow_improvement(
+    *, scale: float | None = None, seed: int = 0
+) -> dict[str, dict[str, float]]:
+    """Table V: plain Pin-3D vs Hetero-Pin-3D on the CPU design.
+
+    Both runs use the heterogeneous stack; the baseline disables the
+    Section III enhancements (timing partitioning, 3-D CTS,
+    repartitioning).
+    """
+    _d, plain = run_configuration(
+        "cpu", "3D_HET", scale=scale, seed=seed,
+        timing_partitioning=False, hetero_cts=False, repartition=False,
+    )
+    _d, enhanced = run_configuration("cpu", "3D_HET", scale=scale, seed=seed)
+    def row(r):
+        return {
+            "frequency_ghz": r.frequency_ghz,
+            "wl_mm": r.wirelength_mm,
+            "wns_ns": r.wns_ns,
+            "total_power_mw": r.total_power_mw,
+        }
+    return {"pin3d": row(plain), "hetero_pin3d": row(enhanced)}
+
+
+def table6_hetero_ppac(matrix: EvaluationMatrix) -> dict[str, dict[str, float]]:
+    """Table VI: raw PPAC of the heterogeneous designs, per netlist."""
+    out = {}
+    for design in ("netcard", "aes", "ldpc", "cpu"):
+        r = matrix.hetero(design)
+        row = r.row()
+        row["density_pct"] = r.density * 100.0
+        out[design] = row
+    return out
+
+
+#: Table VII metrics: FlowResult attribute and whether negative deltas
+#: mean the heterogeneous design wins.
+TABLE7_METRICS: dict[str, str] = {
+    "si_area_mm2": "Si Area",
+    "density": "Density",
+    "wirelength_mm": "WL",
+    "total_power_mw": "Total Power",
+    "effective_delay_ns": "Eff. Delay",
+    "pdp_pj": "PDP",
+    "die_cost_1e6": "Die Cost",
+    "cost_per_cm2": "Cost per cm2",
+    "ppc": "PPC",
+}
+
+
+def table7_deltas(matrix: EvaluationMatrix) -> dict[str, dict[str, dict[str, float]]]:
+    """Table VII: percent deltas of hetero vs each homogeneous config.
+
+    Returns ``{config: {design: {metric: delta_pct}}}``.
+    """
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for config in ("2D_9T", "2D_12T", "3D_9T", "3D_12T"):
+        out[config] = {}
+        for design in ("netcard", "aes", "ldpc", "cpu"):
+            out[config][design] = {
+                metric: matrix.delta_pct(design, config, metric)
+                for metric in TABLE7_METRICS
+            }
+    return out
+
+
+def table8_detailed_analysis(
+    matrix: EvaluationMatrix,
+) -> dict[str, dict[str, float]]:
+    """Table VIII: clock network, critical path, memory nets of the CPU.
+
+    Compares the best 2-D (12-track), the best homogeneous 3-D
+    (12-track), and the heterogeneous 3-D implementation.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for config in ("2D_12T", "3D_12T", "3D_HET"):
+        r = matrix.result("cpu", config)
+        cp = r.critical_path
+        clock = r.clock
+        row: dict[str, float] = {
+            "clock_buffer_count": clock.buffer_count,
+            "clock_buffer_area_um2": clock.buffer_area_um2,
+            "clock_wirelength_mm": clock.wirelength_mm,
+            "clock_max_latency_ns": clock.max_latency_ns,
+            "clock_max_skew_ns": clock.max_skew_ns,
+            "clock_power_mw": clock.power_mw,
+            "crit_clock_period_ns": r.period_ns,
+            "crit_slack_ns": cp.slack_ns,
+            "crit_clock_skew_ns": cp.clock_skew_ns,
+            "crit_setup_ns": cp.setup_ns,
+            "crit_path_delay_ns": cp.path_delay_ns,
+            "crit_wire_delay_ns": cp.wire_delay_ns,
+            "crit_cell_delay_ns": cp.cell_delay_ns,
+            "crit_wirelength_um": cp.wirelength_um,
+            "crit_total_cells": cp.total_cells,
+        }
+        if config != "2D_12T":
+            row.update(
+                {
+                    "clock_buffers_top": clock.buffer_count_by_tier.get(1, 0),
+                    "clock_buffers_bottom": clock.buffer_count_by_tier.get(0, 0),
+                    "crit_mivs": cp.miv_count,
+                    "crit_top_cells": cp.cells_on_tier(1),
+                    "crit_bottom_cells": cp.cells_on_tier(0),
+                    "crit_top_cell_delay_ns": cp.cell_delay_on_tier(1),
+                    "crit_bottom_cell_delay_ns": cp.cell_delay_on_tier(0),
+                    "crit_avg_top_delay_ns": cp.average_cell_delay_on_tier(1),
+                    "crit_avg_bottom_delay_ns": cp.average_cell_delay_on_tier(0),
+                    "crit_top_wirelength_um": cp.wirelength_on_tier(1),
+                    "crit_bottom_wirelength_um": cp.wirelength_on_tier(0),
+                }
+            )
+        if r.memory_nets is not None:
+            row.update(
+                {
+                    "mem_input_net_latency_ps": r.memory_nets.input_net_latency_ps,
+                    "mem_output_net_latency_ps": r.memory_nets.output_net_latency_ps,
+                    "mem_net_switching_uw": r.memory_nets.net_switching_power_uw,
+                }
+            )
+        out[config] = row
+    return out
+
+
+def conclusion_claims(matrix: EvaluationMatrix) -> dict[str, float]:
+    """Section V: PPAC benefit ranges of heterogeneous 3-D.
+
+    The paper summarizes PPC gains of 10-50% vs 3-D and 18-57% vs 2-D;
+    this returns our measured min/max PPC deltas per class.
+    """
+    deltas_3d = [
+        matrix.delta_pct(d, c, "ppc")
+        for d in ("netcard", "aes", "ldpc", "cpu")
+        for c in ("3D_9T", "3D_12T")
+    ]
+    deltas_2d = [
+        matrix.delta_pct(d, c, "ppc")
+        for d in ("netcard", "aes", "ldpc", "cpu")
+        for c in ("2D_9T", "2D_12T")
+    ]
+    return {
+        "ppc_vs_3d_min": min(deltas_3d),
+        "ppc_vs_3d_max": max(deltas_3d),
+        "ppc_vs_2d_min": min(deltas_2d),
+        "ppc_vs_2d_max": max(deltas_2d),
+    }
+
+
+def format_table(rows: dict[str, dict[str, float]], title: str) -> str:
+    """Render a nested dict as an aligned text table."""
+    lines = [title]
+    if not rows:
+        return title
+    columns = sorted({k for row in rows.values() for k in row})
+    header = f"{'':24s}" + "".join(f"{c[:14]:>16s}" for c in columns)
+    lines.append(header)
+    for name, row in rows.items():
+        cells = "".join(
+            f"{row.get(c, float('nan')):16.4f}" if isinstance(row.get(c), (int, float))
+            else f"{'-':>16s}"
+            for c in columns
+        )
+        lines.append(f"{name:24s}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""The Design object: netlist + technology binding + physical state.
+
+A :class:`Design` ties together everything a flow stage needs: the
+netlist, the per-tier libraries, the floorplan, the clock tree, and the
+wire model in effect.  Flow stages mutate the design in place and the
+finalizer reads every metric off it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cts.tree import ClockReport
+from repro.errors import FlowError
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.core import Netlist
+from repro.place.floorplan import Floorplan
+from repro.timing.delaycalc import (
+    DelayCalculator,
+    FanoutWireModel,
+    PlacementWireModel,
+)
+
+__all__ = ["Design"]
+
+
+@dataclass
+class Design:
+    """One implementation of one netlist in one configuration."""
+
+    name: str
+    config: str
+    netlist: Netlist
+    tier_libs: dict[int, StdCellLibrary]
+    floorplan: Floorplan | None = None
+    clock_report: ClockReport | None = None
+    target_period_ns: float = 1.0
+    utilization_target: float = 0.82
+    notes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def tiers(self) -> int:
+        """Number of tiers in this configuration."""
+        return len(self.tier_libs)
+
+    @property
+    def is_3d(self) -> bool:
+        """True for stacked configurations."""
+        return self.tiers > 1
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Target clock frequency."""
+        return 1.0 / self.target_period_ns
+
+    def libraries_by_name(self) -> dict[str, StdCellLibrary]:
+        """Library lookup map keyed by library name."""
+        return {lib.name: lib for lib in self.tier_libs.values()}
+
+    def reference_library(self) -> StdCellLibrary:
+        """The bottom-tier library (used for shared BEOL parasitics)."""
+        return self.tier_libs[0]
+
+    def library_for_tier(self, tier: int) -> StdCellLibrary:
+        """Library bound to one tier."""
+        try:
+            return self.tier_libs[tier]
+        except KeyError:
+            raise FlowError(f"design has no tier {tier}") from None
+
+    def calculator(self, *, placed: bool) -> DelayCalculator:
+        """A delay calculator over the current netlist state."""
+        lib = self.reference_library()
+        model = PlacementWireModel(lib) if placed else FanoutWireModel(lib)
+        return DelayCalculator(self.netlist, model, self.libraries_by_name())
+
+    def clock_latencies(self) -> dict[str, float] | None:
+        """Per-sink clock insertion delays, or None before CTS."""
+        if self.clock_report is None:
+            return None
+        return self.clock_report.latencies
+
+    def slow_tier(self) -> int:
+        """The tier with the slower library (heterogeneous designs).
+
+        For homogeneous designs the top tier is returned by convention.
+        """
+        if not self.is_3d:
+            return 0
+        libs = sorted(self.tier_libs.items(), key=lambda kv: kv[1].vdd_v)
+        return libs[0][0] if libs[0][1].vdd_v < libs[-1][1].vdd_v else 1
+
+    def remap_instance_to_tier(self, inst_name: str, tier: int) -> None:
+        """Move an instance to a tier and rebind it to that tier's library.
+
+        Memory macros keep their cell (the paper keeps memories identical
+        across technology variants); standard cells are swapped for the
+        equivalent function/drive in the destination library.
+        """
+        inst = self.netlist.instances[inst_name]
+        target_lib = self.library_for_tier(tier)
+        inst.tier = tier
+        if inst.cell.is_macro:
+            return
+        if inst.cell.library_name != target_lib.name:
+            self.netlist.rebind(inst_name, target_lib.equivalent_of(inst.cell))

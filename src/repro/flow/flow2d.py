@@ -1,0 +1,80 @@
+"""The reference 2-D RTL-to-GDS flow.
+
+Synthesis (generation + initial sizing) -> floorplan at target
+utilization with congestion control -> quadratic global placement ->
+legalization -> placement-aware timing optimization -> clock tree
+synthesis -> post-CTS cleanup -> signoff.
+
+Run once per library to produce the paper's 2-D 9-track and 2-D 12-track
+configurations (Fig. 1(a)/(b)).
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel
+from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
+from repro.flow.design import Design
+from repro.flow.opt import optimize_timing, recover_area
+from repro.flow.report import FlowResult, finalize_design
+from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
+from repro.flow.synthesis import initial_sizing
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.generators import generate_netlist
+
+__all__ = ["run_flow_2d"]
+
+
+def run_flow_2d(
+    design_name: str,
+    lib: StdCellLibrary,
+    *,
+    period_ns: float,
+    scale: float = 1.0,
+    seed: int = 0,
+    utilization: float = 0.82,
+    opt_iterations: int = 12,
+    recover: bool = True,
+    cost_model: CostModel | None = None,
+) -> tuple[Design, FlowResult]:
+    """Implement one netlist in 2-D with one library at one frequency."""
+    netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
+    design = Design(
+        name=design_name,
+        config=f"2D_{lib.tracks}T",
+        netlist=netlist,
+        tier_libs={0: lib},
+        target_period_ns=period_ns,
+        utilization_target=utilization,
+    )
+    initial_sizing(design)
+    place_with_congestion_control(design)
+    legalize_all_tiers(design)
+
+    calc = design.calculator(placed=True)
+    optimize_timing(design, calc, max_iterations=opt_iterations)
+    if recover:
+        recover_area(design, calc)
+    # Sizing changed cell widths; restore row legality.
+    legalize_all_tiers(design)
+    calc.invalidate()
+
+    cts = ClockTreeSynthesizer(
+        design.netlist,
+        design.tier_libs,
+        TierPolicy.SINGLE,
+        frequency_ghz=design.frequency_ghz,
+    )
+    design.clock_report = cts.run()
+
+    # Post-CTS: one light cleanup round against propagated clocks, then a
+    # final power-driven area recovery ("the tool starts optimizing for
+    # power" once timing is met, Section IV-A2).
+    calc.invalidate()
+    optimize_timing(design, calc, max_iterations=max(2, opt_iterations // 4))
+    if recover:
+        recover_area(design, calc)
+    legalize_all_tiers(design)
+    calc.invalidate()
+
+    result = finalize_design(design, cost_model=cost_model)
+    return design, result

@@ -1,0 +1,328 @@
+"""Hetero-Pin-3D: the paper's heterogeneous monolithic 3-D flow.
+
+Section III's enhancements over plain Pin-3D, all implemented here:
+
+1. **Timing-based partitioning** (III-A1): after the pseudo-3-D stage
+   (12-track only -- the pseudo-3-D stage supports a single technology),
+   per-cell worst slacks pin the critical cells to the fast bottom die,
+   capped at 20-30% of cell area; bin-based FM min-cut handles the rest.
+2. **Technology remap + footprint shrink** (IV-A2): cells assigned to the
+   top tier are rebound to the 9-track library; with half the cell area
+   now 25% smaller, total cell area drops ~12.5% and the footprint is
+   rebuilt to maintain the target utilization.
+3. **Heterogeneous 3-D CTS** (III-A2): one clock tree across both tiers
+   (COVER-cell abstraction) with the PREFER_SLOW tier policy, yielding
+   the top-die-heavy, low-power clock network of Table VIII.
+4. **ECO repartitioning** (III-C, Algorithm 1): cells that real 3-D
+   timing shows to be too slow for the 9-track die are ECO-moved to the
+   12-track die, batch by batch, with undo on non-improvement.
+
+Each enhancement can be disabled independently, which is how the Table V
+ablation (Pin-3D vs Hetero-Pin-3D on the same heterogeneous stack) is
+produced.
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel
+from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
+from repro.flow.design import Design
+from repro.flow.levelshift import insert_level_shifters
+from repro.flow.opt import optimize_timing, recover_area
+from repro.flow.pin3d import apply_partition
+from repro.flow.report import FlowResult, finalize_design
+from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
+from repro.flow.synthesis import initial_sizing
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.generators import generate_netlist
+from repro.partition.bins import bin_fm_partition
+from repro.partition.repartition import (
+    RepartitionConfig,
+    RepartitionResult,
+    repartition_eco,
+)
+from repro.partition.timing_driven import timing_based_pinning
+from repro.place.floorplan import build_floorplan
+from repro.place.quadratic import global_place
+from repro.place.legalizer import row_capacity_um2
+from repro.timing.sta import run_sta, top_critical_paths
+
+__all__ = ["run_flow_hetero_3d"]
+
+FAST_TIER = 0  # bottom die, 12-track at 0.90 V
+SLOW_TIER = 1  # top die, 9-track at 0.81 V
+
+
+def _run_repartition(
+    design: Design,
+    config: RepartitionConfig,
+    fast_fill_cap: float = 0.93,
+) -> RepartitionResult:
+    """Wire Algorithm 1 to real STA, remap, and undo callbacks."""
+    calc = design.calculator(placed=True)
+    latencies = design.clock_latencies()
+
+    def analyze():
+        report = run_sta(
+            design.netlist,
+            calc,
+            design.target_period_ns,
+            latencies,
+            with_cell_slacks=False,
+        )
+        paths = top_critical_paths(
+            design.netlist, calc, report, config.n_paths, latencies
+        )
+        return report.wns_ns, report.tns_ns, paths
+
+    fast_capacity = (
+        row_capacity_um2(
+            design.floorplan, design.library_for_tier(FAST_TIER), FAST_TIER
+        )
+        * fast_fill_cap
+    )
+    fast_lib = design.library_for_tier(FAST_TIER)
+
+    def move_to_fast(cells: list[str]):
+        token = []
+        fast_used = design.netlist.cell_area_um2(
+            lambda i: i.tier == FAST_TIER and not i.cell.is_macro
+        )
+        for name in cells:
+            inst = design.netlist.instances[name]
+            if inst.cell.is_macro or inst.fixed:
+                continue
+            fast_cell = fast_lib.equivalent_of(inst.cell)
+            if fast_used + fast_cell.area_um2 > fast_capacity:
+                continue  # the fast die is out of legalizable room
+            fast_used += fast_cell.area_um2
+            token.append((name, inst.tier, inst.cell))
+            design.remap_instance_to_tier(name, FAST_TIER)
+            for _pin, net in inst.connected_pins():
+                calc.invalidate(net)
+        return token
+
+    def undo(token) -> None:
+        for name, tier, cell in token:
+            inst = design.netlist.instances[name]
+            inst.tier = tier
+            design.netlist.rebind(name, cell)
+            for _pin, net in inst.connected_pins():
+                calc.invalidate(net)
+
+    def tier_areas() -> tuple[float, float]:
+        slow = design.netlist.tier_area_um2(SLOW_TIER)
+        fast = design.netlist.tier_area_um2(FAST_TIER)
+        return slow, fast
+
+    return repartition_eco(
+        analyze, move_to_fast, undo, tier_areas, SLOW_TIER, config
+    )
+
+
+def run_flow_hetero_3d(
+    design_name: str,
+    fast_lib: StdCellLibrary,
+    slow_lib: StdCellLibrary,
+    *,
+    period_ns: float,
+    scale: float = 1.0,
+    seed: int = 0,
+    utilization: float = 0.82,
+    opt_iterations: int = 12,
+    recover: bool = True,
+    timing_partitioning: bool = True,
+    hetero_cts: bool = True,
+    repartition: bool = True,
+    pinning_area_cap: float = 0.25,
+    repartition_config: RepartitionConfig | None = None,
+    cost_model: CostModel | None = None,
+    allow_level_shifters: bool = False,
+) -> tuple[Design, FlowResult]:
+    """Implement one netlist as a 9+12-track heterogeneous M3D design.
+
+    ``fast_lib`` goes on the bottom tier, ``slow_lib`` on the top tier.
+    Disabling ``timing_partitioning``/``hetero_cts``/``repartition``
+    reproduces the plain Pin-3D baseline of Table V.
+
+    Library pairs violating the Section II-B voltage rule are rejected
+    unless ``allow_level_shifters`` is set, in which case every illegal
+    low-to-high crossing gets a level shifter -- the costly alternative
+    Section III-B argues against, kept here so the tradeoff is measurable
+    (see ``benchmarks/test_level_shifter_study.py``).
+    """
+    voltage_ok = fast_lib.voltage_compatible_with(slow_lib)
+    if not voltage_ok and not allow_level_shifters:
+        raise ValueError(
+            "library pair violates the V_DDH - V_DDL < 0.3*V_DDH rule; "
+            "level shifters would be required (Section III-B); pass "
+            "allow_level_shifters=True to insert them anyway"
+        )
+    netlist = generate_netlist(design_name, fast_lib, scale=scale, seed=seed)
+    design = Design(
+        name=design_name,
+        config="3D_HET",
+        netlist=netlist,
+        tier_libs={FAST_TIER: fast_lib, SLOW_TIER: slow_lib},
+        target_period_ns=period_ns,
+        utilization_target=utilization,
+    )
+    initial_sizing(design)
+
+    # Memory macros are corner-independent ("the same size in both
+    # technology variants"), so their tier is a free choice; alternating
+    # them over the two dies keeps the per-tier blockage balanced and
+    # leaves the fast die room for the critical logic that timing-based
+    # partitioning pins there.
+    for i, macro in enumerate(sorted(netlist.memory_macros(),
+                                     key=lambda m: m.name)):
+        macro.tier = (i + SLOW_TIER) % 2
+
+    # ---- pseudo-3-D stage (single technology: the fast library) -------
+    place_with_congestion_control(design, demand_scale=0.5, area_scale=0.5)
+    pseudo_fp = design.floorplan
+
+    pinned: dict[str, int] = {}
+    if timing_partitioning:
+        calc = design.calculator(placed=True)
+        report = run_sta(
+            design.netlist, calc, period_ns, with_cell_slacks=True
+        )
+        pinned = timing_based_pinning(
+            design.netlist,
+            report.cell_slack,
+            fast_tier=FAST_TIER,
+            area_cap_fraction=pinning_area_cap,
+            # Cells within 30% of the period of criticality compete for
+            # the fast die; padding the fast tier with mid-slack cells
+            # would only waste the area the ECO loop later needs.
+            slack_threshold_ns=0.30 * period_ns,
+        )
+        design.notes["pinned_cells"] = float(len(pinned))
+
+    # Balance with side-dependent areas: a cell moving to the top tier
+    # will shrink to its 9-track equivalent, so the partitioner measures
+    # each side in its own metric and both dies land at the same fill.
+    # Slightly more than half of the original 12-track area migrates to
+    # the 9-track die, shrinking total cell area by ~12-14% (Section IV-A2).
+    areas_fast = {
+        name: inst.area_um2 for name, inst in netlist.instances.items()
+    }
+    areas_slow = {
+        name: (
+            inst.area_um2
+            if inst.cell.is_macro
+            else slow_lib.equivalent_of(inst.cell).area_um2
+        )
+        for name, inst in netlist.instances.items()
+    }
+    assignment = bin_fm_partition(
+        netlist,
+        pseudo_fp.width_um,
+        pseudo_fp.height_um,
+        areas_fast,
+        areas_slow,
+        pinned=pinned,
+        seed=seed,
+    )
+    apply_partition(design, assignment)  # remaps top-tier cells to 9T
+
+    # ---- footprint shrink to maintain utilization ----------------------
+    # Per-tier demand now sizes the die: both tiers sit at the target
+    # utilization, and the footprint shrinks relative to homogeneous 3-D.
+    fp_util = design.notes.get("utilization_used", utilization)
+    if not voltage_ok:
+        # Reserve room for the level shifters (one per violating crossing
+        # plus the ones later ECO moves will need).
+        fp_util = fp_util * 0.85
+    new_fp = build_floorplan(
+        design.netlist,
+        design.tier_libs,
+        fp_util,
+    )
+    design.floorplan = new_fp
+    global_place(design.netlist, new_fp)
+    legalize_all_tiers(design)
+
+    if not voltage_ok:
+        ls_report = insert_level_shifters(design)
+        design.notes["level_shifters"] = float(ls_report.shifters_inserted)
+        legalize_all_tiers(design)
+
+    # ---- 3-D optimization ----------------------------------------------
+    # Pre-ECO optimization runs with a conservative fill bound: pushing a
+    # 9-track-limited path with brute-force upsizing would fill the fast
+    # die and leave the repartitioning loop nowhere to move cells.  When
+    # level shifters will be inserted later, every sizing pass keeps
+    # additional headroom for them.
+    flow_fill = 0.93 if voltage_ok else 0.84
+    pre_eco_fill = min(0.86, flow_fill) if repartition else (
+        None if voltage_ok else flow_fill
+    )
+    calc = design.calculator(placed=True)
+    optimize_timing(
+        design,
+        calc,
+        max_iterations=opt_iterations,
+        **({"max_fill": pre_eco_fill} if pre_eco_fill else {}),
+    )
+    if recover:
+        recover_area(design, calc)
+    legalize_all_tiers(design)
+    calc.invalidate()
+
+    # ---- heterogeneous clock tree ---------------------------------------
+    policy = TierPolicy.PREFER_SLOW if hetero_cts else TierPolicy.MAJORITY
+    cts = ClockTreeSynthesizer(
+        design.netlist,
+        design.tier_libs,
+        policy,
+        frequency_ghz=design.frequency_ghz,
+        slow_tier=SLOW_TIER,
+    )
+    design.clock_report = cts.run()
+    calc.invalidate()
+    optimize_timing(
+        design,
+        calc,
+        max_iterations=max(2, opt_iterations // 4),
+        **({"max_fill": pre_eco_fill} if pre_eco_fill else {}),
+    )
+
+    # ---- ECO repartitioning (Algorithm 1) -------------------------------
+    if repartition:
+        config = repartition_config or RepartitionConfig(
+            wns_target_ns=-0.02 * period_ns
+        )
+        eco = _run_repartition(design, config, fast_fill_cap=flow_fill)
+        design.notes["eco_cells_moved"] = float(len(eco.cells_moved))
+        design.notes["eco_batches_accepted"] = float(eco.batches_accepted)
+        design.notes["eco_batches_rejected"] = float(eco.batches_rejected)
+        design.notes["eco_stop"] = eco.stop_reason
+        if eco.cells_moved:
+            # The moved cells disturbed row legality; restore it before
+            # the final sizing pass so it optimizes real parasitics.
+            legalize_all_tiers(design)
+            calc.invalidate()
+            if recover:
+                recover_area(design, calc)
+            optimize_timing(
+                design,
+                calc,
+                max_iterations=max(4, opt_iterations // 3),
+                max_fill=flow_fill,
+            )
+
+    if not voltage_ok:
+        # Optimization and ECO moves may have created fresh low-to-high
+        # crossings; shift them too before signoff.
+        extra = insert_level_shifters(design)
+        design.notes["level_shifters"] = (
+            design.notes.get("level_shifters", 0.0) + extra.shifters_inserted
+        )
+
+    legalize_all_tiers(design)
+    calc.invalidate()
+
+    result = finalize_design(design, cost_model=cost_model)
+    return design, result

@@ -1,0 +1,125 @@
+"""Homogeneous Pin-3D flow (the baseline of reference [5]).
+
+Pseudo-3-D stage: the whole netlist is implemented "2-D style" on the
+3-D footprint (half the 2-D area) with cells logically shrunk to half
+area so they all fit -- the Shrunk-2D abstraction Pin-3D builds on.
+Tier assignment then runs placement-driven bin-based FM min-cut with
+area balancing, both tiers are legalized at full cell size, and the 3-D
+database is optimized with full-chip timing (our optimizer sees both
+tiers at once, which is exactly the Pin-3D advantage over die-by-die
+flows).
+
+The published Pin-3D has no 3-D clock stage; ``run_flow_pin3d`` therefore
+defaults to the MAJORITY-tier clock policy without the heterogeneous
+enhancements, and the hetero flow (:mod:`repro.flow.hetero`) adds the
+paper's Section III improvements on top.
+"""
+
+from __future__ import annotations
+
+from repro.cost.model import CostModel
+from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
+from repro.flow.design import Design
+from repro.flow.opt import optimize_timing, recover_area
+from repro.flow.report import FlowResult, finalize_design
+from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
+from repro.flow.synthesis import initial_sizing
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.generators import generate_netlist
+from repro.partition.bins import bin_fm_partition
+from repro.place.floorplan import build_floorplan
+from repro.place.quadratic import global_place
+
+__all__ = ["run_flow_pin3d", "apply_partition"]
+
+
+def apply_partition(design: Design, assignment: dict[str, int]) -> None:
+    """Move every instance to its assigned tier (remapping if needed)."""
+    for name, tier in assignment.items():
+        design.remap_instance_to_tier(name, tier)
+
+
+def run_flow_pin3d(
+    design_name: str,
+    lib: StdCellLibrary,
+    *,
+    period_ns: float,
+    scale: float = 1.0,
+    seed: int = 0,
+    utilization: float = 0.82,
+    opt_iterations: int = 12,
+    recover: bool = True,
+    cost_model: CostModel | None = None,
+) -> tuple[Design, FlowResult]:
+    """Implement one netlist as a homogeneous two-tier M3D design."""
+    netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
+    design = Design(
+        name=design_name,
+        config=f"3D_{lib.tracks}T",
+        netlist=netlist,
+        tier_libs={0: lib, 1: lib},
+        target_period_ns=period_ns,
+        utilization_target=utilization,
+    )
+    initial_sizing(design)
+
+    # Memory macros alternate over the tiers so blockage stays balanced
+    # (memory-over-logic stacking).
+    for i, macro in enumerate(sorted(netlist.memory_macros(),
+                                     key=lambda m: m.name)):
+        macro.tier = i % 2
+
+    # Pseudo-3-D stage: everything on one half-size footprint.
+    place_with_congestion_control(design, demand_scale=0.5, area_scale=0.5)
+    fp = design.floorplan
+    areas = {
+        name: inst.area_um2
+        for name, inst in netlist.instances.items()
+    }
+    assignment = bin_fm_partition(
+        netlist,
+        fp.width_um,
+        fp.height_um,
+        areas,
+        areas,
+        seed=seed,
+    )
+    apply_partition(design, assignment)
+
+    # Re-floorplan from real per-tier demand (the macro tier may need a
+    # different outline than the pseudo-3-D estimate) and re-place on the
+    # final outline before per-tier legalization.
+    fp3d = build_floorplan(
+        netlist,
+        design.tier_libs,
+        design.notes.get("utilization_used", utilization),
+    )
+    design.floorplan = fp3d
+    global_place(netlist, fp3d)
+    legalize_all_tiers(design)
+
+    # 3-D stage: full-chip timing optimization across both tiers.
+    calc = design.calculator(placed=True)
+    optimize_timing(design, calc, max_iterations=opt_iterations)
+    if recover:
+        recover_area(design, calc)
+    legalize_all_tiers(design)
+    calc.invalidate()
+
+    cts = ClockTreeSynthesizer(
+        design.netlist,
+        design.tier_libs,
+        TierPolicy.MAJORITY,
+        frequency_ghz=design.frequency_ghz,
+        slow_tier=1,
+    )
+    design.clock_report = cts.run()
+    calc.invalidate()
+    optimize_timing(design, calc, max_iterations=max(2, opt_iterations // 4))
+    if recover:
+        recover_area(design, calc)
+    legalize_all_tiers(design)
+    calc.invalidate()
+
+    result = finalize_design(design, cost_model=cost_model)
+    return design, result

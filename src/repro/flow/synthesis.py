@@ -1,0 +1,197 @@
+"""Synthesis stand-in: netlist generation, initial sizing, max-frequency sweep.
+
+The paper synthesizes each RTL in the target technology "for better PPA"
+(Section IV-A2).  Our generators emit technology-bound netlists directly,
+so this module covers the rest of what synthesis does:
+
+- **initial sizing** with a wire-load model: drivers are sized so their
+  output load stays under a per-drive budget, then a few timing-driven
+  sizing rounds run against the fanout wire model (pre-placement);
+- **max-frequency search**: the binary sweep the paper applies to the
+  12-track 2-D implementation, accepting a period when WNS lands in the
+  "slightly negative" band (|WNS| <= ~5-7% of the period).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.flow.design import Design
+from repro.flow.opt import optimize_timing
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.core import Netlist
+from repro.timing.delaycalc import DelayCalculator, FanoutWireModel
+from repro.timing.sta import run_sta
+
+__all__ = ["initial_sizing", "fix_drv_violations", "find_max_frequency"]
+
+#: Load budget per unit drive (fF): a x1 gate should not see more.
+LOAD_BUDGET_PER_DRIVE_FF = 6.0
+
+#: Slew-derived max-load rule: a driver may see at most this many fF times
+#: the inverse of its library's x1 inverter resistance (kOhm).  Slower
+#: libraries therefore get proportionally stricter limits -- the root of
+#: the 9-track "over-correction" (Section IV-B2): meeting design rules in
+#: a slow library at a fast target demands far more buffering.
+DRV_LOAD_BUDGET = 140.0
+
+
+def max_drv_load_ff(lib: StdCellLibrary) -> float:
+    """Library max-capacitance design rule derived from its x1 inverter."""
+    from repro.liberty.cells import CellFunction
+
+    inv = lib.get(CellFunction.INV, 1)
+    mid_slew = inv.worst_arc_to_output().delay.slew_axis[2]
+    # effective drive resistance from the delay slope (kOhm)
+    d_lo = inv.worst_arc_to_output().delay.lookup(mid_slew, 1.0)
+    d_hi = inv.worst_arc_to_output().delay.lookup(mid_slew, 11.0)
+    r_kohm = (d_hi - d_lo) / 10.0 * 1e3
+    return DRV_LOAD_BUDGET / max(r_kohm, 1e-6)
+
+
+def fix_drv_violations(design: Design, *, passes: int = 2) -> int:
+    """Buffer nets whose load exceeds the library max-cap rule.
+
+    Sinks of an over-loaded net are split behind BUF x4 repeaters until
+    every driver sees a legal load.  Runs pre-placement (buffers are
+    placed by the global placer along with everything else).  Returns the
+    number of buffers added.
+    """
+    from repro.liberty.cells import CellFunction
+
+    netlist = design.netlist
+    libs = design.libraries_by_name()
+    added = 0
+    for _ in range(passes):
+        pass_added = 0
+        for net_name in list(netlist.nets):
+            net = netlist.nets[net_name]
+            if net.is_clock or net.driver is None:
+                continue
+            driver = netlist.instances[net.driver[0]]
+            lib = libs[driver.cell.library_name]
+            limit = max_drv_load_ff(lib)
+            load = sum(
+                netlist.instances[s].cell.input_capacitance_ff(p)
+                for s, p in net.sinks
+            )
+            if load <= limit or len(net.sinks) < 2:
+                continue
+            groups = max(2, int(load / limit) + 1)
+            buf_cell = lib.get(CellFunction.BUF, 4)
+            sinks = list(net.sinks)
+            chunk = (len(sinks) + groups - 1) // groups
+            for g in range(groups):
+                part = sinks[g * chunk : (g + 1) * chunk]
+                if not part:
+                    continue
+                buf_name = netlist.unique_name("drvbuf")
+                buf = netlist.add_instance(
+                    buf_name, buf_cell, block=driver.block
+                )
+                buf.tier = driver.tier
+                if driver.is_placed:
+                    buf.x_um, buf.y_um = driver.x_um, driver.y_um
+                new_net = netlist.add_net(netlist.unique_name("drvnet"))
+                netlist.connect(net_name, buf_name, "A")
+                netlist.connect(new_net.name, buf_name, "Y")
+                for s, p in part:
+                    netlist.disconnect(s, p)
+                    netlist.connect(new_net.name, s, p)
+                pass_added += 1
+        added += pass_added
+        if pass_added == 0:
+            break
+    return added
+
+
+def initial_sizing(design: Design, *, timing_rounds: int = 6) -> int:
+    """Size gates against the wire-load model; returns cells resized.
+
+    Three synthesis-style passes: a load-driven sizing pass (every driver
+    gets the smallest drive whose budget covers its load), a
+    design-rule-violation buffering pass, then a few rounds of the shared
+    timing optimizer running on fanout-model parasitics.
+    """
+    netlist = design.netlist
+    lib = design.reference_library()
+    calc = DelayCalculator(
+        netlist, FanoutWireModel(lib), design.libraries_by_name()
+    )
+    resized = 0
+    for inst in list(netlist.instances.values()):
+        if inst.cell.is_macro or inst.fixed:
+            continue
+        load = calc.output_load_ff(inst, inst.cell.output_pin)
+        inst_lib = design.libraries_by_name()[inst.cell.library_name]
+        drives = inst_lib.drives_for(inst.cell.function)
+        want = next(
+            (d for d in drives if d * LOAD_BUDGET_PER_DRIVE_FF >= load),
+            drives[-1],
+        )
+        if want != inst.cell.drive:
+            netlist.rebind(inst.name, inst_lib.get(inst.cell.function, want))
+            resized += 1
+    fix_drv_violations(design)
+    calc.invalidate()
+    optimize_timing(design, calc, max_iterations=timing_rounds)
+    return resized
+
+
+def find_max_frequency(
+    flow: Callable[[float], tuple[float, float]],
+    *,
+    lo_period_ns: float = 0.20,
+    hi_period_ns: float = 3.0,
+    wns_band: tuple[float, float] = (-0.07, -0.0),
+    iterations: int = 7,
+) -> float:
+    """Binary-search the smallest period the flow can close.
+
+    ``flow(period)`` must return ``(wns, period)`` for an implementation
+    at that target.  A period *passes* when ``wns >= wns_band[0] * period``
+    (the paper's 5-7% tolerance).  Returns the smallest passing period.
+    """
+    lo, hi = lo_period_ns, hi_period_ns
+    best = hi
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        wns, _ = flow(mid)
+        if wns >= wns_band[0] * mid:
+            best = mid
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < 0.01:
+            break
+    return best
+
+
+def quick_max_frequency(
+    netlist: Netlist,
+    design: Design,
+    calc: DelayCalculator,
+    *,
+    wns_tolerance: float = 0.06,
+    iterations: int = 8,
+    lo_period_ns: float = 0.15,
+    hi_period_ns: float = 4.0,
+) -> float:
+    """Cheap period search on a *fixed* implementation (STA only).
+
+    Used to seed the full sweep: re-running only STA at each candidate
+    period gives a lower bound on the closable period without repeating
+    placement and optimization.
+    """
+    latencies = design.clock_latencies()
+    lo, hi = lo_period_ns, hi_period_ns
+    best = hi
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        report = run_sta(netlist, calc, mid, latencies, with_cell_slacks=False)
+        if report.wns_ns >= -wns_tolerance * mid:
+            best = mid
+            hi = mid
+        else:
+            lo = mid
+    return best

@@ -1,0 +1,6 @@
+"""Interchange formats: DEF-like layout and Liberty-like library dumps."""
+
+from repro.io.def_writer import read_def, write_def
+from repro.io.liberty_writer import write_liberty
+
+__all__ = ["read_def", "write_def", "write_liberty"]

@@ -1,0 +1,178 @@
+"""DEF-like layout writer/reader.
+
+A compact subset of the Design Exchange Format carrying what our flows
+produce: the die area, per-tier rows, component placements (with a
+``+ TIER`` extension for monolithic 3-D), and net connectivity.  Enough
+for layouts to be inspected, diffed, and reloaded; not a full LEF/DEF
+implementation.
+
+Units: DEF convention of integer database units; we use 1000 DBU = 1 um.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.flow.design import Design
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.core import Netlist, PortDirection
+from repro.place.floorplan import Floorplan
+
+__all__ = ["write_def", "read_def"]
+
+#: Database units per micron.
+DBU = 1000
+
+
+def _dbu(value_um: float) -> int:
+    return int(round(value_um * DBU))
+
+
+def write_def(design: Design) -> str:
+    """Serialize a placed design to DEF-like text."""
+    fp = design.floorplan
+    if fp is None:
+        raise NetlistError("design must be floorplanned before DEF export")
+    netlist = design.netlist
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {netlist.name} ;",
+        f"UNITS DISTANCE MICRONS {DBU} ;",
+        f"DIEAREA ( 0 0 ) ( {_dbu(fp.width_um)} {_dbu(fp.height_um)} ) ;",
+    ]
+
+    for tier, lib in sorted(design.tier_libs.items()):
+        pitch = lib.cell_height_um
+        n_rows = int(fp.height_um / pitch)
+        lines.append(
+            f"# TIER {tier} LIB {lib.name} ROWS {n_rows} PITCH {_dbu(pitch)}"
+        )
+
+    comps = sorted(netlist.instances)
+    lines.append(f"COMPONENTS {len(comps)} ;")
+    for name in comps:
+        inst = netlist.instances[name]
+        state = "FIXED" if inst.fixed else "PLACED"
+        if inst.is_placed:
+            where = f"{state} ( {_dbu(inst.x_um)} {_dbu(inst.y_um)} ) N"
+        else:
+            where = "UNPLACED"
+        lines.append(
+            f"- {name} {inst.cell.name} + {where} + TIER {inst.tier} ;"
+        )
+    lines.append("END COMPONENTS")
+
+    pins = sorted(netlist.ports)
+    lines.append(f"PINS {len(pins)} ;")
+    for name in pins:
+        direction = netlist.ports[name]
+        kw = "INPUT" if direction is PortDirection.INPUT else "OUTPUT"
+        lines.append(f"- {name} + DIRECTION {kw} ;")
+    lines.append("END PINS")
+
+    nets = sorted(netlist.nets)
+    lines.append(f"NETS {len(nets)} ;")
+    for name in nets:
+        net = netlist.nets[name]
+        terms = []
+        if net.driver is not None:
+            terms.append(f"( {net.driver[0]} {net.driver[1]} )")
+        elif name in netlist.ports:
+            terms.append(f"( PIN {name} )")
+        terms.extend(f"( {s} {p} )" for s, p in net.sinks)
+        lines.append(f"- {name} {' '.join(terms)} ;")
+    lines.append("END NETS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def read_def(
+    text: str,
+    libraries: dict[str, StdCellLibrary],
+) -> Netlist:
+    """Parse DEF-like text produced by :func:`write_def` into a netlist.
+
+    The floorplan itself is not reconstructed (rebuild it with
+    :func:`repro.place.floorplan.build_floorplan` if needed); instance
+    placements, tiers, cells and connectivity round-trip exactly.
+    """
+    cell_lookup = {}
+    for lib in libraries.values():
+        for cell in lib.cells:
+            cell_lookup[cell.name] = cell
+
+    lines = [ln.strip() for ln in text.splitlines()]
+    name = None
+    for ln in lines:
+        if ln.startswith("DESIGN "):
+            name = ln.split()[1]
+            break
+    if name is None:
+        raise NetlistError("no DESIGN statement found")
+    netlist = Netlist(name)
+
+    section = None
+    pending_nets: list[tuple[str, list[tuple[str, str]]]] = []
+    for ln in lines:
+        if ln.startswith("COMPONENTS"):
+            section = "components"
+            continue
+        if ln.startswith("PINS"):
+            section = "pins"
+            continue
+        if ln.startswith("NETS"):
+            section = "nets"
+            continue
+        if ln.startswith("END "):
+            section = None
+            continue
+        if not ln.startswith("- "):
+            continue
+        body = ln[2:].rstrip(" ;")
+        if section == "components":
+            parts = body.split(" + ")
+            comp_name, cell_name = parts[0].split()
+            cell = cell_lookup.get(cell_name)
+            if cell is None:
+                raise NetlistError(f"unknown cell {cell_name!r}")
+            inst = netlist.add_instance(comp_name, cell)
+            for extra in parts[1:]:
+                tokens = extra.split()
+                if tokens[0] in ("PLACED", "FIXED"):
+                    inst.x_um = int(tokens[2]) / DBU
+                    inst.y_um = int(tokens[3]) / DBU
+                    inst.fixed = tokens[0] == "FIXED"
+                elif tokens[0] == "TIER":
+                    inst.tier = int(tokens[1])
+        elif section == "pins":
+            parts = body.split(" + ")
+            pin_name = parts[0].strip()
+            direction = PortDirection.INPUT
+            for extra in parts[1:]:
+                tokens = extra.split()
+                if tokens[0] == "DIRECTION" and tokens[1] == "OUTPUT":
+                    direction = PortDirection.OUTPUT
+            netlist.add_port(
+                pin_name, direction, is_clock=(pin_name == "clk")
+            )
+        elif section == "nets":
+            tokens = body.split()
+            net_name = tokens[0]
+            terms: list[tuple[str, str]] = []
+            i = 1
+            while i < len(tokens):
+                if tokens[i] == "(":
+                    terms.append((tokens[i + 1], tokens[i + 2]))
+                    i += 4
+                else:
+                    i += 1
+            pending_nets.append((net_name, terms))
+
+    for net_name, terms in pending_nets:
+        if net_name not in netlist.nets:
+            netlist.add_net(net_name)
+        for owner, pin in terms:
+            if owner == "PIN":
+                continue  # the port connection is implicit in our model
+            netlist.connect(net_name, owner, pin)
+    netlist.validate()
+    return netlist

@@ -1,0 +1,89 @@
+"""Liberty-like library dump.
+
+Writes a :class:`~repro.liberty.library.StdCellLibrary` in a ``.lib``-
+flavoured text format -- cell groups with area/pin/arc blocks and the
+NLDM tables as ``values`` matrices -- so the synthesized technology can
+be inspected and diffed the way a foundry deck would be.  This is an
+export format only (the package constructs libraries in code).
+"""
+
+from __future__ import annotations
+
+from repro.liberty.cells import CellType
+from repro.liberty.library import StdCellLibrary
+
+__all__ = ["write_liberty"]
+
+
+def _format_axis(values: tuple[float, ...]) -> str:
+    return ", ".join(f"{v:g}" for v in values)
+
+
+def _format_table(values) -> list[str]:
+    lines = []
+    for row in values:
+        lines.append("        \"" + ", ".join(f"{v:.6f}" for v in row) + "\",")
+    return lines
+
+
+def _cell_block(cell: CellType) -> list[str]:
+    lines = [f"  cell ({cell.name}) {{"]
+    lines.append(f"    area : {cell.area_um2:.4f};")
+    lines.append(f"    /* drive x{cell.drive}, {cell.function.value}, "
+                 f"vdd {cell.vdd_v:g} V */")
+    lines.append(f"    cell_leakage_power : {cell.leakage_mw * 1e6:.4f}; /* nW */")
+    if cell.is_sequential:
+        lines.append(f"    ff (IQ) {{ clocked_on : CK; next_state : D; }}")
+
+    for pin_name, spec in sorted(cell.pins.items()):
+        lines.append(f"    pin ({pin_name}) {{")
+        if spec.direction == "output":
+            lines.append("      direction : output;")
+            for arc in cell.arcs:
+                if arc.to_pin != pin_name or arc.kind == "setup":
+                    continue
+                lines.append(f"      timing () {{")
+                lines.append(f"        related_pin : \"{arc.from_pin}\";")
+                if arc.kind == "clk_to_q":
+                    lines.append("        timing_type : rising_edge;")
+                lines.append("        cell_rise (delay_template) {")
+                lines.append(
+                    f"          index_1 (\"{_format_axis(arc.delay.slew_axis)}\");"
+                )
+                lines.append(
+                    f"          index_2 (\"{_format_axis(arc.delay.load_axis)}\");"
+                )
+                lines.append("          values ( \\")
+                lines.extend("    " + ln for ln in _format_table(arc.delay.values))
+                lines.append("          );")
+                lines.append("        }")
+                lines.append("      }")
+        else:
+            direction = "input" if spec.direction == "input" else "input /* clock */"
+            lines.append(f"      direction : {direction};")
+            lines.append(f"      capacitance : {spec.capacitance_ff:.4f};")
+            if spec.direction == "clock":
+                lines.append("      clock : true;")
+        lines.append("    }")
+    lines.append("  }")
+    return lines
+
+
+def write_liberty(lib: StdCellLibrary) -> str:
+    """Serialize a library to Liberty-flavoured text."""
+    lines = [
+        f"library ({lib.name}) {{",
+        "  delay_model : table_lookup;",
+        "  time_unit : \"1ns\";",
+        "  capacitive_load_unit (1, ff);",
+        f"  nom_voltage : {lib.vdd_v:g};",
+        f"  /* tracks: {lib.tracks}, vth: {lib.vth_v:g} V, "
+        f"row height: {lib.cell_height_um:g} um */",
+        f"  /* BEOL: {lib.wire_r_kohm_per_um:g} kOhm/um, "
+        f"{lib.wire_c_ff_per_um:g} fF/um; "
+        f"MIV: {lib.miv_r_kohm:g} kOhm, {lib.miv_c_ff:g} fF */",
+    ]
+    for cell in sorted(lib.cells, key=lambda c: c.name):
+        lines.extend(_cell_block(cell))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,37 @@
+"""Technology library modeling.
+
+This subpackage stands in for the commercial foundry 28 nm PDK used by the
+paper.  It provides:
+
+- :mod:`repro.liberty.timing_model` -- NLDM-style lookup tables with
+  bilinear interpolation, the same abstraction commercial ``.lib`` files use.
+- :mod:`repro.liberty.cells` -- cell archetypes (function, drive strength,
+  pins, timing arcs).
+- :mod:`repro.liberty.library` -- the :class:`StdCellLibrary` container and
+  cross-library remapping.
+- :mod:`repro.liberty.presets` -- the 9-track and 12-track 28 nm library
+  pair the paper evaluates (Section IV-A).
+- :mod:`repro.liberty.spice` -- an analytical CMOS stage simulator used for
+  the FO-4 boundary-cell experiments (Tables II and III).
+"""
+
+from repro.liberty.cells import CellFunction, CellType, PinSpec, TimingArc
+from repro.liberty.library import StdCellLibrary
+from repro.liberty.presets import (
+    make_library_pair,
+    make_nine_track_library,
+    make_twelve_track_library,
+)
+from repro.liberty.timing_model import TimingTable
+
+__all__ = [
+    "CellFunction",
+    "CellType",
+    "PinSpec",
+    "TimingArc",
+    "StdCellLibrary",
+    "TimingTable",
+    "make_library_pair",
+    "make_nine_track_library",
+    "make_twelve_track_library",
+]

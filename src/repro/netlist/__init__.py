@@ -1,0 +1,24 @@
+"""Design database: instances, nets, netlist graph, generators, Verilog I/O."""
+
+from repro.netlist.core import Instance, Net, Netlist, PortDirection
+from repro.netlist.generators import (
+    NetlistSpec,
+    generate_aes,
+    generate_cpu,
+    generate_ldpc,
+    generate_netcard,
+    generate_netlist,
+)
+
+__all__ = [
+    "Instance",
+    "Net",
+    "Netlist",
+    "PortDirection",
+    "NetlistSpec",
+    "generate_aes",
+    "generate_cpu",
+    "generate_ldpc",
+    "generate_netcard",
+    "generate_netlist",
+]

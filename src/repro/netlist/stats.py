@@ -1,0 +1,88 @@
+"""Netlist statistics: the topology fingerprints the generators target.
+
+The evaluation differentiates the four RTLs by their wiring character
+(AES cell-dominant, LDPC wire-dominant with global nets, ...); these
+statistics make that character measurable so the generator tests can pin
+it down instead of trusting adjectives.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.netlist.core import Netlist
+
+__all__ = ["NetlistStats", "compute_stats", "logic_depth_histogram"]
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Topology fingerprint of one netlist."""
+
+    instances: int
+    nets: int
+    sequential: int
+    macros: int
+    cell_area_um2: float
+    mean_fanout: float
+    max_fanout: int
+    pins_per_net: float
+    max_logic_depth: int
+    mean_logic_depth: float
+
+    @property
+    def wire_per_gate(self) -> float:
+        """Pins per net scaled by net count per instance: wiring pressure."""
+        if self.instances == 0:
+            return 0.0
+        return self.pins_per_net * self.nets / self.instances
+
+
+def logic_depth_histogram(netlist: Netlist) -> dict[int, int]:
+    """Depth (in gates from any sequential/primary source) per comb cell."""
+    depth: dict[str, int] = {}
+    for inst in netlist.topological_order():
+        best = 0
+        for pin in inst.cell.input_pins:
+            net_name = inst.net_of(pin)
+            if net_name is None:
+                continue
+            driver = netlist.driver_instance(netlist.nets[net_name])
+            if driver is None or driver.cell.is_sequential:
+                continue
+            best = max(best, depth.get(driver.name, 0))
+        depth[inst.name] = best + 1
+    histogram: Counter[int] = Counter(depth.values())
+    return dict(sorted(histogram.items()))
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Measure the fingerprint of one netlist."""
+    fanouts = [
+        net.fanout for net in netlist.nets.values() if not net.is_clock
+    ]
+    pin_counts = [
+        net.fanout + (1 if net.driver else 0)
+        for net in netlist.nets.values()
+        if not net.is_clock
+    ]
+    histogram = logic_depth_histogram(netlist)
+    total_cells = sum(histogram.values())
+    mean_depth = (
+        sum(d * c for d, c in histogram.items()) / total_cells
+        if total_cells
+        else 0.0
+    )
+    return NetlistStats(
+        instances=len(netlist.instances),
+        nets=len(netlist.nets),
+        sequential=len(netlist.sequential_instances()),
+        macros=len(netlist.memory_macros()),
+        cell_area_um2=netlist.cell_area_um2(),
+        mean_fanout=sum(fanouts) / len(fanouts) if fanouts else 0.0,
+        max_fanout=max(fanouts) if fanouts else 0,
+        pins_per_net=sum(pin_counts) / len(pin_counts) if pin_counts else 0.0,
+        max_logic_depth=max(histogram) if histogram else 0,
+        mean_logic_depth=mean_depth,
+    )

@@ -1,0 +1,148 @@
+"""Structural Verilog writer and reader.
+
+The flows operate on the in-memory :class:`~repro.netlist.core.Netlist`,
+but a physical-design repository needs an interchange format: this module
+writes a gate-level structural Verilog module (one instance per cell,
+named port connections) and reads it back, so designs can be inspected,
+diffed, and round-tripped through external tools.
+
+Tier and placement are design data, not netlist data, so they travel in
+structured ``// pragma repro`` comments that the reader understands and
+other tools ignore.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NetlistError
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.core import Netlist, PortDirection
+
+__all__ = ["write_verilog", "read_verilog"]
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def _escape(name: str) -> str:
+    """Escape a name into a legal Verilog identifier."""
+    if _IDENT.match(name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a netlist to structural Verilog text."""
+    lines: list[str] = []
+    ports = sorted(netlist.ports)
+    lines.append(f"module {_escape(netlist.name)} (")
+    lines.append("  " + ",\n  ".join(_escape(p) for p in ports))
+    lines.append(");")
+    for port in ports:
+        direction = netlist.ports[port]
+        kw = "input" if direction is PortDirection.INPUT else "output"
+        lines.append(f"  {kw} {_escape(port)};")
+
+    wires = sorted(n for n in netlist.nets if n not in netlist.ports)
+    for wire in wires:
+        lines.append(f"  wire {_escape(wire)};")
+
+    for name in sorted(netlist.instances):
+        inst = netlist.instances[name]
+        conns = ", ".join(
+            f".{pin}({_escape(net)})" for pin, net in sorted(inst.connected_pins())
+        )
+        lines.append(f"  {inst.cell.name} {_escape(name)} ({conns});")
+        meta = [f"tier={inst.tier}"]
+        if inst.block:
+            meta.append(f"block={inst.block}")
+        if inst.is_placed:
+            meta.append(f"xy={inst.x_um:.4f},{inst.y_um:.4f}")
+        if inst.fixed:
+            meta.append("fixed=1")
+        lines.append(f"  // pragma repro {_escape(name)} {' '.join(meta)}")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_PRAGMA = re.compile(r"^\s*// pragma repro (\S+) (.*)$")
+_INSTANCE = re.compile(r"^\s*(\S+)\s+(\S+)\s+\((.*)\);$")
+_CONN = re.compile(r"\.([A-Za-z0-9_]+)\(([^)]+)\)")
+
+
+def read_verilog(
+    text: str,
+    libraries: dict[str, StdCellLibrary],
+) -> Netlist:
+    """Parse structural Verilog produced by :func:`write_verilog`.
+
+    ``libraries`` supplies the cell definitions; every referenced cell
+    name must resolve in exactly one of them.  The reader understands the
+    writer's pragma comments and restores tier/placement/block state, so
+    ``read_verilog(write_verilog(n), libs)`` is a full round trip.
+    """
+    cell_lookup: dict[str, object] = {}
+    for lib in libraries.values():
+        for cell in lib.cells:
+            cell_lookup[cell.name] = cell
+
+    module_match = re.search(r"module\s+(\S+)\s*\(", text)
+    if not module_match:
+        raise NetlistError("no module declaration found")
+    netlist = Netlist(module_match.group(1).rstrip())
+
+    clock_candidates: set[str] = set()
+    pragmas: dict[str, dict[str, str]] = {}
+    body = text[module_match.end():]
+
+    # Declarations first: ports then wires.
+    for kw, name in re.findall(r"^\s*(input|output)\s+(\S+);$", body, re.M):
+        direction = (
+            PortDirection.INPUT if kw == "input" else PortDirection.OUTPUT
+        )
+        is_clock = name == "clk"
+        netlist.add_port(name, direction, is_clock=is_clock)
+        if is_clock:
+            clock_candidates.add(name)
+    for name in re.findall(r"^\s*wire\s+(\S+);$", body, re.M):
+        netlist.add_net(name)
+
+    for line in body.splitlines():
+        pragma = _PRAGMA.match(line)
+        if pragma:
+            inst_name, rest = pragma.groups()
+            meta = dict(
+                item.split("=", 1) for item in rest.split() if "=" in item
+            )
+            pragmas[inst_name.rstrip()] = meta
+            continue
+        if line.strip().startswith(("module", "input", "output", "wire", ")", "endmodule", "//")):
+            continue
+        m = _INSTANCE.match(line)
+        if not m:
+            continue
+        cell_name, inst_name, conn_text = m.groups()
+        cell = cell_lookup.get(cell_name)
+        if cell is None:
+            raise NetlistError(f"unknown cell {cell_name!r}")
+        inst = netlist.add_instance(inst_name, cell)
+        for pin, net in _CONN.findall(conn_text):
+            netlist.connect(net.strip().rstrip("\\ ").strip(), inst.name, pin)
+
+    for inst_name, meta in pragmas.items():
+        inst = netlist.instances.get(inst_name)
+        if inst is None:
+            continue
+        if "tier" in meta:
+            inst.tier = int(meta["tier"])
+        if "block" in meta:
+            inst.block = meta["block"]
+        if "xy" in meta:
+            x, y = meta["xy"].split(",")
+            inst.x_um = float(x)
+            inst.y_um = float(y)
+        if meta.get("fixed") == "1":
+            inst.fixed = True
+
+    netlist.validate()
+    return netlist

@@ -1,0 +1,16 @@
+"""Tier partitioning: FM min-cut, bin-based FM, timing-driven, ECO."""
+
+from repro.partition.fm import FMResult, fm_bipartition
+from repro.partition.bins import bin_fm_partition
+from repro.partition.timing_driven import timing_based_pinning
+from repro.partition.repartition import RepartitionConfig, RepartitionResult, repartition_eco
+
+__all__ = [
+    "FMResult",
+    "fm_bipartition",
+    "bin_fm_partition",
+    "timing_based_pinning",
+    "RepartitionConfig",
+    "RepartitionResult",
+    "repartition_eco",
+]

@@ -1,0 +1,12 @@
+"""Power delivery network analysis (the paper's Section V future work)."""
+
+from repro.pdn.analysis import PdnReport, TierPdnReport, analyze_pdn
+from repro.pdn.grid import PdnConfig, solve_ir_drop
+
+__all__ = [
+    "PdnConfig",
+    "PdnReport",
+    "TierPdnReport",
+    "analyze_pdn",
+    "solve_ir_drop",
+]

@@ -1,0 +1,139 @@
+"""Resistive power-grid model and IR-drop solver.
+
+Section V: "the current research is done with ideal power delivery, and a
+thorough study of the power delivery networks for heterogeneous 3-D ICs
+is required".  This module supplies that study's substrate: each tier's
+power grid is a uniform resistive mesh over a bin grid; the bottom tier
+is fed from C4 bumps along the die periphery, and the *top tier is fed
+only through power vias from the bottom tier* -- the defining PDN
+challenge of monolithic stacking, since every milliamp the top die draws
+must first cross the bottom die's grid and the inter-tier vias.
+
+The solve is a standard nodal analysis: a Laplacian over the mesh nodes
+with Dirichlet pads, one sparse factorization per analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.errors import FlowError
+
+__all__ = ["PdnConfig", "solve_ir_drop"]
+
+
+@dataclass(frozen=True)
+class PdnConfig:
+    """Electrical parameters of the power delivery network.
+
+    ``grid_r_ohm`` is the mesh resistance between adjacent bin nodes of
+    one tier (it lumps the rail/strap stack over one bin pitch);
+    ``via_r_ohm`` is the total resistance of the power-via bundle
+    connecting one top-tier node down to the node below it; ``pad_r_ohm``
+    connects periphery nodes of the bottom tier to the ideal supply.
+    """
+
+    bins: int = 12
+    grid_r_ohm: float = 0.08
+    via_r_ohm: float = 0.35
+    pad_r_ohm: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.bins < 2:
+            raise FlowError("PDN grid needs at least 2x2 bins")
+        for name in ("grid_r_ohm", "via_r_ohm", "pad_r_ohm"):
+            if getattr(self, name) <= 0:
+                raise FlowError(f"{name} must be positive")
+
+
+def solve_ir_drop(
+    current_ma: dict[int, np.ndarray],
+    config: PdnConfig = PdnConfig(),
+) -> dict[int, np.ndarray]:
+    """Solve the stacked power grid; return per-tier IR-drop maps in mV.
+
+    Parameters
+    ----------
+    current_ma:
+        Per-tier ``(bins, bins)`` arrays of drawn current in mA.  Tier 0
+        is the bottom die (pad-fed); higher tiers are fed through vias
+        from the tier below.  A single-entry dict analyzes a 2-D chip.
+
+    Returns per-tier arrays of IR drop (supply minus node voltage), mV.
+    The drop is referenced to each tier's own rail, so heterogeneous
+    supplies need no special handling here (currents already encode them).
+    """
+    tiers = sorted(current_ma)
+    if tiers[0] != 0:
+        raise FlowError("tier 0 (the pad-fed bottom die) is required")
+    n = config.bins
+    for tier in tiers:
+        if current_ma[tier].shape != (n, n):
+            raise FlowError(
+                f"tier {tier} current map must be {n}x{n}, "
+                f"got {current_ma[tier].shape}"
+            )
+
+    def node(tier_index: int, row: int, col: int) -> int:
+        return tier_index * n * n + row * n + col
+
+    total_nodes = len(tiers) * n * n
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    diag = np.zeros(total_nodes)
+    rhs = np.zeros(total_nodes)
+
+    g_mesh = 1.0 / config.grid_r_ohm
+    g_via = 1.0 / config.via_r_ohm
+    g_pad = 1.0 / config.pad_r_ohm
+
+    def stamp(a: int, b: int, g: float) -> None:
+        diag[a] += g
+        diag[b] += g
+        rows.extend((a, b))
+        cols.extend((b, a))
+        vals.extend((-g, -g))
+
+    for ti, tier in enumerate(tiers):
+        for r in range(n):
+            for c in range(n):
+                a = node(ti, r, c)
+                if c + 1 < n:
+                    stamp(a, node(ti, r, c + 1), g_mesh)
+                if r + 1 < n:
+                    stamp(a, node(ti, r + 1, c), g_mesh)
+                # current sink (mA with conductances in 1/ohm -> volts
+                # come out in millivolts of drop)
+                rhs[a] -= current_ma[tier][r, c]
+        if ti == 0:
+            # C4 pads around the periphery of the bottom tier
+            for r in range(n):
+                for c in range(n):
+                    if r in (0, n - 1) or c in (0, n - 1):
+                        diag[node(ti, r, c)] += g_pad
+                        # pad ties to 0 drop: contributes nothing to rhs
+        else:
+            # power vias to the tier below, one bundle per node
+            for r in range(n):
+                for c in range(n):
+                    stamp(node(ti, r, c), node(ti - 1, r, c), g_via)
+
+    diag += 1e-9  # keep the matrix non-singular for isolated nodes
+    idx = np.arange(total_nodes)
+    rows.extend(idx)
+    cols.extend(idx)
+    vals.extend(diag)
+    matrix = coo_matrix((vals, (rows, cols)), shape=(total_nodes, total_nodes)).tocsc()
+    # Unknowns are node *drops* below the ideal rail: G * v = -I with pads
+    # pulling toward zero drop; solve for v (negative of our convention).
+    voltage = spsolve(matrix, rhs)
+    drops = {}
+    for ti, tier in enumerate(tiers):
+        block = voltage[ti * n * n : (ti + 1) * n * n].reshape(n, n)
+        drops[tier] = -block  # drop is positive below the rail
+    return drops

@@ -1,0 +1,14 @@
+"""Placement: floorplanning, analytic global placement, legalization."""
+
+from repro.place.floorplan import Floorplan, build_floorplan, port_positions
+from repro.place.legalizer import LegalizeStats, legalize
+from repro.place.quadratic import global_place
+
+__all__ = [
+    "Floorplan",
+    "build_floorplan",
+    "port_positions",
+    "LegalizeStats",
+    "legalize",
+    "global_place",
+]

@@ -1,0 +1,6 @@
+"""Power analysis: activity propagation and switching/internal/leakage power."""
+
+from repro.power.activity import propagate_activities
+from repro.power.analysis import PowerReport, analyze_power
+
+__all__ = ["propagate_activities", "PowerReport", "analyze_power"]

@@ -1,0 +1,140 @@
+"""Full-chip power analysis.
+
+Four components, as reported by the paper's flow:
+
+- **switching**: ``0.5 * C_net * Vdd^2 * activity * f`` per net, where
+  ``C_net`` comes from the same extracted parasitics STA uses (so 3-D
+  wirelength reduction lowers power automatically);
+- **internal**: per-toggle internal energy of each cell;
+- **leakage**: state-averaged cell leakage, *scaled by the heterogeneous
+  input-boundary factor of Section II-B* -- a gate driven from a
+  lower-rail tier leaks exponentially more because its pull-up never
+  fully turns off;
+- **clock**: supplied by the CTS module (buffers, clock wiring, and
+  sequential clock-pin loads) and added on top.
+
+Unit bookkeeping: fF x V^2 = fJ, fJ x GHz = uW, and pJ x GHz = mW.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.liberty.cells import CellFunction
+from repro.liberty.spice import input_voltage_leakage_factor
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.core import Netlist
+from repro.power.activity import DEFAULT_INPUT_ACTIVITY, propagate_activities
+from repro.timing.delaycalc import DelayCalculator
+
+__all__ = ["PowerReport", "analyze_power"]
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Component breakdown of total chip power, in mW."""
+
+    switching_mw: float
+    internal_mw: float
+    leakage_mw: float
+    clock_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        """Sum of all components."""
+        return self.switching_mw + self.internal_mw + self.leakage_mw + self.clock_mw
+
+
+def _leakage_factor(
+    netlist: Netlist,
+    inst_name: str,
+    libraries: dict[str, StdCellLibrary],
+) -> float:
+    """Mean input-boundary leakage multiplier over an instance's inputs.
+
+    Level shifters are exempt: they are designed (cascode input stages)
+    for a foreign-rail input, which is their entire purpose.
+    """
+    inst = netlist.instances[inst_name]
+    if inst.cell.function is CellFunction.LEVEL_SHIFTER:
+        return 1.0
+    lib = libraries[inst.cell.library_name]
+    factors = []
+    for pin in inst.cell.input_pins:
+        net_name = inst.net_of(pin)
+        if net_name is None:
+            continue
+        driver = netlist.driver_instance(netlist.nets[net_name])
+        if driver is None:
+            continue
+        vg = driver.cell.vdd_v
+        if abs(vg - inst.cell.vdd_v) < 1e-9:
+            factors.append(1.0)
+        else:
+            factors.append(input_voltage_leakage_factor(lib.vdd_v, lib.vth_v, vg))
+    if not factors:
+        return 1.0
+    return sum(factors) / len(factors)
+
+
+def analyze_power(
+    netlist: Netlist,
+    calc: DelayCalculator,
+    frequency_ghz: float,
+    libraries: dict[str, StdCellLibrary],
+    *,
+    input_activity: float = DEFAULT_INPUT_ACTIVITY,
+    clock_power_mw: float = 0.0,
+    activities: dict[str, float] | None = None,
+) -> PowerReport:
+    """Analyze chip power at a given clock frequency.
+
+    ``activities`` can be supplied to reuse a previous propagation;
+    ``clock_power_mw`` is the CTS-reported clock network power (zero for
+    an ideal-clock analysis).
+    """
+    if activities is None:
+        activities = propagate_activities(netlist, input_activity)
+
+    switching_uw = 0.0
+    internal_mw = 0.0
+    leakage_mw = 0.0
+    for net in netlist.nets.values():
+        if net.is_clock:
+            continue  # clock network power is reported by CTS
+        driver = netlist.driver_instance(net)
+        vdd = driver.cell.vdd_v if driver is not None else 0.9
+        cap_ff = calc.net_parasitics(net).total_cap_ff
+        act = activities.get(net.name, input_activity)
+        switching_uw += 0.5 * cap_ff * vdd * vdd * act * frequency_ghz
+
+    for inst in netlist.instances.values():
+        out_net = inst.net_of(inst.cell.output_pin)
+        act = activities.get(out_net, input_activity) if out_net else 0.0
+        internal_mw += inst.cell.internal_energy_pj * act * frequency_ghz
+        leakage_mw += inst.cell.leakage_mw * _leakage_factor(
+            netlist, inst.name, libraries
+        )
+
+    return PowerReport(
+        switching_mw=switching_uw / 1000.0,
+        internal_mw=internal_mw,
+        leakage_mw=leakage_mw,
+        clock_mw=clock_power_mw,
+    )
+
+
+def net_switching_power_uw(
+    netlist: Netlist,
+    calc: DelayCalculator,
+    net_name: str,
+    frequency_ghz: float,
+    activities: dict[str, float],
+) -> float:
+    """Switching power of a single net in uW (Table VIII memory-net rows)."""
+    net = netlist.nets[net_name]
+    driver = netlist.driver_instance(net)
+    vdd = driver.cell.vdd_v if driver is not None else 0.9
+    cap_ff = calc.net_parasitics(net).total_cap_ff
+    act = activities.get(net_name, DEFAULT_INPUT_ACTIVITY)
+    return 0.5 * cap_ff * vdd * vdd * act * frequency_ghz

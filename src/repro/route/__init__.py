@@ -1,0 +1,6 @@
+"""Routing model: wirelength aggregation, grid congestion, MIV counting."""
+
+from repro.route.congestion import CongestionMap, analyze_congestion
+from repro.route.report import RoutingReport, route_design
+
+__all__ = ["CongestionMap", "analyze_congestion", "RoutingReport", "route_design"]

@@ -1,0 +1,63 @@
+"""Design-level routing report: wirelength, MIVs, congestion.
+
+``route_design`` is the "global route" stage of the flows: it aggregates
+Steiner wirelength from the placement wire model, inflates it by the
+congestion detour factor, and counts monolithic inter-tier vias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.liberty.library import StdCellLibrary
+from repro.netlist.core import Netlist
+from repro.route.congestion import CongestionMap, analyze_congestion
+from repro.timing.delaycalc import DelayCalculator
+
+__all__ = ["RoutingReport", "route_design"]
+
+
+@dataclass(frozen=True)
+class RoutingReport:
+    """Aggregate routing metrics of one implementation."""
+
+    steiner_wl_um: float
+    routed_wl_um: float
+    miv_count: int
+    cut_nets: int
+    peak_congestion: float
+    overflow_fraction: float
+
+    @property
+    def routed_wl_mm(self) -> float:
+        """Routed wirelength in millimeters (the paper's 'WL' rows)."""
+        return self.routed_wl_um / 1000.0
+
+
+def route_design(
+    netlist: Netlist,
+    calc: DelayCalculator,
+    lib: StdCellLibrary,
+    width_um: float,
+    height_um: float,
+    tiers: int,
+) -> RoutingReport:
+    """Estimate routed wirelength and congestion for a placed design."""
+    congestion = analyze_congestion(netlist, lib, width_um, height_um, tiers)
+    steiner = 0.0
+    mivs = 0
+    for net in netlist.nets.values():
+        if net.is_clock:
+            continue
+        para = calc.net_parasitics(net)
+        steiner += para.length_um
+        mivs += para.miv_count
+    detour = congestion.detour_factor()
+    return RoutingReport(
+        steiner_wl_um=steiner,
+        routed_wl_um=steiner * detour,
+        miv_count=mivs,
+        cut_nets=len(netlist.cut_nets()),
+        peak_congestion=congestion.peak_demand,
+        overflow_fraction=congestion.overflow_fraction,
+    )

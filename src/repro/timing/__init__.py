@@ -1,0 +1,20 @@
+"""Static timing analysis: delay calculation, graph traversal, reports."""
+
+from repro.timing.delaycalc import (
+    DelayCalculator,
+    FanoutWireModel,
+    NetParasitics,
+    PlacementWireModel,
+)
+from repro.timing.sta import CriticalPath, PathStep, TimingReport, run_sta
+
+__all__ = [
+    "DelayCalculator",
+    "FanoutWireModel",
+    "NetParasitics",
+    "PlacementWireModel",
+    "CriticalPath",
+    "PathStep",
+    "TimingReport",
+    "run_sta",
+]

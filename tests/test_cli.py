@@ -1,0 +1,54 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flow_defaults(self):
+        args = build_parser().parse_args(["flow", "aes"])
+        assert args.design == "aes"
+        assert args.config == "3D_HET"
+        assert args.scale == 0.4
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "fft"])
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flow", "aes", "--config", "4D"])
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Table IV" in out
+        assert "0.9600" in out  # the 2-D wafer cost constant
+
+    def test_flow(self, capsys):
+        rc = main([
+            "flow", "aes", "--config", "2D_12T", "--period", "0.7",
+            "--scale", "0.2", "--seed", "7",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aes [2D_12T]" in out
+        assert "total_power_mw" in out
+
+    def test_export(self, tmp_path, capsys):
+        rc = main([
+            "export", "aes", "--config", "2D_12T", "--period", "0.7",
+            "--scale", "0.2", "--seed", "7", "--output", str(tmp_path),
+        ])
+        assert rc == 0
+        assert (tmp_path / "aes.v").exists()
+        assert (tmp_path / "aes.def").exists()
+        assert (tmp_path / "28nm_12T.lib").exists()

@@ -1,0 +1,140 @@
+"""Tests for the Table IV cost model (repro.cost.model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CostModelError
+from repro.cost.model import (
+    CostModel,
+    performance_per_cost,
+    power_delay_product_pj,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+class TestPublishedConstants:
+    """The Table IV headline numbers must come out exactly."""
+
+    def test_2d_wafer_cost(self, model):
+        assert model.wafer_cost_2d() == pytest.approx(0.96)
+
+    def test_3d_wafer_cost(self, model):
+        assert model.wafer_cost_3d() == pytest.approx(1.97)
+
+    def test_wafer_diameter_and_area(self, model):
+        assert model.wafer_diameter_mm == 300.0
+        assert model.wafer_area_mm2 == pytest.approx(70685.8, rel=1e-4)
+
+    def test_defaults_match_table4(self, model):
+        assert model.feol_fraction == 0.30
+        assert model.integration_penalty == 0.05
+        assert model.defect_density_per_mm2 == 0.2
+        assert model.wafer_yield == 0.95
+        assert model.yield_degradation_3d == 0.95
+
+
+class TestEquations:
+    def test_dies_per_wafer_eq1(self, model):
+        """Eq. (1): A_w/A_d - sqrt(2*pi*A_w/A_d)."""
+        import math
+
+        ad = 0.5
+        aw = model.wafer_area_mm2
+        expected = aw / ad - math.sqrt(2 * math.pi * aw / ad)
+        assert model.dies_per_wafer(ad) == pytest.approx(expected)
+
+    def test_yield_eq2(self, model):
+        """Eq. (2): kappa * (1 + A_d*D_w/2)^-2."""
+        ad = 1.0
+        expected = 0.95 * (1 + 1.0 * 0.2 / 2) ** -2
+        assert model.die_yield(ad, tiers=1) == pytest.approx(expected)
+
+    def test_yield_eq3_includes_beta(self, model):
+        ad = 1.0
+        assert model.die_yield(ad, 2) == pytest.approx(
+            model.die_yield(ad, 1) * 0.95
+        )
+
+    def test_die_cost_eq5(self, model):
+        report = model.die_cost(0.2, tiers=1)
+        expected = model.wafer_cost_2d() / (
+            report.good_dies * report.die_yield
+        )
+        assert report.die_cost == pytest.approx(expected)
+
+    def test_paper_scale_cpu_cost(self, model):
+        """Hetero CPU: footprint ~0.195 mm2/tier -> ~6-8e-6 C' (Table VI 6.26)."""
+        report = model.die_cost(0.195, tiers=2)
+        assert 5e-6 < report.die_cost < 9e-6
+
+    def test_cost_per_cm2_3d_premium(self, model):
+        """3-D costs more per cm2 of silicon (integration + yield)."""
+        area = 0.2
+        c2d = model.die_cost(area, 1).cost_per_cm2
+        c3d = model.die_cost(area / 2, 2).cost_per_cm2
+        assert c3d > c2d
+        # ... but only by a few percent at these die sizes
+        assert c3d / c2d < 1.15
+
+
+class TestMonotonicity:
+    @given(area=st.floats(min_value=0.05, max_value=100.0))
+    def test_bigger_die_costs_more(self, model, area):
+        small = model.die_cost(area, 1).die_cost
+        big = model.die_cost(area * 1.5, 1).die_cost
+        assert big > small
+
+    @given(area=st.floats(min_value=0.05, max_value=100.0))
+    def test_3d_die_costs_more_than_2d_same_footprint(self, model, area):
+        assert model.die_cost(area, 2).die_cost > model.die_cost(area, 1).die_cost
+
+    def test_halved_footprint_3d_vs_2d(self, model):
+        """3-D with half footprint still costs a bit more than the 2-D die
+        of the full area (the paper's 'added die cost in 3-D')."""
+        full = model.die_cost(0.4, 1).die_cost
+        stacked = model.die_cost(0.2, 2).die_cost
+        assert stacked > full
+
+
+class TestErrors:
+    def test_bad_yields_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel(wafer_yield=0.0)
+        with pytest.raises(CostModelError):
+            CostModel(yield_degradation_3d=1.5)
+
+    def test_negative_defects_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel(defect_density_per_mm2=-0.1)
+
+    def test_bad_die_area_rejected(self, model):
+        with pytest.raises(CostModelError):
+            model.die_cost(0.0, 1)
+
+    def test_bad_tier_count_rejected(self, model):
+        with pytest.raises(CostModelError):
+            model.die_yield(0.2, 3)
+
+    def test_die_bigger_than_wafer_rejected(self, model):
+        with pytest.raises(CostModelError):
+            model.die_cost(1e6, 1)
+
+
+class TestDerivedMetrics:
+    def test_pdp(self):
+        assert power_delay_product_pj(100.0, 0.8) == pytest.approx(80.0)
+        with pytest.raises(CostModelError):
+            power_delay_product_pj(100.0, -0.1)
+
+    def test_ppc_matches_table6_formula(self):
+        """CPU row: 1.2 GHz, 188 mW, 6.26e-6 C' -> PPC 1.02."""
+        ppc = performance_per_cost(1.2, 188.0, 6.26)
+        assert ppc == pytest.approx(1.02, rel=0.01)
+
+    def test_ppc_rejects_nonpositive(self):
+        with pytest.raises(CostModelError):
+            performance_per_cost(1.0, 0.0, 1.0)

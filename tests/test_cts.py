@@ -1,0 +1,151 @@
+"""Tests for clock tree synthesis (repro.cts.tree)."""
+
+import pytest
+
+from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
+from repro.errors import FlowError
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+from repro.place.floorplan import build_floorplan
+from repro.place.quadratic import global_place
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+def placed(pair, design="aes", tiers=1, scale=0.3):
+    lib12, lib9 = pair
+    nl = generate_netlist(design, lib12, scale=scale, seed=9)
+    tier_libs = {0: lib12} if tiers == 1 else {0: lib12, 1: lib9}
+    if tiers == 2:
+        names = sorted(nl.instances)
+        for name in names[::2]:
+            inst = nl.instances[name]
+            if inst.cell.is_macro:
+                continue
+            nl.rebind(name, lib9.equivalent_of(inst.cell))
+            inst.tier = 1
+    fp = build_floorplan(nl, tier_libs, utilization=0.7)
+    global_place(nl, fp)
+    return nl, tier_libs
+
+
+class TestSingleTier:
+    def test_all_sinks_served(self, pair):
+        nl, tier_libs = placed(pair)
+        cts = ClockTreeSynthesizer(nl, tier_libs, TierPolicy.SINGLE)
+        report = cts.run()
+        sinks = {inst for inst, _pin in nl.clock_sinks()}
+        assert set(report.latencies) == sinks
+
+    def test_latencies_positive_and_bounded(self, pair):
+        nl, tier_libs = placed(pair)
+        report = ClockTreeSynthesizer(nl, tier_libs, TierPolicy.SINGLE).run()
+        for latency in report.latencies.values():
+            assert 0 < latency < 2.0
+
+    def test_skew_is_max_minus_min(self, pair):
+        nl, tier_libs = placed(pair)
+        report = ClockTreeSynthesizer(nl, tier_libs, TierPolicy.SINGLE).run()
+        values = report.latencies.values()
+        assert report.max_skew_ns == pytest.approx(max(values) - min(values))
+        assert report.max_skew_ns < report.max_latency_ns
+
+    def test_single_policy_uses_tier0_only(self, pair):
+        nl, tier_libs = placed(pair)
+        report = ClockTreeSynthesizer(nl, tier_libs, TierPolicy.SINGLE).run()
+        assert set(report.buffer_count_by_tier) == {0}
+        assert report.tier_fraction(0) == 1.0
+
+    def test_power_and_area_positive(self, pair):
+        nl, tier_libs = placed(pair)
+        report = ClockTreeSynthesizer(
+            nl, tier_libs, TierPolicy.SINGLE, frequency_ghz=2.0
+        ).run()
+        assert report.power_mw > 0
+        assert report.buffer_area_um2 > 0
+        assert report.wirelength_mm > 0
+
+    def test_power_scales_with_frequency(self, pair):
+        nl, tier_libs = placed(pair)
+        p1 = ClockTreeSynthesizer(
+            nl, tier_libs, TierPolicy.SINGLE, frequency_ghz=1.0
+        ).run().power_mw
+        p2 = ClockTreeSynthesizer(
+            nl, tier_libs, TierPolicy.SINGLE, frequency_ghz=2.0
+        ).run().power_mw
+        assert p2 == pytest.approx(2 * p1, rel=1e-6)
+
+    def test_no_clock_raises(self, pair):
+        from repro.netlist.core import Netlist
+
+        lib12, _ = pair
+        nl = Netlist("noclk")
+        with pytest.raises(FlowError):
+            ClockTreeSynthesizer(nl, {0: lib12}, TierPolicy.SINGLE)
+
+    def test_unplaced_sink_raises(self, pair):
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=9)
+        cts = ClockTreeSynthesizer(nl, {0: lib12}, TierPolicy.SINGLE)
+        with pytest.raises(FlowError):
+            cts.run()
+
+
+class TestThreeDPolicies:
+    def test_majority_spreads_buffers(self, pair):
+        nl, tier_libs = placed(pair, tiers=2)
+        report = ClockTreeSynthesizer(
+            nl, tier_libs, TierPolicy.MAJORITY, slow_tier=1
+        ).run()
+        assert report.buffer_count_by_tier.get(0, 0) > 0
+        assert report.buffer_count_by_tier.get(1, 0) > 0
+
+    def test_prefer_slow_is_top_die_heavy(self, pair):
+        """Table VIII: >75% of hetero clock buffers sit on the top die."""
+        nl, tier_libs = placed(pair, tiers=2)
+        report = ClockTreeSynthesizer(
+            nl, tier_libs, TierPolicy.PREFER_SLOW, slow_tier=1
+        ).run()
+        assert report.tier_fraction(1) > 0.7
+
+    def test_prefer_slow_has_smaller_buffer_area(self, pair):
+        """9-track clock buffers shrink the clock area (Table VIII)."""
+        nl, tier_libs = placed(pair, tiers=2)
+        majority = ClockTreeSynthesizer(
+            nl, tier_libs, TierPolicy.MAJORITY, slow_tier=1
+        ).run()
+        slow = ClockTreeSynthesizer(
+            nl, tier_libs, TierPolicy.PREFER_SLOW, slow_tier=1
+        ).run()
+        assert slow.buffer_area_um2 < majority.buffer_area_um2
+
+    def test_slow_tier_tree_has_larger_latency(self, pair):
+        """A 9-track clock tree is slower than a 12-track one (Table VIII).
+
+        Force every buffer onto one tier by moving all sinks there; the
+        library difference alone must separate the insertion delays.
+        """
+        lib12, lib9 = pair
+        latencies = {}
+        for target_tier, lib in ((0, lib12), (1, lib9)):
+            nl, tier_libs = placed(pair, tiers=2)
+            for inst in nl.sequential_instances():
+                if inst.cell.is_macro:
+                    continue
+                nl.rebind(inst.name, lib.equivalent_of(inst.cell))
+                inst.tier = target_tier
+            report = ClockTreeSynthesizer(
+                nl, tier_libs, TierPolicy.MAJORITY, slow_tier=1
+            ).run()
+            latencies[target_tier] = report.max_latency_ns
+            assert report.tier_fraction(target_tier) == 1.0
+        assert latencies[1] > latencies[0]
+
+    def test_deterministic(self, pair):
+        nl, tier_libs = placed(pair, tiers=2)
+        r1 = ClockTreeSynthesizer(nl, tier_libs, TierPolicy.MAJORITY).run()
+        r2 = ClockTreeSynthesizer(nl, tier_libs, TierPolicy.MAJORITY).run()
+        assert r1.latencies == r2.latencies

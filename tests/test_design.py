@@ -1,0 +1,104 @@
+"""Tests for the Design container (repro.flow.design)."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.flow.design import Design
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+def hetero_design(pair, name="cpu", scale=0.3):
+    lib12, lib9 = pair
+    nl = generate_netlist(name, lib12, scale=scale, seed=21)
+    return Design(
+        name=name,
+        config="3D_HET",
+        netlist=nl,
+        tier_libs={0: lib12, 1: lib9},
+        target_period_ns=1.0,
+    )
+
+
+class TestBasics:
+    def test_tier_properties(self, pair):
+        design = hetero_design(pair)
+        assert design.tiers == 2
+        assert design.is_3d
+        assert design.frequency_ghz == pytest.approx(1.0)
+
+    def test_2d_design(self, pair):
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=21)
+        design = Design("aes", "2D_12T", nl, {0: lib12})
+        assert not design.is_3d
+        assert design.slow_tier() == 0
+
+    def test_library_lookups(self, pair):
+        lib12, lib9 = pair
+        design = hetero_design(pair)
+        assert design.library_for_tier(0) is lib12
+        assert design.library_for_tier(1) is lib9
+        assert design.reference_library() is lib12
+        with pytest.raises(FlowError):
+            design.library_for_tier(5)
+        assert set(design.libraries_by_name()) == {lib12.name, lib9.name}
+
+    def test_slow_tier_is_low_voltage_tier(self, pair):
+        design = hetero_design(pair)
+        assert design.slow_tier() == 1
+
+    def test_clock_latencies_none_before_cts(self, pair):
+        design = hetero_design(pair)
+        assert design.clock_latencies() is None
+
+
+class TestRemap:
+    def test_remap_swaps_library_and_tier(self, pair):
+        lib12, lib9 = pair
+        design = hetero_design(pair)
+        name = next(
+            n for n, i in design.netlist.instances.items()
+            if not i.cell.is_macro
+        )
+        design.remap_instance_to_tier(name, 1)
+        inst = design.netlist.instances[name]
+        assert inst.tier == 1
+        assert inst.cell.library_name == lib9.name
+        design.remap_instance_to_tier(name, 0)
+        assert inst.cell.library_name == lib12.name
+
+    def test_remap_preserves_function_and_drive(self, pair):
+        design = hetero_design(pair)
+        name = next(
+            n for n, i in design.netlist.instances.items()
+            if not i.cell.is_macro
+        )
+        inst = design.netlist.instances[name]
+        before = (inst.cell.function, inst.cell.drive)
+        design.remap_instance_to_tier(name, 1)
+        assert (inst.cell.function, inst.cell.drive) == before
+
+    def test_remap_macro_keeps_cell(self, pair):
+        design = hetero_design(pair)
+        macro = design.netlist.memory_macros()[0]
+        cell_before = macro.cell
+        design.remap_instance_to_tier(macro.name, 1)
+        assert macro.tier == 1
+        assert macro.cell is cell_before
+
+    def test_remap_keeps_netlist_valid(self, pair):
+        design = hetero_design(pair)
+        names = [
+            n for n, i in design.netlist.instances.items()
+            if not i.cell.is_macro
+        ][:100]
+        for name in names:
+            design.remap_instance_to_tier(name, 1)
+        design.netlist.validate()
+        design.netlist.topological_order()

@@ -1,0 +1,127 @@
+"""Tests for the experiments package (configs, tables, figures, runner)."""
+
+import pytest
+
+from repro.experiments.configs import CONFIG_NAMES, configurations
+from repro.experiments.figures import (
+    density_heatmap,
+    fig1_configurations,
+    fig2_boundary_circuits,
+    layout_stats,
+)
+from repro.experiments.runner import (
+    EvaluationMatrix,
+    run_configuration,
+)
+from repro.experiments.tables import (
+    PAPER_TABLE1,
+    format_table,
+    table1_qualitative_ranks,
+    table2_output_boundary,
+    table3_input_boundary,
+    table4_cost_model,
+)
+from repro.flow.report import FlowResult
+from repro.power.analysis import PowerReport
+
+
+class TestConfigurations:
+    def test_all_five_present(self):
+        configs = configurations()
+        assert set(configs) == set(CONFIG_NAMES)
+
+    def test_tier_counts(self):
+        configs = configurations()
+        assert configs["2D_9T"].tiers == 1
+        assert configs["3D_HET"].tiers == 2
+        assert configs["3D_HET"].tracks == "9+12"
+
+    def test_config_runs_a_flow(self):
+        configs = configurations()
+        design, result = configs["2D_12T"].run(
+            "aes", period_ns=0.9, scale=0.2, seed=3
+        )
+        assert result.config == "2D_12T"
+        assert design.netlist.tiers_used() == (0,)
+
+
+class TestCheapTables:
+    def test_table1_covers_all_metrics_and_configs(self):
+        ranks = table1_qualitative_ranks()
+        assert set(ranks) == set(PAPER_TABLE1)
+        for metric in ranks:
+            assert set(ranks[metric]) == set(CONFIG_NAMES)
+            assert all(1 <= v <= 5 for v in ranks[metric].values())
+
+    def test_table2_and_3_have_four_cases(self):
+        assert len(table2_output_boundary()) == 4
+        assert len(table3_input_boundary()) == 4
+
+    def test_table3_homogeneous_cases_match_table2(self):
+        t2 = {r.label: r for r in table2_output_boundary()}
+        t3 = {r.label: r for r in table3_input_boundary()}
+        assert t3["fast Case-I"].rise_delay_ps == t2["Case-I"].rise_delay_ps
+        assert t3["slow Case-I"].total_power_uw == t2["Case-III"].total_power_uw
+
+    def test_table4_constants(self):
+        values = table4_cost_model()
+        assert values["wafer_cost_2d"] == pytest.approx(0.96)
+        assert values["wafer_cost_3d"] == pytest.approx(1.97)
+
+    def test_format_table_renders(self):
+        text = format_table({"a": {"x": 1.0}, "b": {"x": 2.0}}, "T")
+        assert "T" in text and "a" in text and "2.0000" in text
+
+
+class TestFigures:
+    def test_fig1_lists_five(self):
+        configs = fig1_configurations()
+        assert len(configs) == 5
+
+    def test_fig2_descriptions(self):
+        circuits = fig2_boundary_circuits()
+        assert set(circuits) == {"a", "b"}
+
+    def test_layout_stats_and_heatmap(self):
+        configs = configurations()
+        design, _result = configs["2D_12T"].run(
+            "aes", period_ns=0.9, scale=0.2, seed=3
+        )
+        stats = layout_stats(design)
+        assert stats.tiers == 1
+        assert 0.2 < stats.density < 0.95
+        assert "um" in stats.describe()
+        art = density_heatmap(design, bins=8)
+        assert len(art.splitlines()) == 8
+
+
+class TestRunner:
+    def test_run_configuration_caches(self):
+        d1, r1 = run_configuration(
+            "aes", "2D_12T", period_ns=0.9, scale=0.2, seed=3
+        )
+        d2, r2 = run_configuration(
+            "aes", "2D_12T", period_ns=0.9, scale=0.2, seed=3
+        )
+        assert r1 is r2  # second call hits the in-process cache
+
+    def test_matrix_accessors(self):
+        # a hand-built matrix exercises the delta helper cheaply
+        def fake(ppc):
+            return FlowResult(
+                design="aes", config="x", frequency_ghz=1.0, period_ns=1.0,
+                wns_ns=0.0, tns_ns=0.0, effective_delay_ns=1.0,
+                si_area_mm2=1.0, footprint_mm2=1.0, chip_width_um=10.0,
+                density=0.8, wirelength_mm=1.0, miv_count=0, cut_nets=0,
+                total_power_mw=1.0,
+                power=PowerReport(1.0, 0.0, 0.0, 0.0),
+                pdp_pj=1.0, die_cost_1e6=1.0, cost_per_cm2=1.0, ppc=ppc,
+                clock=None, critical_path=None, memory_nets=None,
+                peak_congestion=0.5,
+            )
+
+        matrix = EvaluationMatrix(scale=0.5, seed=0)
+        matrix.results[("aes", "3D_HET")] = fake(12.0)
+        matrix.results[("aes", "2D_12T")] = fake(10.0)
+        assert matrix.hetero("aes").ppc == 12.0
+        assert matrix.delta_pct("aes", "2D_12T", "ppc") == pytest.approx(20.0)

@@ -1,0 +1,150 @@
+"""Failure-injection tests: every engine must fail loudly, not wrongly.
+
+Corrupt databases, impossible constraints and out-of-domain inputs should
+raise the package's typed exceptions with a usable message -- never
+silently produce a wrong layout or report.
+"""
+
+import pytest
+
+from repro.errors import (
+    FlowError,
+    LibraryError,
+    NetlistError,
+    PartitionError,
+    PlacementError,
+    ReproError,
+    TimingError,
+)
+from repro.flow.design import Design
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_library_pair
+from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.generators import generate_netlist
+from repro.place.floorplan import build_floorplan
+from repro.place.legalizer import legalize
+from repro.place.quadratic import global_place
+from repro.timing.delaycalc import DelayCalculator, FanoutWireModel
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def lib12(pair):
+    return pair[0]
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (LibraryError, NetlistError, TimingError,
+                    PlacementError, PartitionError, FlowError):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_family(self, lib12):
+        nl = Netlist("x")
+        with pytest.raises(ReproError):
+            nl.connect("missing", "nobody", "A")
+
+
+class TestCorruptNetlists:
+    def test_stale_driver_detected(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        some_net = next(
+            n for n in nl.nets.values() if n.driver is not None
+        )
+        some_net.driver = ("ghost_instance", "Y")
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_stale_sink_detected(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        some_net = next(n for n in nl.nets.values() if n.sinks)
+        some_net.sinks.append(("ghost_instance", "A"))
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_hand_built_loop_rejected_by_sta(self, pair, lib12):
+        nl = Netlist("loop")
+        a = nl.add_instance("a", lib12.get(CellFunction.INV, 1))
+        b = nl.add_instance("b", lib12.get(CellFunction.INV, 1))
+        nl.add_net("na")
+        nl.add_net("nb")
+        nl.connect("na", "a", "Y")
+        nl.connect("na", "b", "A")
+        nl.connect("nb", "b", "Y")
+        nl.connect("nb", "a", "A")
+        calc = DelayCalculator(nl, FanoutWireModel(lib12),
+                               {l.name: l for l in pair})
+        with pytest.raises(NetlistError):
+            run_sta(nl, calc, 1.0)
+
+
+class TestImpossibleConstraints:
+    def test_negative_period_rejected(self, pair, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        calc = DelayCalculator(nl, FanoutWireModel(lib12),
+                               {l.name: l for l in pair})
+        with pytest.raises(TimingError):
+            run_sta(nl, calc, -1.0)
+
+    def test_overfull_die_rejected_by_legalizer(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        global_place(nl, fp)
+        fp.width_um *= 0.5
+        with pytest.raises(PlacementError):
+            legalize(nl, fp, lib12, tier=0)
+
+    def test_unplaced_design_rejected_by_legalizer(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        with pytest.raises(PlacementError):
+            legalize(nl, fp, lib12, tier=0)
+
+    def test_empty_netlist_rejected_by_floorplanner(self, lib12):
+        nl = Netlist("empty")
+        with pytest.raises(PlacementError):
+            build_floorplan(nl, {0: lib12}, utilization=0.7)
+
+    def test_three_tier_floorplan_rejected(self, pair, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        with pytest.raises(PlacementError):
+            build_floorplan(
+                nl, {0: lib12, 1: lib12, 2: lib12}, utilization=0.7
+            )
+
+
+class TestLibraryMisuse:
+    def test_unknown_function_drive(self, lib12):
+        with pytest.raises(LibraryError):
+            lib12.get(CellFunction.INV, 3)
+
+    def test_fixed_instance_must_be_placed_for_anchor(self, lib12, pair):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        inst = next(iter(nl.instances.values()))
+        inst.fixed = True  # fixed but never placed
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        with pytest.raises(PlacementError):
+            global_place(nl, fp)
+
+
+class TestFlowMisuse:
+    def test_finalize_requires_floorplan(self, pair, lib12):
+        from repro.flow.report import finalize_design
+
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        design = Design("aes", "2D", nl, {0: lib12})
+        with pytest.raises(ValueError):
+            finalize_design(design)
+
+    def test_cts_before_placement_rejected(self, pair, lib12):
+        from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
+
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=11)
+        cts = ClockTreeSynthesizer(nl, {0: lib12}, TierPolicy.SINGLE)
+        with pytest.raises(FlowError):
+            cts.run()

@@ -1,0 +1,116 @@
+"""Tests for floorplanning (repro.place.floorplan)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+from repro.place.floorplan import MACRO_HALO, build_floorplan, port_positions
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def lib12(pair):
+    return pair[0]
+
+
+class TestDieSizing:
+    def test_utilization_sets_core_area(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=1)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        std = nl.cell_area_um2(lambda i: not i.cell.is_macro)
+        assert fp.density(nl) == pytest.approx(0.7, rel=0.01)
+        assert fp.core_area_um2() == pytest.approx(std / 0.7, rel=0.01)
+
+    def test_out_of_range_utilization_rejected(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=1)
+        with pytest.raises(PlacementError):
+            build_floorplan(nl, {0: lib12}, utilization=0.05)
+
+    def test_lower_utilization_means_bigger_die(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=1)
+        tight = build_floorplan(nl, {0: lib12}, utilization=0.9)
+        loose = build_floorplan(nl, {0: lib12}, utilization=0.5)
+        assert loose.area_um2 > tight.area_um2
+
+    def test_pseudo_3d_halves_footprint(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=1)
+        full = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        half = build_floorplan(
+            nl, {0: lib12, 1: lib12}, utilization=0.7, demand_scale=0.5
+        )
+        assert half.area_um2 == pytest.approx(full.area_um2 / 2, rel=0.01)
+        assert half.silicon_area_um2 == pytest.approx(full.area_um2, rel=0.01)
+
+    def test_3d_sized_by_most_demanding_tier(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=1)
+        # uneven partition: 30% of cells on tier 1
+        insts = sorted(nl.instances)
+        for name in insts[: int(0.3 * len(insts))]:
+            nl.instances[name].tier = 1
+        fp = build_floorplan(nl, {0: lib12, 1: lib12}, utilization=0.7)
+        heavy = nl.cell_area_um2(lambda i: i.tier == 0 and not i.cell.is_macro)
+        assert fp.core_area_um2(0) == pytest.approx(heavy / 0.7, rel=0.01)
+
+
+class TestMacros:
+    def test_macros_fixed_and_within_die(self, lib12):
+        nl = generate_netlist("cpu", lib12, scale=0.5, seed=1)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        assert len(fp.macros) == len(nl.memory_macros())
+        for slot in fp.macros:
+            inst = nl.instances[slot.name]
+            assert inst.fixed
+            assert inst.is_placed
+            assert slot.x_um + slot.width_um <= fp.width_um + 1e-6
+            assert slot.y_um + slot.height_um <= fp.height_um + 1e-6
+
+    def test_macros_do_not_overlap(self, lib12):
+        nl = generate_netlist("cpu", lib12, scale=1.0, seed=1)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        slots = fp.macros
+        for i, a in enumerate(slots):
+            for b in slots[i + 1 :]:
+                separated = (
+                    a.x_um + a.width_um <= b.x_um + 1e-6
+                    or b.x_um + b.width_um <= a.x_um + 1e-6
+                    or a.y_um + a.height_um <= b.y_um + 1e-6
+                    or b.y_um + b.height_um <= a.y_um + 1e-6
+                )
+                assert separated, (a.name, b.name)
+
+    def test_blockage_counted_only_on_macro_tier(self, lib12):
+        nl = generate_netlist("cpu", lib12, scale=0.5, seed=1)
+        fp = build_floorplan(nl, {0: lib12, 1: lib12}, utilization=0.7,
+                             demand_scale=0.5)
+        assert fp.blockage_area_um2(0) > 0
+        assert fp.blockage_area_um2(1) == 0
+        assert fp.core_area_um2(1) > fp.core_area_um2(0)
+
+    def test_macro_blockage_grows_die(self, lib12):
+        with_mem = generate_netlist("cpu", lib12, scale=0.5, seed=1)
+        fp = build_floorplan(with_mem, {0: lib12}, utilization=0.7)
+        macro_area = sum(m.halo_area_um2 for m in fp.macros)
+        std = with_mem.cell_area_um2(lambda i: not i.cell.is_macro)
+        assert fp.area_um2 == pytest.approx(std / 0.7 + macro_area, rel=0.02)
+
+
+class TestPortRing:
+    def test_every_port_placed_on_boundary(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=1)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        pos = port_positions(nl, fp)
+        assert set(pos) == set(nl.ports)
+        for x, y in pos.values():
+            on_x_edge = x in (0.0, fp.width_um)
+            on_y_edge = y in (0.0, fp.height_um)
+            assert on_x_edge or on_y_edge
+
+    def test_port_ring_deterministic(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=1)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        assert port_positions(nl, fp) == port_positions(nl, fp)

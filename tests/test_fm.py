@@ -1,0 +1,151 @@
+"""Tests for FM min-cut bipartitioning (repro.partition.fm)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PartitionError
+from repro.partition.fm import fm_bipartition
+
+
+def uniform_areas(cells, value=1.0):
+    return {c: value for c in cells}
+
+
+def cut_of(nets, assignment):
+    return sum(
+        1 for net in nets if len({assignment[c] for c in net if c in assignment}) > 1
+    )
+
+
+class TestBasics:
+    def test_two_cliques_separate(self):
+        """Two 4-cliques joined by one edge: optimal cut is 1."""
+        cells = [f"a{i}" for i in range(4)] + [f"b{i}" for i in range(4)]
+        nets = []
+        for grp in ("a", "b"):
+            members = [f"{grp}{i}" for i in range(4)]
+            nets.extend([members[i], members[j]] for i in range(4) for j in range(i + 1, 4))
+        nets.append(["a0", "b0"])
+        # worst-case initial assignment: interleaved
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        result = fm_bipartition(
+            cells, nets, uniform_areas(cells), uniform_areas(cells),
+            initial=initial,
+        )
+        assert result.cut_size == 1
+        assert {result.side(f"a{i}") for i in range(4)} == {result.side("a0")}
+        assert result.side("a0") != result.side("b0")
+
+    def test_balance_respected(self):
+        cells = [f"c{i}" for i in range(20)]
+        nets = [[f"c{i}", f"c{(i + 1) % 20}"] for i in range(20)]
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        result = fm_bipartition(
+            cells, nets, uniform_areas(cells), uniform_areas(cells),
+            initial=initial, balance_tolerance=0.1,
+        )
+        a0, a1 = result.area
+        total = a0 + a1
+        assert abs(a0 - total / 2) <= 0.1 * total + 1.0
+
+    def test_fixed_cells_never_move(self):
+        cells = [f"c{i}" for i in range(10)]
+        nets = [[f"c{i}", f"c{i+1}"] for i in range(9)]
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        fixed = {"c0", "c5"}
+        result = fm_bipartition(
+            cells, nets, uniform_areas(cells), uniform_areas(cells),
+            initial=initial, fixed=fixed,
+        )
+        assert result.side("c0") == initial["c0"]
+        assert result.side("c5") == initial["c5"]
+
+    def test_refinement_never_worsens_cut(self):
+        import random
+
+        rng = random.Random(42)
+        cells = [f"c{i}" for i in range(60)]
+        nets = [
+            rng.sample(cells, rng.randint(2, 5)) for _ in range(120)
+        ]
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        before = cut_of(nets, initial)
+        result = fm_bipartition(
+            cells, nets, uniform_areas(cells), uniform_areas(cells),
+            initial=initial,
+        )
+        assert result.cut_size <= before
+
+    def test_deterministic(self):
+        import random
+
+        rng = random.Random(7)
+        cells = [f"c{i}" for i in range(40)]
+        nets = [rng.sample(cells, 3) for _ in range(80)]
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        r1 = fm_bipartition(
+            cells, nets, uniform_areas(cells), uniform_areas(cells),
+            initial=initial,
+        )
+        r2 = fm_bipartition(
+            cells, nets, uniform_areas(cells), uniform_areas(cells),
+            initial=initial,
+        )
+        assert r1.assignment == r2.assignment
+
+
+class TestSideDependentAreas:
+    def test_asymmetric_areas_balance_in_own_metric(self):
+        """Side 1 cells shrink to 75%: more cells migrate to side 1."""
+        cells = [f"c{i}" for i in range(40)]
+        nets = [[f"c{i}", f"c{(i + 7) % 40}"] for i in range(40)]
+        a0 = uniform_areas(cells, 1.0)
+        a1 = uniform_areas(cells, 0.75)
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        result = fm_bipartition(cells, nets, a0, a1, initial=initial,
+                                balance_tolerance=0.05)
+        n1 = sum(1 for c in cells if result.side(c) == 1)
+        n0 = len(cells) - n1
+        # areas balanced in own metrics => n0 * 1.0 ~= n1 * 0.75
+        assert n1 > n0
+
+
+class TestErrors:
+    def test_missing_initial_rejected(self):
+        with pytest.raises(PartitionError):
+            fm_bipartition(
+                ["a", "b"], [["a", "b"]], {"a": 1, "b": 1}, {"a": 1, "b": 1},
+                initial={"a": 0},
+            )
+
+    def test_duplicate_cells_rejected(self):
+        with pytest.raises(PartitionError):
+            fm_bipartition(
+                ["a", "a"], [], {"a": 1}, {"a": 1}, initial={"a": 0}
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            fm_bipartition([], [], {}, {}, initial={})
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    def test_assignment_is_total_and_binary(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        cells = [f"c{i}" for i in range(n)]
+        nets = [rng.sample(cells, min(n, rng.randint(2, 4))) for _ in range(2 * n)]
+        initial = {c: i % 2 for i, c in enumerate(cells)}
+        result = fm_bipartition(
+            cells, nets, uniform_areas(cells), uniform_areas(cells),
+            initial=initial,
+        )
+        assert set(result.assignment) == set(cells)
+        assert set(result.assignment.values()) <= {0, 1}
+        assert result.cut_size == cut_of(nets, result.assignment)

@@ -1,0 +1,109 @@
+"""Tests for DEF and Liberty export (repro.io)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.flow import run_flow_2d, run_flow_hetero_3d
+from repro.io.def_writer import read_def, write_def
+from repro.io.liberty_writer import write_liberty
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_library_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def libs(pair):
+    return {lib.name: lib for lib in pair}
+
+
+@pytest.fixture(scope="module")
+def hetero(pair):
+    lib12, lib9 = pair
+    design, _ = run_flow_hetero_3d(
+        "aes", lib12, lib9, period_ns=0.8, scale=0.25, seed=6
+    )
+    return design
+
+
+class TestDef:
+    def test_structure(self, hetero):
+        text = write_def(hetero)
+        assert "VERSION 5.8 ;" in text
+        assert "DESIGN aes ;" in text
+        assert "DIEAREA" in text
+        assert "END COMPONENTS" in text
+        assert "END NETS" in text
+        # the 3-D extension appears on every component
+        assert "+ TIER 1" in text
+        assert "+ TIER 0" in text
+        # both tiers' row definitions are present
+        assert "# TIER 0 LIB 28nm_12T" in text
+        assert "# TIER 1 LIB 28nm_9T" in text
+
+    def test_round_trip(self, hetero, libs):
+        back = read_def(write_def(hetero), libs)
+        nl = hetero.netlist
+        assert sorted(back.instances) == sorted(nl.instances)
+        for name, inst in nl.instances.items():
+            twin = back.instances[name]
+            assert twin.cell.name == inst.cell.name
+            assert twin.tier == inst.tier
+            assert twin.x_um == pytest.approx(inst.x_um, abs=1e-3)
+            assert twin.y_um == pytest.approx(inst.y_um, abs=1e-3)
+            assert twin.fixed == inst.fixed
+        for name, net in nl.nets.items():
+            twin = back.nets[name]
+            assert twin.driver == net.driver
+            assert sorted(twin.sinks) == sorted(net.sinks)
+
+    def test_round_trip_validates(self, hetero, libs):
+        read_def(write_def(hetero), libs).validate()
+
+    def test_unfloorplanned_rejected(self, pair):
+        from repro.flow.design import Design
+        from repro.netlist.generators import generate_netlist
+
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=6)
+        with pytest.raises(NetlistError):
+            write_def(Design("aes", "2D", nl, {0: lib12}))
+
+    def test_unknown_cell_rejected(self, hetero, libs):
+        text = write_def(hetero).replace("INVX1_12T", "MYSTERY_CELL")
+        with pytest.raises(NetlistError):
+            read_def(text, libs)
+
+
+class TestLiberty:
+    def test_structure(self, pair):
+        lib12, _ = pair
+        text = write_liberty(lib12)
+        assert text.startswith("library (28nm_12T) {")
+        assert "delay_model : table_lookup;" in text
+        assert "nom_voltage : 0.9;" in text
+        # every cell appears
+        for cell in lib12.cells:
+            assert f"cell ({cell.name})" in text
+
+    def test_sequential_cells_marked(self, pair):
+        lib12, _ = pair
+        text = write_liberty(lib12)
+        assert "ff (IQ) { clocked_on : CK; next_state : D; }" in text
+        assert "clock : true;" in text
+
+    def test_tables_dumped_with_axes(self, pair):
+        _, lib9 = pair
+        text = write_liberty(lib9)
+        assert "index_1" in text and "index_2" in text
+        assert "values ( \\" in text
+        inv = lib9.get(CellFunction.INV, 1)
+        mid = inv.worst_arc_to_output().delay.values[0][0]
+        assert f"{mid:.6f}" in text
+
+    def test_both_libraries_differ(self, pair):
+        lib12, lib9 = pair
+        assert write_liberty(lib12) != write_liberty(lib9)

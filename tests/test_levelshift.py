@@ -1,0 +1,117 @@
+"""Tests for level-shifter insertion (repro.flow.levelshift)."""
+
+import pytest
+
+from repro.flow import run_flow_hetero_3d
+from repro.flow.design import Design
+from repro.flow.levelshift import (
+    boundary_violations,
+    insert_level_shifters,
+    needs_level_shifter,
+)
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_library_pair, make_track_variant
+from repro.netlist.core import Netlist, PortDirection
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def low_lib():
+    return make_track_variant(9, vdd_v=0.55)
+
+
+class TestRule:
+    def test_low_to_high_beyond_vth_needs_shifter(self):
+        assert needs_level_shifter(0.55, 0.90, 0.30)
+
+    def test_small_gap_is_legal(self):
+        assert not needs_level_shifter(0.81, 0.90, 0.30)
+
+    def test_high_to_low_is_always_legal(self):
+        assert not needs_level_shifter(0.90, 0.55, 0.30)
+        assert not needs_level_shifter(0.90, 0.81, 0.30)
+
+
+def make_crossing_design(pair, low_lib):
+    """A 2-cell design: low-rail driver feeding a 12-track sink."""
+    lib12, _ = pair
+    nl = Netlist("x")
+    nl.add_port("a", PortDirection.INPUT)
+    drv = nl.add_instance("drv", low_lib.get(CellFunction.INV, 1))
+    drv.tier = 1
+    drv.x_um, drv.y_um = 0.0, 0.0
+    nl.add_net("mid")
+    nl.add_net("out")
+    nl.connect("a", "drv", "A")
+    nl.connect("mid", "drv", "Y")
+    sink = nl.add_instance("sink", lib12.get(CellFunction.INV, 1))
+    sink.x_um, sink.y_um = 10.0, 0.0
+    nl.connect("mid", "sink", "A")
+    nl.connect("out", "sink", "Y")
+    return Design("x", "3D_HET", nl, {0: lib12, 1: low_lib})
+
+
+class TestInsertion:
+    def test_detects_and_fixes_violation(self, pair, low_lib):
+        design = make_crossing_design(pair, low_lib)
+        assert boundary_violations(design) == ["mid"]
+        report = insert_level_shifters(design)
+        assert report.shifters_inserted == 1
+        assert report.violating_nets == 1
+        assert boundary_violations(design) == []
+        design.netlist.validate()
+
+    def test_shifter_on_receiving_tier_and_library(self, pair, low_lib):
+        design = make_crossing_design(pair, low_lib)
+        insert_level_shifters(design)
+        shifters = [
+            i for i in design.netlist.instances.values()
+            if i.cell.function is CellFunction.LEVEL_SHIFTER
+        ]
+        assert len(shifters) == 1
+        assert shifters[0].tier == 0
+        assert shifters[0].cell.library_name == "28nm_12T"
+
+    def test_sink_rewired_through_shifter(self, pair, low_lib):
+        design = make_crossing_design(pair, low_lib)
+        insert_level_shifters(design)
+        nl = design.netlist
+        sink_net = nl.instances["sink"].net_of("A")
+        driver = nl.driver_instance(nl.nets[sink_net])
+        assert driver.cell.function is CellFunction.LEVEL_SHIFTER
+
+    def test_idempotent(self, pair, low_lib):
+        design = make_crossing_design(pair, low_lib)
+        insert_level_shifters(design)
+        second = insert_level_shifters(design)
+        assert second.shifters_inserted == 0
+
+    def test_compatible_pair_needs_nothing(self, pair):
+        lib12, lib9 = pair
+        design = make_crossing_design(pair, lib9)
+        assert boundary_violations(design) == []
+        assert insert_level_shifters(design).shifters_inserted == 0
+
+
+class TestFlowIntegration:
+    def test_flow_rejects_illegal_pair_by_default(self, pair, low_lib):
+        lib12, _ = pair
+        with pytest.raises(ValueError):
+            run_flow_hetero_3d(
+                "aes", lib12, low_lib, period_ns=0.8, scale=0.2, seed=5
+            )
+
+    def test_flow_with_shifters_is_legal_and_valid(self, pair, low_lib):
+        lib12, _ = pair
+        design, result = run_flow_hetero_3d(
+            "aes", lib12, low_lib, period_ns=0.8, scale=0.2, seed=5,
+            allow_level_shifters=True,
+        )
+        assert design.notes.get("level_shifters", 0) > 0
+        assert boundary_violations(design) == []
+        design.netlist.validate()
+        assert result.total_power_mw > 0

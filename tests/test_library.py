@@ -1,0 +1,107 @@
+"""Tests for the StdCellLibrary container (repro.liberty.library)."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_library_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def lib12(pair):
+    return pair[0]
+
+
+@pytest.fixture(scope="module")
+def lib9(pair):
+    return pair[1]
+
+
+class TestLookups:
+    def test_cell_by_name(self, lib12):
+        cell = lib12.cell("INVX1_12T")
+        assert cell.function is CellFunction.INV
+        assert cell.drive == 1
+
+    def test_missing_cell_raises(self, lib12):
+        with pytest.raises(LibraryError):
+            lib12.cell("NOPE")
+
+    def test_get_by_function_and_drive(self, lib12):
+        cell = lib12.get(CellFunction.NAND2, 4)
+        assert cell.drive == 4
+
+    def test_missing_drive_raises(self, lib12):
+        with pytest.raises(LibraryError):
+            lib12.get(CellFunction.NAND2, 3)
+
+    def test_contains_and_len(self, lib12):
+        assert "INVX1_12T" in lib12
+        assert "NOPE" not in lib12
+        assert len(lib12) > 50
+
+    def test_drives_sorted(self, lib12):
+        drives = lib12.drives_for(CellFunction.INV)
+        assert drives == tuple(sorted(drives))
+        assert drives[0] == 1
+
+    def test_duplicate_cell_rejected(self, lib12):
+        with pytest.raises(LibraryError):
+            lib12.add_cell(lib12.cell("INVX1_12T"))
+
+
+class TestSizing:
+    def test_upsize_steps_through_drives(self, lib12):
+        x1 = lib12.get(CellFunction.INV, 1)
+        x2 = lib12.upsize(x1)
+        assert x2.drive == 2
+        assert lib12.upsize(lib12.get(CellFunction.INV, 8)) is None
+
+    def test_downsize(self, lib12):
+        x4 = lib12.get(CellFunction.INV, 4)
+        assert lib12.downsize(x4).drive == 2
+        assert lib12.downsize(lib12.get(CellFunction.INV, 1)) is None
+
+    def test_upsize_reduces_drive_resistance(self, lib12):
+        x1 = lib12.get(CellFunction.NAND2, 1)
+        x4 = lib12.get(CellFunction.NAND2, 4)
+        load = 20.0
+        d1 = x1.worst_arc_to_output().delay.lookup(0.05, load)
+        d4 = x4.worst_arc_to_output().delay.lookup(0.05, load)
+        assert d4 < d1
+
+
+class TestCrossLibrary:
+    def test_equivalent_preserves_function_and_drive(self, lib12, lib9):
+        for cell in lib12.cells:
+            twin = lib9.equivalent_of(cell)
+            assert twin.function is cell.function
+            assert twin.drive == cell.drive
+            assert twin.library_name == lib9.name
+
+    def test_equivalent_falls_back_to_closest_drive(self, lib12, lib9):
+        # CLKBUF exists at x16 in both; fabricate a lookup for a drive
+        # that exists only via closest-match by asking for DFF x8's twin.
+        dff8 = lib12.get(CellFunction.DFF, 8)
+        twin = lib9.equivalent_of(dff8)
+        assert twin.function is CellFunction.DFF
+
+    def test_voltage_compatibility_rule(self, lib12, lib9):
+        # 0.90 - 0.81 = 0.09 < 0.3*0.90 and < min vth: compatible.
+        assert lib12.voltage_compatible_with(lib9)
+        assert lib9.voltage_compatible_with(lib12)
+
+    def test_voltage_rule_rejects_large_difference(self, lib12, lib9):
+        import dataclasses
+
+        low = dataclasses.replace(lib9, vdd_v=0.55, _cells=lib9._cells,
+                                  _by_function=lib9._by_function)
+        assert not lib12.voltage_compatible_with(low)
+
+    def test_slew_ranges_overlap(self, lib12, lib9):
+        assert lib12.slew_ranges_overlap(lib9)

@@ -1,0 +1,207 @@
+"""Tests for the netlist database (repro.netlist.core)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_twelve_track_library
+from repro.netlist.core import Netlist, PortDirection
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_twelve_track_library()
+
+
+@pytest.fixture
+def simple(lib):
+    """clk -> FF -> INV -> INV -> FF, with one primary input."""
+    nl = Netlist("simple")
+    nl.add_port("clk", PortDirection.INPUT, is_clock=True)
+    nl.add_port("din", PortDirection.INPUT)
+    ff_in = nl.add_instance("ff_in", lib.get(CellFunction.DFF, 1))
+    inv1 = nl.add_instance("inv1", lib.get(CellFunction.INV, 1))
+    inv2 = nl.add_instance("inv2", lib.get(CellFunction.INV, 2))
+    ff_out = nl.add_instance("ff_out", lib.get(CellFunction.DFF, 1))
+    nl.add_net("q0")
+    nl.add_net("n1")
+    nl.add_net("n2")
+    nl.connect("din", "ff_in", "D")
+    nl.connect("clk", "ff_in", "CK")
+    nl.connect("q0", "ff_in", "Q")
+    nl.connect("q0", "inv1", "A")
+    nl.connect("n1", "inv1", "Y")
+    nl.connect("n1", "inv2", "A")
+    nl.connect("n2", "inv2", "Y")
+    nl.connect("n2", "ff_out", "D")
+    nl.connect("clk", "ff_out", "CK")
+    return nl
+
+
+class TestConstruction:
+    def test_valid_design_validates(self, simple, lib):
+        # ff_out.Q dangles which is fine; all inputs connected
+        simple.add_net("qo")
+        simple.connect("qo", "ff_out", "Q")
+        simple.validate()
+
+    def test_duplicate_port_rejected(self, simple):
+        with pytest.raises(NetlistError):
+            simple.add_port("din", PortDirection.INPUT)
+
+    def test_second_clock_rejected(self, simple):
+        with pytest.raises(NetlistError):
+            simple.add_port("clk2", PortDirection.INPUT, is_clock=True)
+
+    def test_output_clock_rejected(self, lib):
+        nl = Netlist("x")
+        with pytest.raises(NetlistError):
+            nl.add_port("co", PortDirection.OUTPUT, is_clock=True)
+
+    def test_duplicate_instance_rejected(self, simple, lib):
+        with pytest.raises(NetlistError):
+            simple.add_instance("inv1", lib.get(CellFunction.INV, 1))
+
+    def test_duplicate_net_rejected(self, simple):
+        with pytest.raises(NetlistError):
+            simple.add_net("n1")
+
+
+class TestConnectivity:
+    def test_driver_and_sinks_recorded(self, simple):
+        net = simple.nets["n1"]
+        assert net.driver == ("inv1", "Y")
+        assert ("inv2", "A") in net.sinks
+        assert net.fanout == 1
+
+    def test_double_driver_rejected(self, simple, lib):
+        simple.add_instance("spare", lib.get(CellFunction.INV, 1))
+        with pytest.raises(NetlistError):
+            simple.connect("n1", "spare", "Y")
+
+    def test_double_connection_rejected(self, simple):
+        with pytest.raises(NetlistError):
+            simple.connect("n2", "inv2", "A")
+
+    def test_unknown_pin_rejected(self, simple):
+        with pytest.raises(NetlistError):
+            simple.connect("n1", "inv2", "Z")
+
+    def test_disconnect_then_reconnect(self, simple):
+        simple.disconnect("inv2", "A")
+        assert simple.nets["n1"].fanout == 0
+        simple.connect("n1", "inv2", "A")
+        assert simple.nets["n1"].fanout == 1
+
+    def test_disconnect_unconnected_rejected(self, simple, lib):
+        simple.add_instance("spare", lib.get(CellFunction.INV, 1))
+        with pytest.raises(NetlistError):
+            simple.disconnect("spare", "A")
+
+    def test_remove_instance_unbinds(self, simple):
+        simple.remove_instance("inv2")
+        assert simple.nets["n1"].fanout == 0
+        assert simple.nets["n2"].driver is None
+
+    def test_remove_net_requires_empty(self, simple):
+        with pytest.raises(NetlistError):
+            simple.remove_net("n1")
+        simple.disconnect("inv1", "Y")
+        simple.disconnect("inv2", "A")
+        simple.remove_net("n1")
+        assert "n1" not in simple.nets
+
+    def test_fanout_fanin_iteration(self, simple):
+        fanout = [i.name for i in simple.fanout_instances("inv1")]
+        assert fanout == ["inv2"]
+        fanin = [i.name for i in simple.fanin_instances("inv2")]
+        assert fanin == ["inv1"]
+
+
+class TestRebind:
+    def test_rebind_same_function(self, simple, lib):
+        simple.rebind("inv1", lib.get(CellFunction.INV, 8))
+        assert simple.instances["inv1"].cell.drive == 8
+        simple.validate()
+
+    def test_rebind_missing_pin_rejected(self, simple, lib):
+        # a DFF has no 'A' or 'Y' pin, so the inverter's bindings break
+        with pytest.raises(NetlistError):
+            simple.rebind("inv1", lib.get(CellFunction.DFF, 1))
+
+
+class TestTraversal:
+    def test_topological_order(self, simple):
+        order = [i.name for i in simple.topological_order()]
+        assert order.index("inv1") < order.index("inv2")
+        assert "ff_in" not in order  # sequential cells are sources
+
+    def test_combinational_loop_detected(self, lib):
+        nl = Netlist("loop")
+        a = nl.add_instance("a", lib.get(CellFunction.INV, 1))
+        b = nl.add_instance("b", lib.get(CellFunction.INV, 1))
+        nl.add_net("na")
+        nl.add_net("nb")
+        nl.connect("na", "a", "Y")
+        nl.connect("na", "b", "A")
+        nl.connect("nb", "b", "Y")
+        nl.connect("nb", "a", "A")
+        with pytest.raises(NetlistError):
+            nl.topological_order()
+
+    def test_sequential_and_combinational_split(self, simple):
+        seq = {i.name for i in simple.sequential_instances()}
+        comb = {i.name for i in simple.combinational_instances()}
+        assert seq == {"ff_in", "ff_out"}
+        assert comb == {"inv1", "inv2"}
+
+    def test_clock_sinks(self, simple):
+        sinks = dict(simple.clock_sinks())
+        assert sinks == {"ff_in": "CK", "ff_out": "CK"}
+
+
+class TestTiersAndAreas:
+    def test_tier_area(self, simple):
+        simple.instances["inv1"].tier = 1
+        a1 = simple.tier_area_um2(1)
+        assert a1 == pytest.approx(simple.instances["inv1"].area_um2)
+        assert simple.tiers_used() == (0, 1)
+
+    def test_cut_nets(self, simple):
+        assert simple.cut_nets() == []
+        simple.instances["inv2"].tier = 1
+        cut = {n.name for n in simple.cut_nets()}
+        assert cut == {"n1", "n2"}  # inv1(Y,t0)->inv2(t1), inv2(t1)->ff_out(t0)
+
+
+class TestValidation:
+    def test_floating_input_detected(self, simple, lib):
+        simple.add_instance("lonely", lib.get(CellFunction.INV, 1))
+        with pytest.raises(NetlistError):
+            simple.validate()
+
+    def test_undriven_net_detected(self, simple):
+        simple.add_net("dangling")
+        simple.connect("dangling", "ff_out", "Q") if False else None
+        with pytest.raises(NetlistError):
+            simple.validate()
+
+
+class TestMisc:
+    def test_unique_name(self, simple):
+        name = simple.unique_name("inv")
+        assert name not in simple.instances
+        assert name not in simple.nets
+
+    def test_summary(self, simple):
+        s = simple.summary()
+        assert s["instances"] == 4
+        assert s["sequential"] == 2
+
+    def test_center_requires_placement(self, simple):
+        with pytest.raises(NetlistError):
+            simple.instances["inv1"].center()
+        simple.instances["inv1"].x_um = 1.0
+        simple.instances["inv1"].y_um = 2.0
+        cx, cy = simple.instances["inv1"].center()
+        assert cx > 1.0 and cy > 2.0

@@ -1,0 +1,139 @@
+"""Tests for the timing optimizer (repro.flow.opt)."""
+
+import pytest
+
+from repro.flow.design import Design
+from repro.flow.opt import (
+    AreaBudget,
+    optimize_timing,
+    recover_area,
+)
+from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+def make_design(pair, name="aes", period=0.7, scale=0.3):
+    lib12, _ = pair
+    nl = generate_netlist(name, lib12, scale=scale, seed=13)
+    design = Design(
+        name=name,
+        config="2D_12T",
+        netlist=nl,
+        tier_libs={0: lib12},
+        target_period_ns=period,
+    )
+    place_with_congestion_control(design)
+    legalize_all_tiers(design)
+    return design
+
+
+class TestOptimizeTiming:
+    def test_wns_improves(self, pair):
+        design = make_design(pair, period=0.55)
+        calc = design.calculator(placed=True)
+        stats = optimize_timing(design, calc, max_iterations=6)
+        assert stats.wns_after_ns > stats.wns_before_ns
+        assert stats.upsized > 0
+
+    def test_netlist_stays_valid(self, pair):
+        design = make_design(pair, period=0.5)
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc, max_iterations=6)
+        design.netlist.validate()
+        design.netlist.topological_order()
+
+    def test_stops_when_target_met(self, pair):
+        design = make_design(pair, period=3.0)  # trivially easy target
+        calc = design.calculator(placed=True)
+        stats = optimize_timing(design, calc, max_iterations=8)
+        assert stats.iterations == 1
+        assert stats.upsized == 0
+
+    def test_area_budget_respected(self, pair):
+        from repro.place.legalizer import row_capacity_um2
+
+        design = make_design(pair, period=0.35)  # impossible target
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc, max_iterations=20)
+        used = design.netlist.cell_area_um2(lambda i: not i.cell.is_macro)
+        cap = row_capacity_um2(
+            design.floorplan, design.tier_libs[0], 0
+        )
+        assert used <= 0.94 * cap
+
+    def test_legalizable_after_optimization(self, pair):
+        design = make_design(pair, period=0.35)
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc, max_iterations=20)
+        legalize_all_tiers(design)  # must not raise
+
+    def test_cloning_kicks_in_at_impossible_targets(self, pair):
+        design = make_design(pair, period=0.3)
+        before = len(design.netlist.instances)
+        calc = design.calculator(placed=True)
+        stats = optimize_timing(design, calc, max_iterations=16)
+        after = len(design.netlist.instances)
+        assert stats.cloned == after - before - stats.buffers_added
+
+
+class TestAreaBudget:
+    def test_unbounded_without_floorplan(self, pair):
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=13)
+        design = Design("aes", "2D", nl, {0: lib12})
+        budget = AreaBudget(design)
+        assert budget.can_grow(0, 1e9)
+
+    def test_bounded_with_floorplan(self, pair):
+        design = make_design(pair)
+        budget = AreaBudget(design)
+        assert budget.can_grow(0, 0.0)
+        assert not budget.can_grow(0, 1e9)
+
+    def test_apply_consumes(self, pair):
+        design = make_design(pair)
+        budget = AreaBudget(design, max_fill=0.99)
+        import repro.place.legalizer as lg
+
+        cap = lg.row_capacity_um2(design.floorplan, design.tier_libs[0], 0)
+        used = design.netlist.cell_area_um2(lambda i: not i.cell.is_macro)
+        headroom = cap * 0.99 - used
+        assert budget.can_grow(0, headroom * 0.9)
+        budget.apply(0, headroom * 0.9)
+        assert not budget.can_grow(0, headroom * 0.2)
+
+
+class TestRecoverArea:
+    def test_recovery_reduces_area_without_breaking_timing(self, pair):
+        # First oversize at a tight target, then relax the target: the
+        # recovered slack lets most of the upsizing be taken back.
+        design = make_design(pair, period=0.55)
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc, max_iterations=6)
+        design.target_period_ns = 1.4
+        base = run_sta(design.netlist, calc, 1.4, with_cell_slacks=False)
+        area_before = design.netlist.cell_area_um2()
+        n = recover_area(design, calc)
+        assert n > 0
+        assert design.netlist.cell_area_um2() < area_before
+        after = run_sta(design.netlist, calc, 1.4, with_cell_slacks=False)
+        assert after.wns_ns > -0.02 * 1.4 or after.wns_ns >= base.wns_ns - 0.05
+
+    def test_recovery_skips_sequential(self, pair):
+        design = make_design(pair, period=1.4)
+        drives_before = {
+            n: i.cell.drive
+            for n, i in design.netlist.instances.items()
+            if i.cell.is_sequential
+        }
+        calc = design.calculator(placed=True)
+        recover_area(design, calc)
+        for name, drive in drives_before.items():
+            assert design.netlist.instances[name].cell.drive == drive

@@ -1,0 +1,193 @@
+"""Tests for bin-based FM, timing-driven pinning (repro.partition)."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+from repro.partition.bins import bin_fm_partition
+from repro.partition.timing_driven import timing_based_pinning
+from repro.place.floorplan import build_floorplan
+from repro.place.quadratic import global_place
+from repro.timing.delaycalc import DelayCalculator, PlacementWireModel
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def placed_cpu(pair):
+    lib12, _ = pair
+    nl = generate_netlist("cpu", lib12, scale=0.4, seed=5)
+    # mirror the 3-D flows: macros alternate tiers for balanced blockage
+    for i, macro in enumerate(sorted(nl.memory_macros(), key=lambda m: m.name)):
+        macro.tier = i % 2
+    fp = build_floorplan(nl, {0: lib12, 1: lib12}, utilization=0.75,
+                         demand_scale=0.5)
+    global_place(nl, fp, area_scale=0.5)
+    return nl, fp, lib12
+
+
+class TestBinFM:
+    def test_every_instance_assigned(self, placed_cpu):
+        nl, fp, _ = placed_cpu
+        areas = {n: i.area_um2 for n, i in nl.instances.items()}
+        assignment = bin_fm_partition(
+            nl, fp.width_um, fp.height_um, areas, areas
+        )
+        assert set(assignment) >= set(nl.instances)
+        assert set(assignment.values()) <= {0, 1}
+
+    def test_areas_balanced(self, placed_cpu):
+        nl, fp, _ = placed_cpu
+        areas = {n: i.area_um2 for n, i in nl.instances.items()}
+        assignment = bin_fm_partition(
+            nl, fp.width_um, fp.height_um, areas, areas
+        )
+        a = [0.0, 0.0]
+        for name, inst in nl.instances.items():
+            if inst.cell.is_macro:
+                continue
+            a[assignment[name]] += inst.area_um2
+        total = sum(a)
+        assert abs(a[0] - total / 2) < 0.2 * total
+
+    def test_local_balance_within_bins(self, placed_cpu):
+        """Both tiers share the footprint: every region must balance.
+
+        Macro blockage counts as occupied area on its own tier, so the
+        quadrant accounting includes it -- that is exactly why a logic-
+        over-memory partition is balanced even though the standard cells
+        are lopsided there.
+        """
+        nl, fp, _ = placed_cpu
+        areas = {n: i.area_um2 for n, i in nl.instances.items()}
+        assignment = bin_fm_partition(
+            nl, fp.width_um, fp.height_um, areas, areas, grid=4
+        )
+        quad = {}
+        for name, inst in nl.instances.items():
+            if inst.cell.is_macro:
+                continue
+            cx, cy = inst.center()
+            key = (
+                min(1, int(2 * cx / fp.width_um)),
+                min(1, int(2 * cy / fp.height_um)),
+            )
+            sides = quad.setdefault(key, [0.0, 0.0])
+            sides[assignment[name]] += inst.area_um2
+        # Macros span quadrants; attribute their area by overlap.
+        for macro in nl.memory_macros():
+            for qx in (0, 1):
+                for qy in (0, 1):
+                    x0, x1 = qx * fp.width_um / 2, (qx + 1) * fp.width_um / 2
+                    y0, y1 = qy * fp.height_um / 2, (qy + 1) * fp.height_um / 2
+                    ox = max(0.0, min(x1, macro.x_um + macro.cell.width_um)
+                             - max(x0, macro.x_um))
+                    oy = max(0.0, min(y1, macro.y_um + macro.cell.height_um)
+                             - max(y0, macro.y_um))
+                    if ox * oy > 0:
+                        sides = quad.setdefault((qx, qy), [0.0, 0.0])
+                        sides[assignment[macro.name]] += ox * oy
+        # The binding invariant is capacity, not symmetry: no tier may be
+        # over-subscribed in any region (macros count as occupied area).
+        quadrant_area = fp.area_um2 / 4.0
+        for key, (s0, s1) in quad.items():
+            assert s0 <= quadrant_area * 1.05, (key, s0)
+            assert s1 <= quadrant_area * 1.05, (key, s1)
+
+    def test_pinned_cells_stay(self, placed_cpu):
+        nl, fp, _ = placed_cpu
+        areas = {n: i.area_um2 for n, i in nl.instances.items()}
+        pinned = {name: 0 for name in sorted(nl.instances)[:50]}
+        assignment = bin_fm_partition(
+            nl, fp.width_um, fp.height_um, areas, areas, pinned=pinned
+        )
+        for name in pinned:
+            assert assignment[name] == 0
+
+    def test_macros_default_to_their_tier(self, placed_cpu):
+        nl, fp, _ = placed_cpu
+        areas = {n: i.area_um2 for n, i in nl.instances.items()}
+        assignment = bin_fm_partition(
+            nl, fp.width_um, fp.height_um, areas, areas
+        )
+        for macro in nl.memory_macros():
+            assert assignment[macro.name] == macro.tier
+
+    def test_cut_fraction_reasonable(self, placed_cpu):
+        """Paper: ~15% of nets connect the two tiers in M3D CPUs."""
+        nl, fp, _ = placed_cpu
+        areas = {n: i.area_um2 for n, i in nl.instances.items()}
+        assignment = bin_fm_partition(
+            nl, fp.width_um, fp.height_um, areas, areas
+        )
+        for name, tier in assignment.items():
+            nl.instances[name].tier = tier
+        cut = len(nl.cut_nets())
+        assert 0.02 < cut / len(nl.nets) < 0.6
+
+    def test_unplaced_rejected(self, pair):
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=5)
+        areas = {n: i.area_um2 for n, i in nl.instances.items()}
+        with pytest.raises(PartitionError):
+            bin_fm_partition(nl, 100.0, 100.0, areas, areas)
+
+
+class TestTimingBasedPinning:
+    @pytest.fixture()
+    def analyzed(self, pair, placed_cpu):
+        nl, fp, lib12 = placed_cpu
+        calc = DelayCalculator(
+            nl, PlacementWireModel(lib12), {l.name: l for l in pair}
+        )
+        report = run_sta(nl, calc, 1.0, with_cell_slacks=True)
+        return nl, report
+
+    def test_pins_most_critical_first(self, analyzed):
+        nl, report = analyzed
+        pinned = timing_based_pinning(nl, report.cell_slack,
+                                      area_cap_fraction=0.25)
+        assert pinned
+        worst = min(report.cell_slack, key=report.cell_slack.get)
+        assert worst in pinned
+        assert set(pinned.values()) == {0}
+
+    def test_area_cap_respected(self, analyzed):
+        nl, report = analyzed
+        for cap in (0.1, 0.25):
+            pinned = timing_based_pinning(nl, report.cell_slack,
+                                          area_cap_fraction=cap)
+            area = sum(nl.instances[n].area_um2 for n in pinned)
+            total = nl.cell_area_um2(lambda i: not i.cell.is_macro)
+            assert area <= cap * total + 1e-6
+
+    def test_critical_blocks_dominate_pins(self, analyzed):
+        """The deep mul block supplies the timing-critical cluster."""
+        nl, report = analyzed
+        pinned = timing_based_pinning(nl, report.cell_slack,
+                                      area_cap_fraction=0.25)
+        mul = sum(1 for n in pinned if nl.instances[n].block == "mul")
+        assert mul > 0.2 * len(pinned)
+
+    def test_macros_never_pinned(self, analyzed):
+        nl, report = analyzed
+        slacks = dict(report.cell_slack)
+        for macro in nl.memory_macros():
+            slacks[macro.name] = -99.0
+        pinned = timing_based_pinning(nl, slacks, area_cap_fraction=0.25)
+        for macro in nl.memory_macros():
+            assert macro.name not in pinned
+
+    def test_bad_cap_rejected(self, analyzed):
+        nl, report = analyzed
+        with pytest.raises(PartitionError):
+            timing_based_pinning(nl, report.cell_slack, area_cap_fraction=0.9)
+
+    def test_empty_slacks_give_empty_pinning(self, placed_cpu):
+        nl, _fp, _lib = placed_cpu
+        assert timing_based_pinning(nl, {}) == {}

@@ -1,0 +1,138 @@
+"""Tests for the power delivery network analysis (repro.pdn)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FlowError
+from repro.flow import run_flow_2d, run_flow_hetero_3d
+from repro.liberty.presets import make_library_pair
+from repro.pdn import PdnConfig, analyze_pdn, solve_ir_drop
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+class TestSolver:
+    def test_uniform_load_peaks_at_center(self):
+        n = 12
+        drops = solve_ir_drop({0: np.full((n, n), 0.5)})
+        d = drops[0]
+        center = d[n // 2, n // 2]
+        assert center == d.max()
+        assert d[0, 0] < center  # pad-adjacent corners barely drop
+
+    def test_drop_scales_linearly_with_current(self):
+        n = 12
+        one = solve_ir_drop({0: np.full((n, n), 0.5)})[0]
+        two = solve_ir_drop({0: np.full((n, n), 1.0)})[0]
+        assert np.allclose(two, 2 * one, rtol=1e-6)
+
+    def test_top_tier_drops_more(self):
+        """The via-fed top die pays for every milliamp twice."""
+        n = 10
+        maps = {0: np.full((n, n), 0.4), 1: np.full((n, n), 0.4)}
+        drops = solve_ir_drop(maps, PdnConfig(bins=n))
+        assert drops[1].max() > drops[0].max()
+        assert drops[1].mean() > drops[0].mean()
+
+    def test_idle_top_tier_rides_bottom_voltage(self):
+        n = 10
+        maps = {0: np.full((n, n), 0.4), 1: np.zeros((n, n))}
+        drops = solve_ir_drop(maps, PdnConfig(bins=n))
+        # with no current of its own, the top tier sits at (roughly) the
+        # bottom tier's local voltage
+        assert drops[1].max() <= drops[0].max() + 1e-6
+
+    def test_stiffer_grid_reduces_drop(self):
+        n = 10
+        maps = {0: np.full((n, n), 0.5)}
+        soft = solve_ir_drop(maps, PdnConfig(bins=n, grid_r_ohm=0.2))[0]
+        stiff = solve_ir_drop(maps, PdnConfig(bins=n, grid_r_ohm=0.02))[0]
+        assert stiff.max() < soft.max()
+
+    def test_via_resistance_penalizes_top_tier_only(self):
+        n = 10
+        maps = {0: np.full((n, n), 0.3), 1: np.full((n, n), 0.3)}
+        cheap = solve_ir_drop(maps, PdnConfig(bins=n, via_r_ohm=0.05))
+        costly = solve_ir_drop(maps, PdnConfig(bins=n, via_r_ohm=2.0))
+        assert costly[1].max() > cheap[1].max()
+        assert abs(costly[0].max() - cheap[0].max()) < 0.5 * (
+            costly[1].max() - cheap[1].max()
+        )
+
+    def test_requires_tier_zero(self):
+        with pytest.raises(FlowError):
+            solve_ir_drop({1: np.zeros((12, 12))})
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(FlowError):
+            solve_ir_drop({0: np.zeros((3, 4))})
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(FlowError):
+            PdnConfig(bins=1)
+        with pytest.raises(FlowError):
+            PdnConfig(grid_r_ohm=0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        current=st.floats(min_value=0.01, max_value=5.0),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    def test_drops_nonnegative_property(self, current, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        maps = {0: rng.random((n, n)) * current}
+        drops = solve_ir_drop(maps, PdnConfig(bins=n))[0]
+        assert (drops >= -1e-9).all()
+
+
+class TestDesignAnalysis:
+    @pytest.fixture(scope="class")
+    def hetero(self, pair):
+        lib12, lib9 = pair
+        design, _ = run_flow_hetero_3d(
+            "cpu", lib12, lib9, period_ns=1.2, scale=0.4, seed=4
+        )
+        return design
+
+    def test_report_structure(self, hetero):
+        report = analyze_pdn(hetero)
+        assert set(report.tiers) == {0, 1}
+        for tier, tr in report.tiers.items():
+            assert tr.total_current_ma > 0
+            assert tr.worst_drop_mv >= tr.mean_drop_mv >= 0
+        assert report.worst_tier.tier in (0, 1)
+
+    def test_current_scale(self, hetero):
+        base = analyze_pdn(hetero)
+        scaled = analyze_pdn(hetero, current_scale=50.0)
+        for tier in base.tiers:
+            assert scaled.tiers[tier].worst_drop_mv == pytest.approx(
+                50.0 * base.tiers[tier].worst_drop_mv, rel=1e-6
+            )
+
+    def test_budget_check(self, hetero):
+        tiny = analyze_pdn(hetero)
+        assert tiny.meets_budget()  # repro-scale currents are tiny
+        huge = analyze_pdn(hetero, current_scale=1e7)
+        assert not huge.meets_budget()
+
+    def test_2d_design_single_tier(self, pair):
+        lib12, _ = pair
+        design, _ = run_flow_2d("aes", lib12, period_ns=0.8, scale=0.3, seed=4)
+        report = analyze_pdn(design)
+        assert set(report.tiers) == {0}
+
+    def test_unplaced_design_rejected(self, pair):
+        from repro.flow.design import Design
+        from repro.netlist.generators import generate_netlist
+
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=4)
+        design = Design("aes", "2D", nl, {0: lib12})
+        with pytest.raises(ValueError):
+            analyze_pdn(design)

@@ -1,0 +1,171 @@
+"""Tests for global placement and legalization (repro.place)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+from repro.place.floorplan import MACRO_HALO, build_floorplan
+from repro.place.legalizer import legalize
+from repro.place.quadratic import global_place
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def placed_aes(pair):
+    lib12, _ = pair
+    nl = generate_netlist("aes", lib12, scale=0.3, seed=3)
+    fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+    global_place(nl, fp)
+    return nl, fp, lib12
+
+
+class TestGlobalPlace:
+    def test_everything_placed_inside_die(self, placed_aes):
+        nl, fp, _lib = placed_aes
+        for inst in nl.instances.values():
+            assert inst.is_placed
+            assert -1e-6 <= inst.x_um <= fp.width_um
+            assert -1e-6 <= inst.y_um <= fp.height_um
+
+    def test_deterministic(self, pair):
+        lib12, _ = pair
+        positions = []
+        for _ in range(2):
+            nl = generate_netlist("aes", lib12, scale=0.3, seed=3)
+            fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+            global_place(nl, fp)
+            positions.append(
+                {n: (i.x_um, i.y_um) for n, i in nl.instances.items()}
+            )
+        assert positions[0] == positions[1]
+
+    def test_connected_cells_are_near(self, placed_aes):
+        """Placement quality: connected pairs much closer than random pairs."""
+        nl, fp, _lib = placed_aes
+        import itertools
+        import random
+
+        rng = random.Random(0)
+        connected = []
+        for net in nl.nets.values():
+            if net.is_clock or net.driver is None or not net.sinks:
+                continue
+            a = nl.instances[net.driver[0]].center()
+            b = nl.instances[net.sinks[0][0]].center()
+            connected.append(abs(a[0] - b[0]) + abs(a[1] - b[1]))
+        names = sorted(nl.instances)
+        random_pairs = []
+        for _ in range(len(connected)):
+            a = nl.instances[rng.choice(names)].center()
+            b = nl.instances[rng.choice(names)].center()
+            random_pairs.append(abs(a[0] - b[0]) + abs(a[1] - b[1]))
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(connected) < 0.6 * mean(random_pairs)
+
+
+class TestLegalizer:
+    def test_no_overlaps_and_row_alignment(self, placed_aes):
+        nl, fp, lib = placed_aes
+        legalize(nl, fp, lib, tier=0)
+        pitch = lib.cell_height_um
+        rows: dict[int, list] = {}
+        for inst in nl.instances.values():
+            if inst.cell.is_macro:
+                continue
+            row = round(inst.y_um / pitch)
+            assert inst.y_um == pytest.approx(row * pitch, abs=1e-6)
+            rows.setdefault(row, []).append(inst)
+        for members in rows.values():
+            members.sort(key=lambda i: i.x_um)
+            for a, b in zip(members, members[1:]):
+                assert b.x_um >= a.x_um + a.cell.width_um - 1e-6
+
+    def test_cells_stay_inside_die(self, placed_aes):
+        nl, fp, lib = placed_aes
+        legalize(nl, fp, lib, tier=0)
+        for inst in nl.instances.values():
+            assert inst.x_um >= -1e-6
+            assert inst.x_um + inst.cell.width_um <= fp.width_um + 1e-6
+
+    def test_only_requested_tier_moves(self, pair):
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=3)
+        names = sorted(nl.instances)
+        for name in names[::2]:
+            nl.instances[name].tier = 1
+        fp = build_floorplan(nl, {0: lib12, 1: lib12}, utilization=0.7)
+        global_place(nl, fp)
+        before = {n: (i.x_um, i.y_um) for n, i in nl.instances.items() if i.tier == 1}
+        legalize(nl, fp, lib12, tier=0)
+        after = {n: (i.x_um, i.y_um) for n, i in nl.instances.items() if i.tier == 1}
+        assert before == after
+
+    def test_overfull_tier_raises(self, pair):
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=3)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        global_place(nl, fp)
+        fp.width_um *= 0.6  # shrink the die after placement
+        with pytest.raises(PlacementError):
+            legalize(nl, fp, lib12, tier=0)
+
+    def test_macro_blockages_respected(self, pair):
+        lib12, _ = pair
+        nl = generate_netlist("cpu", lib12, scale=0.5, seed=3)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        global_place(nl, fp)
+        legalize(nl, fp, lib12, tier=0)
+        for slot in fp.macros:
+            hx0, hy0 = slot.x_um, slot.y_um
+            hx1 = slot.x_um + slot.width_um * (1 + MACRO_HALO)
+            hy1 = slot.y_um + slot.height_um * (1 + MACRO_HALO)
+            for inst in nl.instances.values():
+                if inst.cell.is_macro or inst.tier != slot.tier:
+                    continue
+                no_overlap = (
+                    inst.x_um + inst.cell.width_um <= hx0 + 1e-6
+                    or inst.x_um >= hx1 - 1e-6
+                    or inst.y_um + inst.cell.height_um <= hy0 + 1e-6
+                    or inst.y_um >= hy1 - 1e-6
+                )
+                assert no_overlap, f"{inst.name} overlaps macro {slot.name}"
+
+    def test_different_tier_row_pitches(self, pair):
+        """9T and 12T tiers legalize against their own row heights."""
+        lib12, lib9 = pair
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=3)
+        names = sorted(nl.instances)
+        for name in names[::2]:
+            inst = nl.instances[name]
+            nl.rebind(name, lib9.equivalent_of(inst.cell))
+            inst.tier = 1
+        fp = build_floorplan(nl, {0: lib12, 1: lib9}, utilization=0.7)
+        global_place(nl, fp)
+        legalize(nl, fp, lib12, tier=0)
+        legalize(nl, fp, lib9, tier=1)
+        for inst in nl.instances.values():
+            pitch = 1.2 if inst.tier == 0 else 0.9
+            row = round(inst.y_um / pitch)
+            assert inst.y_um == pytest.approx(row * pitch, abs=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_legalization_preserves_cell_count_property(self, pair, seed):
+        lib12, _ = pair
+        nl = generate_netlist("ldpc", lib12, scale=0.2, seed=seed)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.75)
+        global_place(nl, fp)
+        stats = legalize(nl, fp, lib12, tier=0)
+        movable = [
+            i for i in nl.instances.values()
+            if not i.fixed and not i.cell.is_macro
+        ]
+        assert stats.cells == len(movable)
+        assert stats.total_displacement_um >= 0
+        assert stats.max_displacement_um <= fp.width_um + fp.height_um

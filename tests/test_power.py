@@ -1,0 +1,152 @@
+"""Tests for activity propagation and power analysis (repro.power)."""
+
+import pytest
+
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_library_pair
+from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.generators import generate_netlist
+from repro.power.activity import (
+    CLOCK_ACTIVITY,
+    propagate_activities,
+)
+from repro.power.analysis import analyze_power, net_switching_power_uw
+from repro.timing.delaycalc import DelayCalculator, FanoutWireModel
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def libs(pair):
+    return {lib.name: lib for lib in pair}
+
+
+@pytest.fixture(scope="module")
+def design(pair):
+    return generate_netlist("aes", pair[0], scale=0.3, seed=2)
+
+
+def make_calc(pair, nl):
+    return DelayCalculator(
+        nl, FanoutWireModel(pair[0]), {lib.name: lib for lib in pair}
+    )
+
+
+class TestActivityPropagation:
+    def test_all_nets_have_activity(self, design):
+        act = propagate_activities(design)
+        for net in design.nets.values():
+            assert net.name in act
+
+    def test_clock_activity(self, design):
+        act = propagate_activities(design)
+        assert act["clk"] == CLOCK_ACTIVITY
+
+    def test_activities_bounded(self, design):
+        act = propagate_activities(design)
+        for name, a in act.items():
+            if name == "clk":
+                continue
+            assert 0.0 < a <= 1.0
+
+    def test_activity_attenuates_through_and_gates(self, pair):
+        lib12 = pair[0]
+        nl = Netlist("att")
+        nl.add_port("a", PortDirection.INPUT)
+        nl.add_port("b", PortDirection.INPUT)
+        nl.add_instance("g", lib12.get(CellFunction.AND2, 1))
+        nl.add_net("y")
+        nl.connect("a", "g", "A")
+        nl.connect("b", "g", "B")
+        nl.connect("y", "g", "Y")
+        act = propagate_activities(nl, input_activity=0.2)
+        assert act["y"] < 0.2
+
+    def test_higher_input_activity_raises_everything(self, design):
+        low = propagate_activities(design, input_activity=0.05)
+        high = propagate_activities(design, input_activity=0.4)
+        data_nets = [
+            n.name
+            for n in design.nets.values()
+            if not n.is_clock and n.driver is not None
+        ]
+        higher = sum(1 for n in data_nets if high[n] >= low[n])
+        assert higher > 0.9 * len(data_nets)
+
+
+class TestPowerAnalysis:
+    def test_components_positive(self, pair, design, libs):
+        calc = make_calc(pair, design)
+        p = analyze_power(design, calc, 1.0, libs)
+        assert p.switching_mw > 0
+        assert p.internal_mw > 0
+        assert p.leakage_mw > 0
+        assert p.total_mw == pytest.approx(
+            p.switching_mw + p.internal_mw + p.leakage_mw + p.clock_mw
+        )
+
+    def test_power_scales_with_frequency(self, pair, design, libs):
+        calc = make_calc(pair, design)
+        p1 = analyze_power(design, calc, 1.0, libs)
+        p2 = analyze_power(design, calc, 2.0, libs)
+        assert p2.switching_mw == pytest.approx(2 * p1.switching_mw, rel=1e-6)
+        assert p2.leakage_mw == pytest.approx(p1.leakage_mw, rel=1e-6)
+
+    def test_clock_power_added(self, pair, design, libs):
+        calc = make_calc(pair, design)
+        p = analyze_power(design, calc, 1.0, libs, clock_power_mw=0.5)
+        assert p.clock_mw == 0.5
+
+    def test_nine_track_implementation_uses_less_power(self, pair, libs):
+        lib12, lib9 = pair
+        nl12 = generate_netlist("aes", lib12, scale=0.3, seed=2)
+        nl9 = generate_netlist("aes", lib9, scale=0.3, seed=2)
+        p12 = analyze_power(nl12, make_calc(pair, nl12), 1.0, libs)
+        p9 = analyze_power(nl9, make_calc(pair, nl9), 1.0, libs)
+        # same structure, slower/lower-voltage cells: strictly less power
+        assert p9.total_mw < p12.total_mw
+        assert p9.leakage_mw < p12.leakage_mw / 10
+
+    def test_boundary_leakage_penalty(self, pair, libs):
+        """A 12T cell driven from the 0.81V tier leaks more (Table III)."""
+        lib12, lib9 = pair
+        nl = Netlist("b")
+        nl.add_port("a", PortDirection.INPUT)
+        d9 = nl.add_instance("drv", lib9.get(CellFunction.INV, 1))
+        d9.tier = 1
+        nl.add_net("mid")
+        nl.add_net("out")
+        nl.connect("a", "drv", "A")
+        nl.connect("mid", "drv", "Y")
+        nl.add_instance("ld", lib12.get(CellFunction.INV, 1))
+        nl.connect("mid", "ld", "A")
+        nl.connect("out", "ld", "Y")
+        calc = make_calc(pair, nl)
+        hetero = analyze_power(nl, calc, 1.0, libs)
+
+        nl2 = Netlist("b2")
+        nl2.add_port("a", PortDirection.INPUT)
+        nl2.add_instance("drv", lib12.get(CellFunction.INV, 1))
+        nl2.add_net("mid")
+        nl2.add_net("out")
+        nl2.connect("a", "drv", "A")
+        nl2.connect("mid", "drv", "Y")
+        nl2.add_instance("ld", lib12.get(CellFunction.INV, 1))
+        nl2.connect("mid", "ld", "A")
+        nl2.connect("out", "ld", "Y")
+        homo = analyze_power(nl2, make_calc(pair, nl2), 1.0, libs)
+        # the heterogeneous load cell pays the exponential leakage factor
+        # (its own leakage rises >2x), but the 9T driver leaks far less
+        assert hetero.leakage_mw != homo.leakage_mw
+
+    def test_net_switching_power(self, pair, design, libs):
+        calc = make_calc(pair, design)
+        act = propagate_activities(design)
+        some_net = next(
+            n.name for n in design.nets.values() if n.driver and not n.is_clock
+        )
+        p = net_switching_power_uw(design, calc, some_net, 1.0, act)
+        assert p > 0

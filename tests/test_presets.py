@@ -1,0 +1,105 @@
+"""Tests for the 9/12-track library pair calibration (repro.liberty.presets).
+
+These pin down the relative numbers the paper's conclusions rest on; if a
+refactor drifts the calibration, these fail before any flow test does.
+"""
+
+import pytest
+
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import (
+    NINE_TRACK_CORNER,
+    TWELVE_TRACK_CORNER,
+    make_library_pair,
+)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+class TestCorners:
+    def test_supply_voltages(self, pair):
+        lib12, lib9 = pair
+        assert lib12.vdd_v == pytest.approx(0.90)
+        assert lib9.vdd_v == pytest.approx(0.81)
+
+    def test_track_heights(self, pair):
+        lib12, lib9 = pair
+        assert lib12.tracks == 12
+        assert lib9.tracks == 9
+        assert lib12.cell_height_um == pytest.approx(1.2)
+        assert lib9.cell_height_um == pytest.approx(0.9)
+
+    def test_area_scale_is_track_ratio(self):
+        assert NINE_TRACK_CORNER.area_scale == pytest.approx(0.75)
+        assert TWELVE_TRACK_CORNER.area_scale == pytest.approx(1.0)
+
+
+class TestRelativeCalibration:
+    def test_cell_area_ratio_075(self, pair):
+        """9-track cells are 25% smaller (same width, 9 vs 12 tracks)."""
+        lib12, lib9 = pair
+        for cell12 in lib12.cells:
+            if cell12.is_macro:
+                continue
+            cell9 = lib9.cell(cell12.name.replace("_12T", "_9T"))
+            assert cell9.area_um2 / cell12.area_um2 == pytest.approx(0.75)
+
+    def test_memory_macro_same_size_in_both(self, pair):
+        """Paper: 'the memories ... are of the same size in both variants'."""
+        lib12, lib9 = pair
+        mem12 = lib12.get(CellFunction.MEMORY, 1)
+        mem9 = lib9.get(CellFunction.MEMORY, 1)
+        assert mem12.area_um2 == pytest.approx(mem9.area_um2)
+
+    def test_fo4_delay_ratio_in_table2_band(self, pair):
+        """Table II FO-4 ratios are 1.60-1.89; loaded stages a bit higher."""
+        lib12, lib9 = pair
+        inv12 = lib12.get(CellFunction.INV, 1)
+        inv9 = lib9.get(CellFunction.INV, 1)
+        load12 = 4 * inv12.input_capacitance_ff("A")
+        load9 = 4 * inv9.input_capacitance_ff("A")
+        d12 = inv12.worst_arc_to_output().delay.lookup(0.02, load12)
+        d9 = inv9.worst_arc_to_output().delay.lookup(0.02, load9)
+        assert 1.4 <= d9 / d12 <= 2.2
+
+    def test_leakage_ratio_about_30x(self, pair):
+        """Table II: 0.093 uW vs 0.003 uW driver leakage."""
+        lib12, lib9 = pair
+        inv12 = lib12.get(CellFunction.INV, 1)
+        inv9 = lib9.get(CellFunction.INV, 1)
+        assert inv12.leakage_mw / inv9.leakage_mw == pytest.approx(30.0, rel=0.01)
+
+    def test_dynamic_energy_ratio(self, pair):
+        """9-track switches roughly half the energy (Table II power ratio)."""
+        lib12, lib9 = pair
+        e12 = lib12.get(CellFunction.NAND2, 1).internal_energy_pj
+        e9 = lib9.get(CellFunction.NAND2, 1).internal_energy_pj
+        assert 0.4 <= e9 / e12 <= 0.7
+
+    def test_sequential_constants_scale(self, pair):
+        lib12, lib9 = pair
+        dff12 = lib12.get(CellFunction.DFF, 1)
+        dff9 = lib9.get(CellFunction.DFF, 1)
+        assert dff9.clk_to_q_ns > dff12.clk_to_q_ns
+        assert dff9.setup_ns > dff12.setup_ns
+
+    def test_shared_beol(self, pair):
+        """Track variants share the BEOL stack (Section IV-D)."""
+        lib12, lib9 = pair
+        assert lib12.wire_r_kohm_per_um == lib9.wire_r_kohm_per_um
+        assert lib12.wire_c_ff_per_um == lib9.wire_c_ff_per_um
+
+    def test_drive_families_complete(self, pair):
+        """Every combinational function offers x1..x8 in both libraries."""
+        for lib in pair:
+            for fn in (
+                CellFunction.INV,
+                CellFunction.NAND2,
+                CellFunction.XOR2,
+                CellFunction.DFF,
+            ):
+                assert lib.drives_for(fn) == (1, 2, 4, 8)
+            assert lib.drives_for(CellFunction.CLKBUF) == (1, 2, 4, 8, 16)

@@ -1,0 +1,208 @@
+"""Property-based suites over the core engines (hypothesis).
+
+These hammer the invariants that hold for *any* structurally valid design:
+STA monotonicity, netlist edit consistency, legalization legality, power
+positivity, and cost-model dominance relations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cost.model import CostModel
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_library_pair
+from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.generators import generate_netlist
+from repro.timing.delaycalc import DelayCalculator, FanoutWireModel
+from repro.timing.sta import run_sta
+
+PAIR = make_library_pair()
+LIBS = {lib.name: lib for lib in PAIR}
+
+COMB_FUNCTIONS = [
+    CellFunction.INV,
+    CellFunction.BUF,
+    CellFunction.NAND2,
+    CellFunction.NOR2,
+    CellFunction.XOR2,
+    CellFunction.AOI21,
+]
+
+
+@st.composite
+def random_dags(draw):
+    """A random sequential DAG: FF sources, random gates, FF sinks."""
+    lib = PAIR[0]
+    n_gates = draw(st.integers(min_value=3, max_value=40))
+    n_sources = draw(st.integers(min_value=2, max_value=6))
+    rng_choices = st.randoms(use_true_random=False)
+    rng = draw(rng_choices)
+
+    nl = Netlist("prop")
+    nl.add_port("clk", PortDirection.INPUT, is_clock=True)
+    nets: list[str] = []
+    for i in range(n_sources):
+        nl.add_port(f"in_{i}", PortDirection.INPUT)
+        ff = nl.add_instance(f"src_{i}", lib.get(CellFunction.DFF, 1))
+        nl.connect(f"in_{i}", ff.name, "D")
+        nl.connect("clk", ff.name, "CK")
+        nl.add_net(f"q_{i}")
+        nl.connect(f"q_{i}", ff.name, "Q")
+        nets.append(f"q_{i}")
+
+    for g in range(n_gates):
+        fn = rng.choice(COMB_FUNCTIONS)
+        drive = rng.choice([1, 2, 4])
+        cell = lib.get(fn, drive)
+        inst = nl.add_instance(f"g_{g}", cell)
+        out = nl.add_net(f"n_{g}")
+        nl.connect(out.name, inst.name, cell.output_pin)
+        for pin in cell.input_pins:
+            nl.connect(rng.choice(nets), inst.name, pin)
+        nets.append(out.name)
+
+    # capture the last few nets so timing endpoints exist
+    for i, net in enumerate(nets[-3:]):
+        ff = nl.add_instance(f"cap_{i}", lib.get(CellFunction.DFF, 1))
+        nl.connect(net, ff.name, "D")
+        nl.connect("clk", ff.name, "CK")
+        nl.add_net(f"cq_{i}")
+        nl.connect(f"cq_{i}", ff.name, "Q")
+    return nl
+
+
+def make_calc(nl):
+    return DelayCalculator(nl, FanoutWireModel(PAIR[0]), LIBS)
+
+
+class TestStaProperties:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags())
+    def test_generated_dags_are_valid_and_analyzable(self, nl):
+        nl.validate()
+        nl.topological_order()
+        report = run_sta(nl, make_calc(nl), 1.0)
+        assert report.endpoint_slacks
+        assert report.wns_ns == min(report.endpoint_slacks.values())
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags(),
+           p1=st.floats(min_value=0.2, max_value=2.0),
+           p2=st.floats(min_value=0.2, max_value=2.0))
+    def test_slack_shift_equals_period_shift(self, nl, p1, p2):
+        calc = make_calc(nl)
+        r1 = run_sta(nl, calc, p1)
+        r2 = run_sta(nl, calc, p2)
+        assert r2.wns_ns - r1.wns_ns == pytest.approx(p2 - p1, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags())
+    def test_cell_slack_never_better_than_wns(self, nl):
+        calc = make_calc(nl)
+        report = run_sta(nl, calc, 0.5, with_cell_slacks=True)
+        for name, slack in report.cell_slack.items():
+            assert slack >= report.wns_ns - 1e-9, name
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags())
+    def test_critical_path_reconstruction(self, nl):
+        report = run_sta(nl, make_calc(nl), 0.7)
+        cp = report.critical_path
+        rebuilt = 0.7 + cp.clock_skew_ns - cp.setup_ns - cp.path_delay_ns
+        assert rebuilt == pytest.approx(cp.slack_ns, abs=1e-6)
+
+
+class TestEditProperties:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags(), seed=st.integers(min_value=0, max_value=999))
+    def test_upsize_round_trip_preserves_validity(self, nl, seed):
+        import random
+
+        rng = random.Random(seed)
+        lib = PAIR[0]
+        names = [
+            n for n, i in nl.instances.items() if not i.cell.is_sequential
+        ]
+        for name in rng.sample(names, min(5, len(names))):
+            inst = nl.instances[name]
+            bigger = lib.upsize(inst.cell)
+            if bigger is not None:
+                nl.rebind(name, bigger)
+        nl.validate()
+        nl.topological_order()
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags())
+    def test_remap_to_slow_library_never_speeds_up(self, nl):
+        lib9 = PAIR[1]
+        calc = make_calc(nl)
+        before = run_sta(nl, calc, 1.0)
+        for name, inst in list(nl.instances.items()):
+            nl.rebind(name, lib9.equivalent_of(inst.cell))
+        calc.invalidate()
+        after = run_sta(nl, calc, 1.0)
+        assert after.wns_ns <= before.wns_ns + 1e-9
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags())
+    def test_disconnect_reconnect_identity(self, nl):
+        calc = make_calc(nl)
+        before = run_sta(nl, calc, 1.0)
+        # pick an arbitrary connected gate input and bounce it
+        target = next(
+            (n, p, i.net_of(p))
+            for n, i in sorted(nl.instances.items())
+            if not i.cell.is_sequential
+            for p in i.cell.input_pins
+            if i.net_of(p) is not None
+        )
+        name, pin, net = target
+        nl.disconnect(name, pin)
+        nl.connect(net, name, pin)
+        calc.invalidate()
+        after = run_sta(nl, calc, 1.0)
+        assert after.wns_ns == pytest.approx(before.wns_ns, abs=1e-12)
+
+
+class TestPowerProperties:
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(nl=random_dags(),
+           f=st.floats(min_value=0.2, max_value=4.0))
+    def test_power_positive_and_frequency_linear_dynamic(self, nl, f):
+        from repro.power.analysis import analyze_power
+
+        calc = make_calc(nl)
+        p = analyze_power(nl, calc, f, LIBS)
+        assert p.total_mw > 0
+        p2 = analyze_power(nl, calc, 2 * f, LIBS)
+        dyn1 = p.switching_mw + p.internal_mw
+        dyn2 = p2.switching_mw + p2.internal_mw
+        assert dyn2 == pytest.approx(2 * dyn1, rel=1e-9)
+
+
+class TestCostProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        area=st.floats(min_value=0.05, max_value=200.0),
+        dw=st.floats(min_value=0.01, max_value=1.0),
+    )
+    def test_worse_defects_never_cheapen_dies(self, area, dw):
+        base = CostModel()
+        worse = CostModel(defect_density_per_mm2=base.defect_density_per_mm2 + dw)
+        assert worse.die_cost(area, 1).die_cost > base.die_cost(area, 1).die_cost
+
+    @settings(max_examples=40, deadline=None)
+    @given(area=st.floats(min_value=0.05, max_value=200.0))
+    def test_yield_in_unit_interval(self, area):
+        model = CostModel()
+        for tiers in (1, 2):
+            y = model.die_yield(area, tiers)
+            assert 0.0 < y <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for flow finalization and the FlowResult (repro.flow.report)."""
+
+import pytest
+
+from repro.flow import finalize_design, run_flow_2d, run_flow_hetero_3d
+from repro.flow.report import delta_pct
+from repro.liberty.presets import make_library_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def finished(pair):
+    lib12, lib9 = pair
+    return run_flow_hetero_3d(
+        "cpu", lib12, lib9, period_ns=1.2, scale=0.3, seed=16
+    )
+
+
+class TestFlowResult:
+    def test_row_is_flat_and_complete(self, finished):
+        _, result = finished
+        row = result.row()
+        expected = {
+            "frequency_ghz", "si_area_mm2", "chip_width_um", "density_pct",
+            "wl_mm", "mivs", "total_power_mw", "wns_ns", "tns_ns",
+            "effective_delay_ns", "pdp_pj", "die_cost_1e6", "cost_per_cm2",
+            "ppc",
+        }
+        assert set(row) == expected
+        assert all(isinstance(v, float) for v in row.values())
+
+    def test_derived_quantities_consistent(self, finished):
+        _, r = finished
+        assert r.effective_delay_ns == pytest.approx(r.period_ns - r.wns_ns)
+        assert r.pdp_pj == pytest.approx(
+            r.total_power_mw * r.effective_delay_ns
+        )
+        assert r.si_area_mm2 == pytest.approx(2 * r.footprint_mm2)
+        assert r.total_power_mw == pytest.approx(r.power.total_mw)
+        assert r.power.clock_mw > 0  # CTS ran
+
+    def test_memory_stats_for_cpu(self, finished):
+        _, r = finished
+        assert r.memory_nets is not None
+        assert r.memory_nets.input_net_latency_ps >= 0
+        assert r.memory_nets.output_net_latency_ps >= 0
+        assert r.memory_nets.net_switching_power_uw > 0
+
+    def test_no_memory_stats_without_macros(self, pair):
+        lib12, _ = pair
+        _, r = run_flow_2d("aes", lib12, period_ns=0.8, scale=0.2, seed=16)
+        assert r.memory_nets is None
+
+    def test_refinalize_matches(self, finished):
+        """Finalizing the same design twice is deterministic."""
+        design, first = finished
+        second = finalize_design(design)
+        assert second.row() == first.row()
+
+    def test_cost_fields_cross_check(self, finished):
+        from repro.cost.model import CostModel
+
+        _, r = finished
+        expected = CostModel().die_cost(r.footprint_mm2, 2)
+        assert r.die_cost_1e6 == pytest.approx(expected.die_cost * 1e6)
+        assert r.cost_per_cm2 == pytest.approx(expected.cost_per_cm2)
+
+
+class TestDeltaPct:
+    def test_basic(self):
+        assert delta_pct(90.0, 100.0) == pytest.approx(-10.0)
+        assert delta_pct(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_zero_reference(self):
+        assert delta_pct(5.0, 0.0) == 0.0

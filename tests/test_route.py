@@ -1,0 +1,96 @@
+"""Tests for routing estimation (repro.route)."""
+
+import pytest
+
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+from repro.place.floorplan import build_floorplan
+from repro.place.quadratic import global_place
+from repro.route.congestion import CongestionMap, analyze_congestion
+from repro.route.report import route_design
+from repro.timing.delaycalc import DelayCalculator, PlacementWireModel
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return make_library_pair()
+
+
+@pytest.fixture(scope="module")
+def placed(pair):
+    lib12, _ = pair
+    designs = {}
+    for name in ("aes", "ldpc"):
+        nl = generate_netlist(name, lib12, scale=0.3, seed=11)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.75)
+        global_place(nl, fp)
+        designs[name] = (nl, fp)
+    return designs
+
+
+class TestCongestion:
+    def test_map_shape_and_positive_capacity(self, pair, placed):
+        lib12, _ = pair
+        nl, fp = placed["aes"]
+        cmap = analyze_congestion(nl, lib12, fp.width_um, fp.height_um, 1)
+        assert cmap.demand.shape == (cmap.bins, cmap.bins)
+        assert cmap.capacity_um > 0
+        assert cmap.peak_demand >= 0
+
+    def test_two_tiers_double_capacity(self, pair, placed):
+        lib12, _ = pair
+        nl, fp = placed["aes"]
+        one = analyze_congestion(nl, lib12, fp.width_um, fp.height_um, 1)
+        two = analyze_congestion(nl, lib12, fp.width_um, fp.height_um, 2)
+        assert two.capacity_um == pytest.approx(2 * one.capacity_um)
+        assert two.peak_demand == pytest.approx(one.peak_demand / 2)
+
+    def test_ldpc_more_congested_than_aes(self, pair, placed):
+        """The wire-dominant design must stress routing hardest."""
+        lib12, _ = pair
+        peaks = {}
+        for name, (nl, fp) in placed.items():
+            cmap = analyze_congestion(nl, lib12, fp.width_um, fp.height_um, 1)
+            peaks[name] = cmap.peak_demand
+        assert peaks["ldpc"] > peaks["aes"]
+
+    def test_detour_factor_ramp(self):
+        import numpy as np
+
+        low = CongestionMap(2, np.full((2, 2), 10.0), capacity_um=100.0)
+        high = CongestionMap(2, np.full((2, 2), 120.0), capacity_um=100.0)
+        assert low.detour_factor() == pytest.approx(1.0)
+        assert high.detour_factor() > 1.05
+        assert high.overflow_fraction == 1.0
+        assert low.overflow_fraction == 0.0
+
+
+class TestRouteDesign:
+    def test_report_fields(self, pair, placed):
+        lib12, lib9 = pair
+        nl, fp = placed["aes"]
+        calc = DelayCalculator(
+            nl, PlacementWireModel(lib12), {lib12.name: lib12, lib9.name: lib9}
+        )
+        report = route_design(nl, calc, lib12, fp.width_um, fp.height_um, 1)
+        assert report.routed_wl_um >= report.steiner_wl_um
+        assert report.routed_wl_mm == pytest.approx(report.routed_wl_um / 1000)
+        assert report.miv_count == 0
+        assert report.cut_nets == 0
+
+    def test_3d_partition_reports_mivs(self, pair, placed):
+        lib12, lib9 = pair
+        nl, fp = placed["aes"]
+        names = sorted(nl.instances)
+        for name in names[::2]:
+            nl.instances[name].tier = 1
+        calc = DelayCalculator(
+            nl, PlacementWireModel(lib12), {lib12.name: lib12, lib9.name: lib9}
+        )
+        report = route_design(nl, calc, lib12, fp.width_um, fp.height_um, 2)
+        assert report.miv_count > 0
+        assert report.cut_nets > 0
+        assert report.miv_count >= report.cut_nets
+        # restore
+        for name in names[::2]:
+            nl.instances[name].tier = 0

@@ -1,0 +1,149 @@
+"""Tests for the FO-4 boundary-cell model (repro.liberty.spice).
+
+The homogeneous baselines are calibrated to Table II; every test on the
+heterogeneous mixes checks a *prediction* of the model against the signs
+(and magnitude classes) the paper published.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.liberty.spice import (
+    FAST_INVERTER,
+    SLOW_INVERTER,
+    input_voltage_delay_factor,
+    input_voltage_leakage_factor,
+    input_voltage_slew_factor,
+    overdrive_ratio,
+    simulate_fo4_input_boundary,
+    simulate_fo4_output_boundary,
+)
+
+
+class TestBaselines:
+    """Case-I and Case-III of Table II are calibration anchors."""
+
+    def test_fast_fast_matches_table2_case1(self):
+        r = simulate_fo4_output_boundary(FAST_INVERTER, FAST_INVERTER)
+        assert r.rise_slew_ps == pytest.approx(15.6)
+        assert r.fall_slew_ps == pytest.approx(18.2)
+        assert r.rise_delay_ps == pytest.approx(12.5)
+        assert r.fall_delay_ps == pytest.approx(16.4)
+        assert r.leakage_uw == pytest.approx(0.093, rel=1e-6)
+        assert r.total_power_uw == pytest.approx(3.86, rel=1e-6)
+
+    def test_slow_slow_matches_table2_case3(self):
+        r = simulate_fo4_output_boundary(SLOW_INVERTER, SLOW_INVERTER)
+        assert r.rise_delay_ps == pytest.approx(23.6)
+        assert r.fall_delay_ps == pytest.approx(26.2)
+        assert r.leakage_uw == pytest.approx(0.003, rel=1e-6)
+        assert r.total_power_uw == pytest.approx(2.00, rel=1e-6)
+
+
+class TestOutputBoundary:
+    """Fig. 2(a) / Table II: driver and load on different tiers."""
+
+    def test_fast_driver_slow_load_speeds_up(self):
+        base = simulate_fo4_output_boundary(FAST_INVERTER, FAST_INVERTER)
+        mixed = simulate_fo4_output_boundary(FAST_INVERTER, SLOW_INVERTER)
+        d = mixed.delta_pct(base)
+        # smaller 9T input caps -> everything gets faster, power drops
+        assert d["rise_delay"] < 0
+        assert d["fall_delay"] < 0
+        assert d["rise_slew"] < 0
+        assert d["fall_slew"] < 0
+        assert d["total_power"] < 0
+
+    def test_slow_driver_fast_load_slows_down(self):
+        base = simulate_fo4_output_boundary(SLOW_INVERTER, SLOW_INVERTER)
+        mixed = simulate_fo4_output_boundary(SLOW_INVERTER, FAST_INVERTER)
+        d = mixed.delta_pct(base)
+        assert d["rise_delay"] > 0
+        assert d["fall_delay"] > 0
+        assert d["total_power"] > 0
+
+    def test_slew_change_within_pm25pct(self):
+        """Paper: 'the slew changes only by at most +-15%' (we allow 25%)."""
+        for driver, load in (
+            (FAST_INVERTER, SLOW_INVERTER),
+            (SLOW_INVERTER, FAST_INVERTER),
+        ):
+            base = simulate_fo4_output_boundary(driver, driver)
+            mixed = simulate_fo4_output_boundary(driver, load)
+            d = mixed.delta_pct(base)
+            assert abs(d["rise_slew"]) <= 25
+            assert abs(d["fall_slew"]) <= 25
+
+    def test_leakage_nearly_unchanged_at_output_boundary(self):
+        """Table II: leakage deltas are -0.3% / -1.3% (driver-dominated)."""
+        base = simulate_fo4_output_boundary(FAST_INVERTER, FAST_INVERTER)
+        mixed = simulate_fo4_output_boundary(FAST_INVERTER, SLOW_INVERTER)
+        assert mixed.leakage_uw == pytest.approx(base.leakage_uw, rel=0.05)
+
+    def test_power_delta_is_small(self):
+        """Table II: -4.3% and +9.0%; load weight keeps it in that class."""
+        base_f = simulate_fo4_output_boundary(FAST_INVERTER, FAST_INVERTER)
+        mix_f = simulate_fo4_output_boundary(FAST_INVERTER, SLOW_INVERTER)
+        assert -12 < mix_f.delta_pct(base_f)["total_power"] < 0
+        base_s = simulate_fo4_output_boundary(SLOW_INVERTER, SLOW_INVERTER)
+        mix_s = simulate_fo4_output_boundary(SLOW_INVERTER, FAST_INVERTER)
+        assert 0 < mix_s.delta_pct(base_s)["total_power"] < 15
+
+
+class TestInputBoundary:
+    """Fig. 2(b) / Table III: driver input from the other tier's rail."""
+
+    def test_fast_cell_with_low_rail_input(self):
+        base = simulate_fo4_output_boundary(FAST_INVERTER, FAST_INVERTER)
+        mixed = simulate_fo4_input_boundary(FAST_INVERTER, SLOW_INVERTER)
+        d = mixed.delta_pct(base)
+        # underdriven gate: everything slightly slower
+        assert 0 < d["rise_delay"] < 10
+        assert 0 < d["fall_delay"] < 10
+        assert 0 < d["rise_slew"] < 15
+        # leakage explodes (paper: +250%)
+        assert 150 < d["leakage"] < 400
+        # total power rises mildly (paper: +9.2%)
+        assert 0 < d["total_power"] < 20
+
+    def test_slow_cell_with_high_rail_input(self):
+        base = simulate_fo4_output_boundary(SLOW_INVERTER, SLOW_INVERTER)
+        mixed = simulate_fo4_input_boundary(SLOW_INVERTER, FAST_INVERTER)
+        d = mixed.delta_pct(base)
+        # overdriven gate: faster, and the off-device leaks less
+        assert d["rise_delay"] < 0
+        assert d["fall_delay"] < 0
+        assert -70 < d["leakage"] < -20  # paper: -44.9%
+        assert abs(d["total_power"]) < 5  # paper: -0.6%
+
+    def test_leakage_asymmetry(self):
+        """Leakage up for fast<-slow is much larger than down for slow<-fast."""
+        up = input_voltage_leakage_factor(0.90, 0.30, 0.81)
+        down = input_voltage_leakage_factor(0.81, 0.32, 0.90)
+        assert up > 2.0
+        assert 0.3 < down < 1.0
+        assert (up - 1.0) > (1.0 - down)
+
+
+class TestDerateFunctions:
+    def test_overdrive_ratio_identity(self):
+        assert overdrive_ratio(0.9, 0.3, 0.9) == pytest.approx(1.0)
+
+    def test_same_rail_factors_are_unity(self):
+        assert input_voltage_delay_factor(0.9, 0.3, 0.9) == pytest.approx(1.0)
+        assert input_voltage_slew_factor(0.9, 0.3, 0.9) == pytest.approx(1.0)
+        assert input_voltage_leakage_factor(0.9, 0.3, 0.9) == pytest.approx(1.0)
+
+    @given(vg=st.floats(min_value=0.5, max_value=1.2))
+    def test_delay_factor_monotone_decreasing_in_vg(self, vg):
+        f_lo = input_voltage_delay_factor(0.9, 0.3, vg)
+        f_hi = input_voltage_delay_factor(0.9, 0.3, vg + 0.05)
+        assert f_hi <= f_lo + 1e-12
+
+    @given(vg=st.floats(min_value=0.6, max_value=1.1))
+    def test_leakage_factor_positive(self, vg):
+        assert input_voltage_leakage_factor(0.9, 0.3, vg) > 0
+
+    def test_overdrive_requires_vdd_above_vth(self):
+        with pytest.raises(ValueError):
+            overdrive_ratio(0.2, 0.3, 0.2)

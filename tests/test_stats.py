@@ -1,0 +1,81 @@
+"""Tests for netlist statistics (repro.netlist.stats)."""
+
+import pytest
+
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import make_twelve_track_library
+from repro.netlist.core import Netlist, PortDirection
+from repro.netlist.generators import generate_netlist
+from repro.netlist.stats import compute_stats, logic_depth_histogram
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return make_twelve_track_library()
+
+
+def chain_netlist(lib, depth):
+    nl = Netlist("chain")
+    nl.add_port("clk", PortDirection.INPUT, is_clock=True)
+    nl.add_port("din", PortDirection.INPUT)
+    prev = "din"
+    for i in range(depth):
+        nl.add_instance(f"g{i}", lib.get(CellFunction.INV, 1))
+        nl.add_net(f"n{i}")
+        nl.connect(prev, f"g{i}", "A")
+        nl.connect(f"n{i}", f"g{i}", "Y")
+        prev = f"n{i}"
+    return nl
+
+
+class TestDepthHistogram:
+    def test_chain_depth_exact(self, lib):
+        hist = logic_depth_histogram(chain_netlist(lib, 7))
+        assert hist == {1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1, 7: 1}
+
+    def test_sequential_cells_reset_depth(self, lib):
+        nl = chain_netlist(lib, 3)
+        # add a FF after the chain, then more inverters: depth restarts
+        nl.add_instance("ff", lib.get(CellFunction.DFF, 1))
+        nl.connect("n2", "ff", "D")
+        nl.connect("clk", "ff", "CK")
+        nl.add_net("q")
+        nl.connect("q", "ff", "Q")
+        nl.add_instance("g_after", lib.get(CellFunction.INV, 1))
+        nl.add_net("n_after")
+        nl.connect("q", "g_after", "A")
+        nl.connect("n_after", "g_after", "Y")
+        hist = logic_depth_histogram(nl)
+        # g_after restarts at depth 1 (its driver is sequential)
+        assert hist[1] == 2
+
+    def test_empty_netlist(self):
+        nl = Netlist("empty")
+        assert logic_depth_histogram(nl) == {}
+
+
+class TestComputeStats:
+    def test_chain_stats(self, lib):
+        stats = compute_stats(chain_netlist(lib, 5))
+        assert stats.instances == 5
+        assert stats.max_logic_depth == 5
+        assert stats.mean_logic_depth == pytest.approx(3.0)
+        assert stats.mean_fanout == pytest.approx(5 / 6)  # last net dangles
+        assert stats.max_fanout == 1
+        assert stats.sequential == 0
+
+    def test_generated_design_stats_sane(self, lib):
+        nl = generate_netlist("cpu", lib, scale=0.3, seed=9)
+        stats = compute_stats(nl)
+        assert stats.instances == len(nl.instances)
+        assert stats.macros >= 1
+        assert stats.sequential > 10
+        assert 1.0 < stats.mean_fanout < 5.0
+        assert stats.max_logic_depth >= 15  # the mul block
+        assert stats.pins_per_net > 1.5
+        assert stats.wire_per_gate > 0
+
+    def test_stats_deterministic(self, lib):
+        a = compute_stats(generate_netlist("ldpc", lib, scale=0.3, seed=9))
+        b = compute_stats(generate_netlist("ldpc", lib, scale=0.3, seed=9))
+        assert a == b

@@ -1,0 +1,104 @@
+"""Tests for NLDM lookup tables (repro.liberty.timing_model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LibraryError
+from repro.liberty.timing_model import TimingTable, linear_delay_table
+
+SLEWS = (0.01, 0.05, 0.2)
+LOADS = (1.0, 4.0, 16.0)
+
+
+def make_table(values=None):
+    if values is None:
+        values = tuple(
+            tuple(0.01 + 0.002 * s + 0.003 * l for l in range(3))
+            for s in range(3)
+        )
+    return TimingTable(slew_axis=SLEWS, load_axis=LOADS, values=values)
+
+
+class TestValidation:
+    def test_rejects_short_axes(self):
+        with pytest.raises(LibraryError):
+            TimingTable(slew_axis=(0.1,), load_axis=LOADS, values=((1, 2, 3),))
+
+    def test_rejects_non_monotone_slew_axis(self):
+        with pytest.raises(LibraryError):
+            TimingTable(
+                slew_axis=(0.2, 0.1, 0.3),
+                load_axis=LOADS,
+                values=tuple((0.0,) * 3 for _ in range(3)),
+            )
+
+    def test_rejects_non_monotone_load_axis(self):
+        with pytest.raises(LibraryError):
+            TimingTable(
+                slew_axis=SLEWS,
+                load_axis=(4.0, 1.0, 16.0),
+                values=tuple((0.0,) * 3 for _ in range(3)),
+            )
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(LibraryError):
+            TimingTable(slew_axis=SLEWS, load_axis=LOADS, values=((1.0, 2.0),))
+
+
+class TestLookup:
+    def test_exact_corner_values(self):
+        table = make_table()
+        for i, s in enumerate(SLEWS):
+            for j, l in enumerate(LOADS):
+                assert table.lookup(s, l) == pytest.approx(table.values[i][j])
+
+    def test_midpoint_is_average(self):
+        table = make_table()
+        mid = table.lookup(
+            (SLEWS[0] + SLEWS[1]) / 2, (LOADS[0] + LOADS[1]) / 2
+        )
+        corners = [table.values[i][j] for i in (0, 1) for j in (0, 1)]
+        assert mid == pytest.approx(sum(corners) / 4)
+
+    def test_extrapolates_beyond_max_load(self):
+        table = linear_delay_table(0.01, 2.0, 0.1, SLEWS, LOADS)
+        inside = table.lookup(0.05, LOADS[-1])
+        outside = table.lookup(0.05, LOADS[-1] * 2)
+        # linear model: extrapolation continues the same slope
+        assert outside == pytest.approx(inside + 2.0 * LOADS[-1] * 1e-3)
+
+    def test_covers_slew(self):
+        table = make_table()
+        assert table.covers_slew(0.05)
+        assert not table.covers_slew(0.5)
+        assert table.slew_range == (SLEWS[0], SLEWS[-1])
+        assert table.load_range == (LOADS[0], LOADS[-1])
+
+
+class TestLinearDelayTable:
+    def test_matches_formula_on_grid(self):
+        table = linear_delay_table(0.02, 3.0, 0.08, SLEWS, LOADS)
+        for s in SLEWS:
+            for l in LOADS:
+                expected = 0.02 + 3.0 * l * 1e-3 + 0.08 * s
+                assert table.lookup(s, l) == pytest.approx(expected)
+
+    @given(
+        slew=st.floats(min_value=0.01, max_value=0.2),
+        load=st.floats(min_value=1.0, max_value=16.0),
+    )
+    def test_interpolation_is_exact_for_bilinear_data(self, slew, load):
+        """Bilinear interpolation reproduces any bilinear function exactly."""
+        table = linear_delay_table(0.02, 3.0, 0.08, SLEWS, LOADS)
+        expected = 0.02 + 3.0 * load * 1e-3 + 0.08 * slew
+        assert table.lookup(slew, load) == pytest.approx(expected, rel=1e-9)
+
+    @given(
+        s1=st.floats(min_value=0.01, max_value=0.2),
+        s2=st.floats(min_value=0.01, max_value=0.2),
+        load=st.floats(min_value=1.0, max_value=16.0),
+    )
+    def test_monotone_in_slew(self, s1, s2, load):
+        table = linear_delay_table(0.02, 3.0, 0.08, SLEWS, LOADS)
+        lo, hi = sorted((s1, s2))
+        assert table.lookup(lo, load) <= table.lookup(hi, load) + 1e-12

@@ -1,0 +1,101 @@
+"""Tests for arbitrary track variants and the mix explorer."""
+
+import pytest
+
+from repro.liberty.cells import CellFunction
+from repro.liberty.presets import (
+    NINE_TRACK_CORNER,
+    TWELVE_TRACK_CORNER,
+    make_library_pair,
+    make_track_variant,
+)
+
+
+class TestTrackVariant:
+    def test_anchor_points_match_presets(self):
+        """At 9 and 12 tracks the variant reproduces the calibrated pair."""
+        lib12, lib9 = make_library_pair()
+        v12 = make_track_variant(12)
+        v9 = make_track_variant(9)
+        for preset, variant in ((lib12, v12), (lib9, v9)):
+            assert variant.vdd_v == pytest.approx(preset.vdd_v)
+            inv_p = preset.get(CellFunction.INV, 1)
+            inv_v = variant.get(CellFunction.INV, 1)
+            assert inv_v.area_um2 == pytest.approx(inv_p.area_um2)
+            assert inv_v.leakage_mw == pytest.approx(inv_p.leakage_mw)
+
+    def test_range_enforced(self):
+        with pytest.raises(ValueError):
+            make_track_variant(6)
+        with pytest.raises(ValueError):
+            make_track_variant(15)
+
+    def test_monotone_in_tracks(self):
+        """Taller cells: bigger, faster, hungrier, leakier."""
+        libs = [make_track_variant(t) for t in (8, 9, 10, 12)]
+        invs = [lib.get(CellFunction.INV, 1) for lib in libs]
+        areas = [c.area_um2 for c in invs]
+        assert areas == sorted(areas)
+        delays = [
+            c.worst_arc_to_output().delay.lookup(0.02, 8.0) for c in invs
+        ]
+        assert delays == sorted(delays, reverse=True)
+        leaks = [c.leakage_mw for c in invs]
+        assert leaks == sorted(leaks)
+        energies = [c.internal_energy_pj for c in invs]
+        assert energies == sorted(energies)
+
+    def test_neighbour_tracks_are_stackable(self):
+        """Adjacent variants satisfy the Section II-B voltage rule."""
+        for fast, slow in ((12, 10), (12, 9), (10, 8), (12, 8)):
+            a = make_track_variant(fast)
+            b = make_track_variant(slow)
+            assert a.voltage_compatible_with(b), (fast, slow)
+            assert a.slew_ranges_overlap(b)
+
+    def test_explicit_voltage_scaling(self):
+        nominal = make_track_variant(9)
+        low = make_track_variant(9, vdd_v=0.60)
+        inv_n = nominal.get(CellFunction.INV, 1)
+        inv_l = low.get(CellFunction.INV, 1)
+        # slower, cheaper, far less leaky at the lower rail
+        d_n = inv_n.worst_arc_to_output().delay.lookup(0.02, 8.0)
+        d_l = inv_l.worst_arc_to_output().delay.lookup(0.02, 8.0)
+        assert d_l > 1.3 * d_n
+        assert inv_l.internal_energy_pj < inv_n.internal_energy_pj
+        assert inv_l.leakage_mw < inv_n.leakage_mw
+
+    def test_vdd_near_vth_rejected(self):
+        with pytest.raises(ValueError):
+            make_track_variant(9, vdd_v=0.33)
+
+    def test_names_distinguish_voltage_variants(self):
+        a = make_track_variant(9)
+        b = make_track_variant(9, vdd_v=0.70)
+        assert a.name != b.name
+
+
+class TestExplorer:
+    def test_explore_small_set(self):
+        from repro.experiments.explorer import explore_track_pairs
+
+        pairs = explore_track_pairs(
+            "aes", (9, 12), period_ns=0.7, scale=0.2, seed=8,
+            opt_iterations=4,
+        )
+        assert len(pairs) == 1
+        best = pairs[0]
+        assert best.label == "9+12T"
+        assert best.compatible
+        assert best.result is not None
+        assert best.ppc > 0
+
+    def test_sorted_by_ppc(self):
+        from repro.experiments.explorer import explore_track_pairs
+
+        pairs = explore_track_pairs(
+            "aes", (8, 10, 12), period_ns=0.7, scale=0.2, seed=8,
+            opt_iterations=4,
+        )
+        ran = [p.ppc for p in pairs if p.result is not None]
+        assert ran == sorted(ran, reverse=True)

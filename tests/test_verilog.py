@@ -1,0 +1,80 @@
+"""Tests for structural Verilog round-tripping (repro.netlist.verilog)."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty.presets import make_library_pair
+from repro.netlist.generators import generate_netlist
+from repro.netlist.verilog import read_verilog, write_verilog
+
+
+@pytest.fixture(scope="module")
+def libs():
+    lib12, lib9 = make_library_pair()
+    return {lib12.name: lib12, lib9.name: lib9}
+
+
+@pytest.fixture(scope="module")
+def lib12(libs):
+    return libs["28nm_12T"]
+
+
+class TestRoundTrip:
+    def test_small_design_round_trips(self, lib12, libs):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=5)
+        text = write_verilog(nl)
+        back = read_verilog(text, libs)
+        assert back.name == nl.name
+        assert sorted(back.instances) == sorted(nl.instances)
+        assert sorted(back.nets) == sorted(nl.nets)
+        for name, inst in nl.instances.items():
+            twin = back.instances[name]
+            assert twin.cell.name == inst.cell.name
+            assert dict(twin.connected_pins()) == dict(inst.connected_pins())
+
+    def test_tier_and_placement_round_trip(self, lib12, libs):
+        nl = generate_netlist("ldpc", lib12, scale=0.2, seed=5)
+        some = list(nl.instances.values())[:20]
+        for i, inst in enumerate(some):
+            inst.tier = i % 2
+            inst.x_um = 1.25 * i
+            inst.y_um = 0.5 * i
+            inst.block = "special"
+        back = read_verilog(write_verilog(nl), libs)
+        for inst in some:
+            twin = back.instances[inst.name]
+            assert twin.tier == inst.tier
+            assert twin.x_um == pytest.approx(inst.x_um)
+            assert twin.y_um == pytest.approx(inst.y_um)
+            assert twin.block == "special"
+
+    def test_round_trip_validates(self, lib12, libs):
+        nl = generate_netlist("netcard", lib12, scale=0.2, seed=5)
+        back = read_verilog(write_verilog(nl), libs)
+        back.validate()
+
+
+class TestErrors:
+    def test_unknown_cell_rejected(self, libs):
+        text = """module m (clk);
+  input clk;
+  wire w;
+  BOGUS_CELL u1 (.A(clk), .Y(w));
+endmodule
+"""
+        with pytest.raises(NetlistError):
+            read_verilog(text, libs)
+
+    def test_missing_module_rejected(self, libs):
+        with pytest.raises(NetlistError):
+            read_verilog("wire w;", libs)
+
+
+class TestTextFormat:
+    def test_output_contains_declarations(self, lib12):
+        nl = generate_netlist("aes", lib12, scale=0.2, seed=5)
+        text = write_verilog(nl)
+        assert text.startswith("module aes")
+        assert "endmodule" in text
+        assert "input clk;" in text
+        assert "// pragma repro" in text

@@ -1,9 +1,15 @@
 """Shared fixtures for the table/figure regeneration benchmarks.
 
-The 4-netlist x 5-configuration evaluation matrix is expensive (minutes),
-so it runs once per session and every benchmark reads from it.  Scale with
-``REPRO_SCALE`` (default 0.5); the paper's qualitative shapes hold from
-~0.4 upward.
+The 4-netlist x 5-configuration evaluation matrix is expensive (minutes)
+cold, so it runs once per session and every benchmark reads from it.
+Scale with ``REPRO_SCALE`` (default 0.5); the paper's qualitative shapes
+hold from ~0.4 upward.
+
+The matrix engine keeps a persistent on-disk cache (``$REPRO_CACHE_DIR``,
+default ``~/.cache/repro``), so a second benchmark session warm-starts in
+seconds without running a single flow; set ``REPRO_JOBS=N`` to fan a cold
+run out over N worker processes.  A telemetry block (flows run, cache
+hits/misses, per-cell wall times) is printed at the end of the session.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.runner import default_scale, run_matrix
+from repro.experiments.telemetry import get_telemetry
 
 
 @pytest.fixture(scope="session")
@@ -23,3 +30,13 @@ def emit(title: str, text: str) -> None:
     """Print a regenerated table under a recognizable banner."""
     print(f"\n===== {title} =====")
     print(text)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print the matrix engine's telemetry after the benchmark run."""
+    telemetry = get_telemetry()
+    if not (telemetry.flows_run or telemetry.disk_hits or telemetry.memory_hits):
+        return
+    terminalreporter.write_sep("=", "evaluation-matrix telemetry")
+    for line in telemetry.summary().splitlines():
+        terminalreporter.write_line(line)

@@ -4,10 +4,13 @@ Commands
 --------
 ``flow``     run one configuration of one netlist and print its PPAC row
 ``matrix``   run the full Fig. 1 configuration set for one netlist
+             (``--jobs N`` fans the cells out, ``--stats`` prints the
+             telemetry: cache hits/misses, flow counts, wall times)
 ``sweep``    find the 12-track 2-D maximum frequency of a netlist
 ``export``   write the Verilog/DEF/Liberty artifacts of one implementation
 ``tables``   regenerate the cheap paper tables (I-IV) as text
 ``report``   run the full evaluation matrix and write a markdown report
+``cache``    show (or ``--clear``) the persistent on-disk result cache
 """
 
 from __future__ import annotations
@@ -17,7 +20,8 @@ import sys
 from pathlib import Path
 
 from repro.experiments.configs import CONFIG_NAMES, configurations
-from repro.experiments.runner import find_target_period
+from repro.experiments.runner import find_target_period, run_configuration
+from repro.experiments.telemetry import get_telemetry
 from repro.experiments.tables import (
     PAPER_TABLE1,
     table1_qualitative_ranks,
@@ -47,21 +51,57 @@ def _cmd_flow(args: argparse.Namespace) -> int:
 
 
 def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.experiments.parallel import default_jobs, run_cells
+
     period = args.period or find_target_period(
         args.design, scale=args.scale, seed=args.seed
     )
     print(f"target period {period:.3f} ns ({1 / period:.2f} GHz)")
-    configs = configurations()
-    for name in CONFIG_NAMES:
-        _design, result = configs[name].run(
-            args.design, period_ns=period, scale=args.scale, seed=args.seed
+    jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
+    results = None
+    if jobs > 1:
+        results = run_cells(
+            [(args.design, name, period) for name in CONFIG_NAMES],
+            scale=args.scale,
+            seed=args.seed,
+            jobs=jobs,
         )
+    if results is None:
+        results = {}
+        for name in CONFIG_NAMES:
+            _design, result = run_configuration(
+                args.design, name,
+                period_ns=period, scale=args.scale, seed=args.seed,
+            )
+            results[(args.design, name)] = result
+    for name in CONFIG_NAMES:
+        result = results[(args.design, name)]
         print(
             f"{name:8s} WNS {result.wns_ns:+7.3f}  "
             f"P {result.total_power_mw:8.3f} mW  "
             f"PDP {result.pdp_pj:8.3f} pJ  "
             f"cost {result.die_cost_1e6:8.4f}  PPC {result.ppc:10.1f}"
         )
+    if args.stats:
+        print("\n-- telemetry --")
+        print(get_telemetry().summary())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments import cache
+
+    root = cache.cache_dir()
+    if args.clear:
+        removed = cache.clear_cache()
+        print(f"removed {removed} entries from {root}")
+        return 0
+    entries = list(root.glob("*.json")) if root.is_dir() else []
+    size_kb = sum(p.stat().st_size for p in entries) / 1024.0
+    state = "enabled" if cache.cache_enabled() else "DISABLED (REPRO_CACHE)"
+    print(f"cache dir   {root}")
+    print(f"state       {state}")
+    print(f"entries     {len(entries)} ({size_kb:.1f} KiB)")
     return 0
 
 
@@ -118,7 +158,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.reportgen import render_report
     from repro.experiments.runner import run_matrix
 
-    matrix = run_matrix(scale=args.scale, seed=args.seed)
+    matrix = run_matrix(scale=args.scale, seed=args.seed, jobs=args.jobs)
     text = render_report(matrix)
     Path(args.output).write_text(text)
     print(f"wrote {args.output} ({len(text.splitlines())} lines)")
@@ -148,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_matrix = sub.add_parser("matrix", help="run all five configurations")
     add_common(p_matrix, with_config=False)
+    p_matrix.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default $REPRO_JOBS or 1)")
+    p_matrix.add_argument("--stats", action="store_true",
+                          help="print cache/flow telemetry after the run")
     p_matrix.set_defaults(func=_cmd_matrix)
 
     p_sweep = sub.add_parser("sweep", help="find the 12T 2-D max frequency")
@@ -168,7 +212,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--scale", type=float, default=0.5)
     p_report.add_argument("--seed", type=int, default=1)
     p_report.add_argument("--output", default="paper_tables.md")
+    p_report.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default $REPRO_JOBS or 1)")
     p_report.set_defaults(func=_cmd_report)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached entry")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -13,7 +13,8 @@ die with one FEOL layer and eight BEOL metal layers.  The model:
 - dies per wafer and yield follow Eqs. (1)-(3) with a 300 mm wafer,
   defect density 0.2 /mm^2 (negative-binomial with clustering 2), and
   95% baseline wafer yield;
-- die cost is Eq. (5): wafer cost over good dies times die yield.
+- die cost is Eq. (5): wafer cost over good dies per wafer, where the
+  good-die count already folds in the die yield of Eqs. (2)/(3).
 
 The published headline constants (2-D wafer ``0.96 C'``, 3-D wafer
 ``1.97 C'``) are reproduced exactly by the defaults.
@@ -134,7 +135,7 @@ class CostModel:
             dies_per_wafer=dpw,
             die_yield=y,
             good_dies=good,
-            die_cost=wafer_cost / (good * y),
+            die_cost=wafer_cost / good,
         )
 
 

@@ -1,13 +1,25 @@
 """Experiment harnesses: the 4-netlist x 5-configuration evaluation matrix."""
 
 from repro.experiments.configs import CONFIG_NAMES, Configuration, configurations
-from repro.experiments.runner import EvaluationMatrix, run_configuration, run_matrix
+from repro.experiments.runner import (
+    EvaluationMatrix,
+    clear_memory_caches,
+    find_target_period,
+    run_configuration,
+    run_matrix,
+)
+from repro.experiments.telemetry import Telemetry, get_telemetry, reset_telemetry
 
 __all__ = [
     "CONFIG_NAMES",
     "Configuration",
     "configurations",
     "EvaluationMatrix",
+    "clear_memory_caches",
+    "find_target_period",
     "run_configuration",
     "run_matrix",
+    "Telemetry",
+    "get_telemetry",
+    "reset_telemetry",
 ]

@@ -1,0 +1,203 @@
+"""Persistent, content-addressed result cache for the evaluation matrix.
+
+Flow runs are seconds-to-minutes, and every pytest session, CLI call and
+example script used to pay that cost from scratch.  This module stores
+two kinds of entries as JSON files on disk so a *second* process warm
+starts in milliseconds:
+
+- ``result`` entries: one :class:`~repro.flow.report.FlowResult` per
+  matrix cell, keyed by design/config/scale/seed/period (and the flow's
+  keyword overrides, when cacheable);
+- ``period`` entries: the per-design 12-track max-frequency search
+  outcome, keyed by design/scale/seed/iterations.
+
+Entries are content-addressed: the filename is the SHA-256 of the
+canonical JSON of the key fields *plus the package version*, so a new
+release never reads results computed by old code.  Corrupt or truncated
+entries (killed process, disk full) are deleted and treated as misses.
+
+Environment knobs
+-----------------
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/repro``).
+``REPRO_CACHE``
+    Kill switch: set to ``0``, ``off``, ``false`` or ``no`` to disable
+    all reads and writes (every lookup misses, nothing is stored).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro import __version__
+from repro.flow.report import FlowResult
+
+__all__ = [
+    "cache_dir",
+    "cache_enabled",
+    "cache_key",
+    "clear_cache",
+    "load_payload",
+    "load_period",
+    "load_result",
+    "store_payload",
+    "store_period",
+    "store_result",
+]
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_SWITCH = "REPRO_CACHE"
+
+_FALSY = {"0", "off", "false", "no"}
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk cache is active (``$REPRO_CACHE`` kill switch)."""
+    return os.environ.get(ENV_CACHE_SWITCH, "1").strip().lower() not in _FALSY
+
+
+def cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_key(kind: str, **fields) -> str:
+    """Content address for an entry: SHA-256 of the canonical key JSON.
+
+    ``kind`` separates the entry namespaces (``"result"``/``"period"``),
+    and the package version rides along so stale results from older code
+    can never be served.
+    """
+    payload = {"kind": kind, "version": __version__, **fields}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def load_payload(key: str) -> dict | None:
+    """Read one entry; corrupt entries are deleted and read as a miss."""
+    if not cache_enabled():
+        return None
+    path = _entry_path(key)
+    try:
+        text = path.read_text()
+    except OSError:
+        return None
+    try:
+        entry = json.loads(text)
+        if not isinstance(entry, dict) or "payload" not in entry:
+            raise ValueError("malformed cache entry")
+        return entry["payload"]
+    except (ValueError, TypeError, KeyError):
+        # Truncated write or foreign file: recover by dropping the entry.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_payload(key: str, payload: dict, *, meta: dict | None = None) -> None:
+    """Write one entry atomically (tmp file + rename); best-effort."""
+    if not cache_enabled():
+        return
+    path = _entry_path(key)
+    entry = {"version": __version__, "meta": meta or {}, "payload": payload}
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError:
+        # A read-only or full disk never breaks the run; it just stays cold.
+        pass
+
+
+# ----------------------------------------------------------------------
+# typed entry points
+# ----------------------------------------------------------------------
+def result_key(
+    design: str,
+    config: str,
+    *,
+    scale: float,
+    seed: int,
+    period_ns: float,
+    extra: dict | None = None,
+) -> str:
+    """Key of one matrix-cell result."""
+    return cache_key(
+        "result",
+        design=design,
+        config=config,
+        scale=scale,
+        seed=seed,
+        period_ns=period_ns,
+        extra=extra or {},
+    )
+
+
+def load_result(key: str) -> FlowResult | None:
+    """Deserialize a cached :class:`FlowResult`, or ``None`` on a miss."""
+    payload = load_payload(key)
+    if payload is None:
+        return None
+    try:
+        return FlowResult.from_dict(payload)
+    except (TypeError, ValueError, KeyError):
+        # Schema drift within one version (dev tree): drop and re-run.
+        try:
+            _entry_path(key).unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_result(key: str, result: FlowResult, *, meta: dict | None = None) -> None:
+    """Persist one matrix-cell result."""
+    store_payload(key, result.to_dict(), meta=meta)
+
+
+def period_key(design: str, *, scale: float, seed: int, iterations: int) -> str:
+    """Key of one per-design target-period search."""
+    return cache_key(
+        "period", design=design, scale=scale, seed=seed, iterations=iterations
+    )
+
+
+def load_period(key: str) -> float | None:
+    """Cached target period in ns, or ``None`` on a miss."""
+    payload = load_payload(key)
+    if payload is None:
+        return None
+    value = payload.get("period_ns") if isinstance(payload, dict) else None
+    return float(value) if isinstance(value, (int, float)) else None
+
+
+def store_period(key: str, period_ns: float, *, meta: dict | None = None) -> None:
+    """Persist one target-period search outcome."""
+    store_payload(key, {"period_ns": period_ns}, meta=meta)
+
+
+def clear_cache() -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    removed = 0
+    root = cache_dir()
+    if not root.is_dir():
+        return 0
+    for path in root.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

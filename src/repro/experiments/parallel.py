@@ -1,0 +1,223 @@
+"""Process-parallel execution of the evaluation matrix.
+
+The 4 x 5 matrix is embarrassingly parallel once the per-design target
+periods are known: every cell is an independent flow run.  This module
+fans the work out in two waves --
+
+1. the four per-design period searches (each internally a serial binary
+   search), then
+2. all twenty cells concurrently --
+
+over a :class:`~concurrent.futures.ProcessPoolExecutor`.  Worker count
+comes from ``jobs=`` or ``$REPRO_JOBS`` (default 1 = serial).  Workers
+reset their own telemetry, do the work, and ship a snapshot back with
+each result; the parent merges them so ``repro matrix --stats`` stays
+truthful.  Workers share the on-disk cache with the parent, so a
+parallel cold run leaves the same warm cache a serial one would.
+
+Any spawn or pickling failure degrades gracefully: the caller falls
+back to the serial path and produces identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.flow.report import FlowResult
+
+__all__ = ["default_jobs", "find_periods", "run_cells", "run_matrix_parallel"]
+
+#: Exceptions that mean "the pool broke", not "the flow failed".
+_POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError, ImportError)
+
+
+def default_jobs() -> int:
+    """Worker count: ``$REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    except ValueError:
+        return 1
+    return max(1, jobs)
+
+
+# ----------------------------------------------------------------------
+# worker entry points (top level: must be picklable by spawn/fork alike)
+# ----------------------------------------------------------------------
+def _probe_period(design_name: str, scale: float, seed: int):
+    from repro.experiments.runner import find_target_period
+    from repro.experiments.telemetry import get_telemetry, reset_telemetry
+
+    reset_telemetry()
+    period = find_target_period(design_name, scale=scale, seed=seed)
+    return design_name, period, get_telemetry().snapshot()
+
+
+def _run_cell(
+    design_name: str, config_name: str, period_ns: float, scale: float, seed: int
+):
+    from repro.experiments.runner import run_configuration
+    from repro.experiments.telemetry import get_telemetry, reset_telemetry
+
+    reset_telemetry()
+    _design, result = run_configuration(
+        design_name, config_name, period_ns=period_ns, scale=scale, seed=seed
+    )
+    return (design_name, config_name), result, get_telemetry().snapshot()
+
+
+# ----------------------------------------------------------------------
+# parent-side orchestration
+# ----------------------------------------------------------------------
+def find_periods(
+    designs: tuple[str, ...],
+    *,
+    scale: float,
+    seed: int,
+    jobs: int,
+) -> dict[str, float] | None:
+    """Wave 1: per-design target periods, in parallel.
+
+    Returns ``None`` if the pool could not be used (caller goes serial).
+    """
+    from repro.experiments.runner import _period_cache
+    from repro.experiments.telemetry import get_telemetry
+
+    periods: dict[str, float] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(designs))) as pool:
+            futures = [
+                pool.submit(_probe_period, name, scale, seed) for name in designs
+            ]
+            for future in as_completed(futures):
+                name, period, snapshot = future.result()
+                periods[name] = period
+                get_telemetry().merge(snapshot)
+    except _POOL_FAILURES:
+        return None
+    for name, period in periods.items():
+        # Seed the parent's in-process cache; the disk entry was written
+        # by the worker, so only the memory layer needs filling in.
+        _period_cache[(name, scale, seed)] = period
+    return periods
+
+
+def run_cells(
+    cells: list[tuple[str, str, float]],
+    *,
+    scale: float,
+    seed: int,
+    jobs: int,
+) -> dict[tuple[str, str], FlowResult] | None:
+    """Wave 2: independent ``(design, config, period_ns)`` cells.
+
+    Returns ``None`` if the pool could not be used (caller goes serial).
+    """
+    from repro.experiments.runner import _result_cache
+    from repro.experiments.telemetry import get_telemetry
+
+    results: dict[tuple[str, str], FlowResult] = {}
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, max(1, len(cells)))) as pool:
+            futures = {
+                pool.submit(_run_cell, design, config, period, scale, seed): (
+                    design,
+                    config,
+                    period,
+                )
+                for design, config, period in cells
+            }
+            for future in as_completed(futures):
+                key, result, snapshot = future.result()
+                results[key] = result
+                get_telemetry().merge(snapshot)
+                design, config, period = futures[future]
+                _result_cache[(design, config, scale, seed, period)] = (None, result)
+    except _POOL_FAILURES:
+        return None
+    return results
+
+
+def run_matrix_parallel(
+    matrix,
+    *,
+    designs: tuple[str, ...],
+    config_names: tuple[str, ...],
+    jobs: int,
+) -> bool:
+    """Fill ``matrix`` using worker processes.
+
+    Returns ``False`` when the pool is unusable so :func:`run_matrix`
+    can fall back to its serial loop (results are identical either way).
+    """
+    from repro.experiments.runner import run_configuration
+
+    scale, seed = matrix.scale, matrix.seed
+    periods = find_periods(designs, scale=scale, seed=seed, jobs=jobs)
+    if periods is None:
+        return False
+    matrix.target_periods.update(periods)
+
+    # Serve warm cells from the parent's caches; only cold cells travel
+    # to the pool (workers would re-read the disk entry anyway, but the
+    # parent-side lookup keeps telemetry provenance accurate).
+    cold: list[tuple[str, str, float]] = []
+    for design_name in designs:
+        for config_name in config_names:
+            design, result = _lookup_cached(
+                design_name, config_name, periods[design_name], scale, seed
+            )
+            if result is None:
+                cold.append((design_name, config_name, periods[design_name]))
+            else:
+                matrix.results[(design_name, config_name)] = result
+                if design is not None:
+                    matrix.designs[(design_name, config_name)] = design
+
+    if cold:
+        fanned = run_cells(cold, scale=scale, seed=seed, jobs=jobs)
+        if fanned is None:
+            # Pool died mid-matrix: finish the remaining cells serially.
+            for design_name, config_name, period in cold:
+                if (design_name, config_name) in matrix.results:
+                    continue
+                design, result = run_configuration(
+                    design_name, config_name,
+                    period_ns=period, scale=scale, seed=seed,
+                )
+                matrix.results[(design_name, config_name)] = result
+                if design is not None:
+                    matrix.designs[(design_name, config_name)] = design
+        else:
+            matrix.results.update(fanned)
+    return True
+
+
+def _lookup_cached(design_name, config_name, period, scale, seed):
+    """Memory-then-disk lookup of one cell without ever running a flow."""
+    from repro.experiments import cache
+    from repro.experiments.runner import _result_cache
+    from repro.experiments.telemetry import get_telemetry
+
+    key = (design_name, config_name, scale, seed, period)
+    hit = _result_cache.get(key)
+    if hit is not None:
+        get_telemetry().memory_hits += 1
+        get_telemetry().record_cell(design_name, config_name, 0.0, "memory")
+        return hit
+    if cache.cache_enabled():
+        result = cache.load_result(
+            cache.result_key(
+                design_name, config_name, scale=scale, seed=seed, period_ns=period
+            )
+        )
+        if result is not None:
+            get_telemetry().disk_hits += 1
+            get_telemetry().record_cell(design_name, config_name, 0.0, "disk")
+            _result_cache[key] = (None, result)
+            return None, result
+        # A miss here is not counted: the worker (or the serial fallback)
+        # that actually runs the cell records it.
+    return None, None

@@ -10,23 +10,36 @@ Methodology (Section IV-A2):
 3. Run every configuration at the target and collect the
    :class:`~repro.flow.report.FlowResult` for the tables.
 
-Flow runs are seconds-to-minutes, so results are cached in-process by
-``(design, config, scale, seed)``; every Table/Figure benchmark then
-reads the same matrix instead of re-running flows.
+Flow runs are seconds-to-minutes, so results are cached at two levels:
+
+- **in-process** by ``(design, config, scale, seed, period_ns)`` --
+  every Table/Figure benchmark in one session reads the same matrix;
+- **on disk** (:mod:`repro.experiments.cache`) so a second process --
+  the next pytest session, CLI call, or example script -- warm starts
+  without running a single flow.  Disable with ``REPRO_CACHE=0``.
+
+Independent matrix cells can fan out over worker processes
+(:mod:`repro.experiments.parallel`); pass ``jobs=`` to
+:func:`run_matrix` or set ``$REPRO_JOBS``.  Cache traffic and flow
+executions are counted by :mod:`repro.experiments.telemetry`.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 
+from repro.experiments import cache
 from repro.experiments.configs import CONFIG_NAMES, configurations
+from repro.experiments.telemetry import get_telemetry, timed_stage
 from repro.flow.design import Design
 from repro.flow.report import FlowResult
 from repro.netlist.generators import DESIGN_NAMES
 
 __all__ = [
     "default_scale",
+    "clear_memory_caches",
     "EvaluationMatrix",
     "find_target_period",
     "run_configuration",
@@ -46,12 +59,20 @@ _SWEEP_BOUNDS: dict[str, tuple[float, float]] = {
 _WNS_TOLERANCE = 0.06
 
 _period_cache: dict[tuple[str, float, int], float] = {}
-_result_cache: dict[tuple[str, str, float, int], tuple[Design, FlowResult]] = {}
+_result_cache: dict[
+    tuple[str, str, float, int, float], tuple[Design | None, FlowResult]
+] = {}
 
 
 def default_scale() -> float:
     """Netlist scale used by benchmarks; override with $REPRO_SCALE."""
     return float(os.environ.get("REPRO_SCALE", "0.5"))
+
+
+def clear_memory_caches() -> None:
+    """Drop the in-process period/result caches (tests; disk untouched)."""
+    _period_cache.clear()
+    _result_cache.clear()
 
 
 def find_target_period(
@@ -65,33 +86,58 @@ def find_target_period(
 
     Each probe runs the full 2-D flow (with a reduced optimization budget
     for speed) and checks the paper's timing-met criterion.  The result
-    is cached per (design, scale, seed).
+    is cached per ``(design, scale, seed)`` in process and per
+    ``(design, scale, seed, iterations)`` on disk.
+
+    If even the upper sweep bound fails timing, the search returns that
+    upper bound ``hi`` unchanged: the caller gets the most relaxed period
+    the bracket allows, and the matrix run will simply report negative
+    slack at it.  (Callers that need to detect this can check
+    ``result.wns_ns`` of the 2-D 12-track cell.)
     """
-    key = (design_name, scale, seed)
-    cached = _period_cache.get(key)
+    mem_key = (design_name, scale, seed)
+    cached = _period_cache.get(mem_key)
     if cached is not None:
+        get_telemetry().memory_hits += 1
         return cached
+
+    disk_key = cache.period_key(
+        design_name, scale=scale, seed=seed, iterations=iterations
+    )
+    if cache.cache_enabled():
+        from_disk = cache.load_period(disk_key)
+        if from_disk is not None:
+            get_telemetry().disk_hits += 1
+            _period_cache[mem_key] = from_disk
+            return from_disk
+        get_telemetry().disk_misses += 1
 
     configs = configurations()
     lo, hi = _SWEEP_BOUNDS[design_name]
     best = hi
-    for _ in range(iterations):
-        mid = 0.5 * (lo + hi)
-        _design, result = configs["2D_12T"].run(
-            design_name,
-            period_ns=mid,
-            scale=scale,
-            seed=seed,
-            opt_iterations=8,
-        )
-        if result.wns_ns >= -_WNS_TOLERANCE * mid:
-            best = mid
-            hi = mid
-        else:
-            lo = mid
-        if hi - lo < 0.02:
-            break
-    _period_cache[key] = best
+    with timed_stage("period_search"):
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            _design, result = configs["2D_12T"].run(
+                design_name,
+                period_ns=mid,
+                scale=scale,
+                seed=seed,
+                opt_iterations=8,
+            )
+            get_telemetry().period_probes += 1
+            get_telemetry().flows_run += 1
+            if result.wns_ns >= -_WNS_TOLERANCE * mid:
+                best = mid
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo < 0.02:
+                break
+    _period_cache[mem_key] = best
+    cache.store_period(
+        disk_key, best, meta={"design": design_name, "scale": scale, "seed": seed}
+    )
     return best
 
 
@@ -102,22 +148,101 @@ def run_configuration(
     period_ns: float | None = None,
     scale: float | None = None,
     seed: int = 0,
+    need_design: bool = False,
     **kwargs,
-) -> tuple[Design, FlowResult]:
-    """Run (and cache) one cell of the evaluation matrix."""
+) -> tuple[Design | None, FlowResult]:
+    """Run (and cache) one cell of the evaluation matrix.
+
+    The cache key is ``(design, config, scale, seed, period_ns)`` -- the
+    period is part of the key, so a call with an explicit non-default
+    period can never poison later default-period lookups (and vice
+    versa).  Keyword overrides (``opt_iterations`` etc.) bypass caching
+    entirely, as before.
+
+    On an on-disk cache hit only the :class:`FlowResult` is available,
+    so the returned design is ``None``; pass ``need_design=True`` to
+    force a flow run when the caller needs the placed
+    :class:`~repro.flow.design.Design` object itself.
+    """
     scale = default_scale() if scale is None else scale
     if period_ns is None:
         period_ns = find_target_period(design_name, scale=scale, seed=seed)
-    key = (design_name, config_name, scale, seed)
-    if key in _result_cache and not kwargs:
-        return _result_cache[key]
+
+    telemetry = get_telemetry()
+    cacheable = not kwargs
+    key = (design_name, config_name, scale, seed, period_ns)
+    if cacheable:
+        hit = _result_cache.get(key)
+        if hit is not None and (hit[0] is not None or not need_design):
+            telemetry.memory_hits += 1
+            telemetry.record_cell(design_name, config_name, 0.0, "memory")
+            return hit
+        if not need_design and cache.cache_enabled():
+            disk_key = cache.result_key(
+                design_name, config_name, scale=scale, seed=seed,
+                period_ns=period_ns,
+            )
+            start = time.perf_counter()
+            result = cache.load_result(disk_key)
+            if result is not None:
+                telemetry.disk_hits += 1
+                telemetry.record_cell(
+                    design_name, config_name,
+                    time.perf_counter() - start, "disk",
+                )
+                _result_cache[key] = (None, result)
+                return None, result
+            telemetry.disk_misses += 1
+
     configs = configurations()
-    design, result = configs[config_name].run(
-        design_name, period_ns=period_ns, scale=scale, seed=seed, **kwargs
+    start = time.perf_counter()
+    with timed_stage("flow"):
+        design, result = configs[config_name].run(
+            design_name, period_ns=period_ns, scale=scale, seed=seed, **kwargs
+        )
+    telemetry.flows_run += 1
+    telemetry.record_cell(
+        design_name, config_name, time.perf_counter() - start, "flow"
     )
-    if not kwargs:
+    if cacheable:
         _result_cache[key] = (design, result)
+        cache.store_result(
+            cache.result_key(
+                design_name, config_name, scale=scale, seed=seed,
+                period_ns=period_ns,
+            ),
+            result,
+            meta={"design": design_name, "config": config_name},
+        )
     return design, result
+
+
+class _LazyDesigns(dict):
+    """Per-matrix design map that rebuilds missing entries on demand.
+
+    A disk-cache hit carries only the :class:`FlowResult`; benchmarks
+    that inspect layouts (``matrix.designs[("cpu", "3D_HET")]``) get the
+    placed design rebuilt transparently -- one flow run, only for the
+    cells actually inspected, so a fully warm matrix still performs zero
+    flow runs until somebody asks for a layout.
+    """
+
+    def __init__(self, matrix: "EvaluationMatrix"):
+        super().__init__()
+        self._matrix = matrix
+
+    def __missing__(self, key: tuple[str, str]) -> Design:
+        design_name, config_name = key
+        design, _result = run_configuration(
+            design_name,
+            config_name,
+            period_ns=self._matrix.target_periods.get(design_name),
+            scale=self._matrix.scale,
+            seed=self._matrix.seed,
+            need_design=True,
+        )
+        self[key] = design
+        return design
 
 
 @dataclass
@@ -130,9 +255,19 @@ class EvaluationMatrix:
     results: dict[tuple[str, str], FlowResult] = field(default_factory=dict)
     designs: dict[tuple[str, str], Design] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.designs, _LazyDesigns):
+            lazy = _LazyDesigns(self)
+            lazy.update(self.designs)
+            self.designs = lazy
+
     def result(self, design: str, config: str) -> FlowResult:
         """One cell of the matrix."""
         return self.results[(design, config)]
+
+    def design(self, design: str, config: str) -> Design:
+        """The placed design of one cell (rebuilt on demand if warm)."""
+        return self.designs[(design, config)]
 
     def hetero(self, design: str) -> FlowResult:
         """The heterogeneous implementation of one netlist."""
@@ -153,10 +288,24 @@ def run_matrix(
     config_names: tuple[str, ...] = CONFIG_NAMES,
     scale: float | None = None,
     seed: int = 0,
+    jobs: int | None = None,
 ) -> EvaluationMatrix:
-    """Run the full evaluation matrix (cached per cell)."""
+    """Run the full evaluation matrix (cached per cell).
+
+    ``jobs`` (default ``$REPRO_JOBS``, else 1) fans the per-design
+    period searches and then all independent cells out over worker
+    processes; any spawn or pickling failure falls back to the serial
+    path, which produces identical results.
+    """
+    from repro.experiments.parallel import default_jobs, run_matrix_parallel
+
     scale = default_scale() if scale is None else scale
+    jobs = default_jobs() if jobs is None else jobs
     matrix = EvaluationMatrix(scale=scale, seed=seed)
+    if jobs > 1 and run_matrix_parallel(
+        matrix, designs=designs, config_names=config_names, jobs=jobs
+    ):
+        return matrix
     for design_name in designs:
         period = find_target_period(design_name, scale=scale, seed=seed)
         matrix.target_periods[design_name] = period
@@ -169,5 +318,6 @@ def run_matrix(
                 seed=seed,
             )
             matrix.results[(design_name, config_name)] = result
-            matrix.designs[(design_name, config_name)] = design
+            if design is not None:
+                matrix.designs[(design_name, config_name)] = design
     return matrix

@@ -1,0 +1,146 @@
+"""Lightweight instrumentation for the evaluation-matrix engine.
+
+A process-global :class:`Telemetry` object accumulates, per run:
+
+- ``flows_run`` / ``period_probes`` -- how many full flow executions
+  actually happened (the expensive part; a fully warm matrix run must
+  report zero);
+- ``memory_hits`` / ``disk_hits`` / ``disk_misses`` -- where each
+  requested cell was served from;
+- ``cell_seconds`` / ``cell_source`` -- wall time and provenance
+  (``"flow"``, ``"memory"``, ``"disk"``) of every matrix cell;
+- ``stage_seconds`` -- cumulative wall time per named stage
+  (``"period_search"``, ``"flow"``, ...).
+
+Worker processes of the parallel engine carry their own instance; the
+parent merges their snapshots with :meth:`Telemetry.merge`, so the
+counters stay correct whether the matrix ran serially or fanned out.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["Telemetry", "get_telemetry", "reset_telemetry", "timed_stage"]
+
+
+@dataclass
+class Telemetry:
+    """Counters and timings for one evaluation run."""
+
+    flows_run: int = 0
+    period_probes: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    cell_seconds: dict[tuple[str, str], float] = field(default_factory=dict)
+    cell_source: dict[tuple[str, str], str] = field(default_factory=dict)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_cell(
+        self, design: str, config: str, seconds: float, source: str
+    ) -> None:
+        """Log one matrix cell: where it came from and how long it took."""
+        self.cell_seconds[(design, config)] = seconds
+        self.cell_source[(design, config)] = source
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time under a named stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def merge(self, other: "Telemetry | dict") -> None:
+        """Fold a worker snapshot (object or ``snapshot()`` dict) in."""
+        if isinstance(other, dict):
+            other = Telemetry.from_snapshot(other)
+        self.flows_run += other.flows_run
+        self.period_probes += other.period_probes
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.disk_misses += other.disk_misses
+        self.cell_seconds.update(other.cell_seconds)
+        self.cell_source.update(other.cell_source)
+        for stage, seconds in other.stage_seconds.items():
+            self.record_stage(stage, seconds)
+
+    def snapshot(self) -> dict:
+        """A picklable/JSON-able dict view (cell keys become lists)."""
+        d = asdict(self)
+        d["cell_seconds"] = [[k[0], k[1], v] for k, v in self.cell_seconds.items()]
+        d["cell_source"] = [[k[0], k[1], v] for k, v in self.cell_source.items()]
+        return d
+
+    @staticmethod
+    def from_snapshot(d: dict) -> "Telemetry":
+        """Inverse of :meth:`snapshot`."""
+        t = Telemetry(
+            flows_run=d.get("flows_run", 0),
+            period_probes=d.get("period_probes", 0),
+            memory_hits=d.get("memory_hits", 0),
+            disk_hits=d.get("disk_hits", 0),
+            disk_misses=d.get("disk_misses", 0),
+            stage_seconds=dict(d.get("stage_seconds", {})),
+        )
+        for design, config, v in d.get("cell_seconds", []):
+            t.cell_seconds[(design, config)] = v
+        for design, config, v in d.get("cell_source", []):
+            t.cell_source[(design, config)] = v
+        return t
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Multi-line human-readable report (``repro matrix --stats``)."""
+        lines = [
+            f"flows run        {self.flows_run}"
+            f" (period probes {self.period_probes})",
+            f"cache            memory {self.memory_hits} hits,"
+            f" disk {self.disk_hits} hits / {self.disk_misses} misses",
+        ]
+        if self.stage_seconds:
+            lines.append("stage wall time:")
+            for stage, seconds in sorted(self.stage_seconds.items()):
+                lines.append(f"  {stage:20s} {seconds:8.2f} s")
+        if self.cell_seconds:
+            lines.append("cells:")
+            for key in sorted(self.cell_seconds):
+                design, config = key
+                src = self.cell_source.get(key, "?")
+                lines.append(
+                    f"  {design:8s} {config:8s} {self.cell_seconds[key]:8.2f} s"
+                    f"  [{src}]"
+                )
+        return "\n".join(lines)
+
+
+_telemetry = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global telemetry accumulator."""
+    return _telemetry
+
+
+def reset_telemetry() -> Telemetry:
+    """Zero the global accumulator (start of a run / a worker task)."""
+    global _telemetry
+    _telemetry = Telemetry()
+    return _telemetry
+
+
+@contextmanager
+def timed_stage(stage: str):
+    """Context manager accumulating the block's wall time under ``stage``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        get_telemetry().record_stage(stage, time.perf_counter() - start)

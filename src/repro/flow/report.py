@@ -9,7 +9,7 @@ Table VIII).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.cost.model import CostModel, performance_per_cost, power_delay_product_pj
 from repro.cts.tree import ClockReport
@@ -17,7 +17,7 @@ from repro.flow.design import Design
 from repro.power.activity import propagate_activities
 from repro.power.analysis import PowerReport, analyze_power, net_switching_power_uw
 from repro.route.report import RoutingReport, route_design
-from repro.timing.sta import CriticalPath, TimingReport, run_sta
+from repro.timing.sta import CriticalPath, PathStep, TimingReport, run_sta
 from repro.units import um2_to_mm2
 
 __all__ = ["MemoryNetStats", "FlowResult", "finalize_design"]
@@ -60,6 +60,47 @@ class FlowResult:
     critical_path: CriticalPath | None
     memory_nets: MemoryNetStats | None
     peak_congestion: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe deep-dict view, invertible via :meth:`from_dict`.
+
+        This is the serialization the on-disk result cache
+        (:mod:`repro.experiments.cache`) persists; every nested report is
+        a plain dataclass, so :func:`dataclasses.asdict` does the heavy
+        lifting and :meth:`from_dict` re-types the pieces.
+        """
+        d = asdict(self)
+        if self.critical_path is not None:
+            d["critical_path"]["endpoint"] = list(self.critical_path.endpoint)
+            d["critical_path"]["steps"] = [
+                asdict(s) for s in self.critical_path.steps
+            ]
+        if self.clock is not None:
+            # JSON keys are strings; keep tier keys as ints on the way out.
+            d["clock"]["buffer_count_by_tier"] = {
+                str(k): v for k, v in self.clock.buffer_count_by_tier.items()
+            }
+        return d
+
+    @staticmethod
+    def from_dict(d: dict) -> "FlowResult":
+        """Rebuild a :class:`FlowResult` from :meth:`to_dict` output."""
+        d = dict(d)
+        d["power"] = PowerReport(**d["power"])
+        if d.get("clock") is not None:
+            clock = dict(d["clock"])
+            clock["buffer_count_by_tier"] = {
+                int(k): v for k, v in clock["buffer_count_by_tier"].items()
+            }
+            d["clock"] = ClockReport(**clock)
+        if d.get("critical_path") is not None:
+            cp = dict(d["critical_path"])
+            cp["endpoint"] = tuple(cp["endpoint"])
+            cp["steps"] = tuple(PathStep(**s) for s in cp["steps"])
+            d["critical_path"] = CriticalPath(**cp)
+        if d.get("memory_nets") is not None:
+            d["memory_nets"] = MemoryNetStats(**d["memory_nets"])
+        return FlowResult(**d)
 
     def row(self) -> dict[str, float]:
         """Flat dict view (one Table VI column)."""

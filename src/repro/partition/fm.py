@@ -86,6 +86,8 @@ def fm_bipartition(
     stopping early when a pass yields no improvement.
     """
     fixed = fixed or set()
+    if not cells:
+        raise PartitionError("nothing to partition")
     cell_set = set(cells)
     if len(cell_set) != len(cells):
         raise PartitionError("duplicate cell names")
@@ -214,8 +216,6 @@ def fm_bipartition(
         side = dict(best_assign)
 
     a0, a1 = side_areas(best_assign)
-    if not cells:
-        raise PartitionError("nothing to partition")
     return FMResult(
         assignment=best_assign, cut_size=best_cut, passes=passes_done, area=(a0, a1)
     )

@@ -1,0 +1,27 @@
+"""Unit-test harness configuration.
+
+The matrix engine persists results to ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``).  To keep unit tests hermetic, the suite points the
+cache at a session-scoped temporary directory -- unless the caller
+already set ``REPRO_CACHE_DIR`` explicitly (CI does this to exercise
+cold-then-warm runs across pytest invocations).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    if os.environ.get("REPRO_CACHE_DIR"):
+        yield
+        return
+    path = tmp_path_factory.mktemp("repro-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)

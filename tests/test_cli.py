@@ -24,6 +24,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["flow", "aes", "--config", "4D"])
 
+    def test_matrix_stats_and_jobs_flags(self):
+        args = build_parser().parse_args(
+            ["matrix", "aes", "--stats", "--jobs", "4"]
+        )
+        assert args.stats is True
+        assert args.jobs == 4
+        args = build_parser().parse_args(["matrix", "aes"])
+        assert args.stats is False
+        assert args.jobs is None
+
+    def test_cache_flags(self):
+        assert build_parser().parse_args(["cache"]).clear is False
+        assert build_parser().parse_args(["cache", "--clear"]).clear is True
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -52,3 +66,26 @@ class TestCommands:
         assert (tmp_path / "aes.v").exists()
         assert (tmp_path / "aes.def").exists()
         assert (tmp_path / "28nm_12T.lib").exists()
+
+    def test_cache_info_and_clear(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        (tmp_path / "deadbeef.json").write_text("{\"payload\": {}}")
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entries     1" in out
+        assert main(["cache", "--clear"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_matrix_stats(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rc = main([
+            "matrix", "aes", "--period", "0.9",
+            "--scale", "0.2", "--seed", "7", "--stats",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3D_HET" in out
+        assert "-- telemetry --" in out
+        assert "flows run" in out

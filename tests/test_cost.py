@@ -60,11 +60,21 @@ class TestEquations:
         )
 
     def test_die_cost_eq5(self, model):
+        """Eq. (5): wafer cost over *good* dies -- the good-die count
+        already folds in the die yield, which must not be applied twice."""
         report = model.die_cost(0.2, tiers=1)
-        expected = model.wafer_cost_2d() / (
-            report.good_dies * report.die_yield
-        )
+        expected = model.wafer_cost_2d() / report.good_dies
         assert report.die_cost == pytest.approx(expected)
+        assert report.good_dies == pytest.approx(
+            report.dies_per_wafer * report.die_yield
+        )
+
+    def test_die_cost_reproduces_table6_aes(self, model):
+        """The corrected Eq. (5) lands on the paper's printed AES die cost
+        (1.97e-6 C' at the Table VI footprint) almost exactly."""
+        assert model.die_cost(0.126 / 2, tiers=2).die_cost * 1e6 == pytest.approx(
+            1.97, rel=5e-3
+        )
 
     def test_paper_scale_cpu_cost(self, model):
         """Hetero CPU: footprint ~0.195 mm2/tier -> ~6-8e-6 C' (Table VI 6.26)."""

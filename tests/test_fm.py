@@ -125,8 +125,26 @@ class TestErrors:
             )
 
     def test_empty_rejected(self):
-        with pytest.raises(PartitionError):
+        """An empty cell list fails fast with the dedicated message, not a
+        downstream KeyError/ZeroDivision from the area bookkeeping."""
+        with pytest.raises(PartitionError, match="nothing to partition"):
             fm_bipartition([], [], {}, {}, initial={})
+
+    def test_single_cell_is_a_valid_partition(self):
+        result = fm_bipartition(
+            ["only"], [], {"only": 2.0}, {"only": 1.5}, initial={"only": 0}
+        )
+        assert result.assignment == {"only": 0}
+        assert result.cut_size == 0
+        assert result.area == (2.0, 0.0)
+
+    def test_single_fixed_cell(self):
+        result = fm_bipartition(
+            ["only"], [["only"]], {"only": 1.0}, {"only": 1.0},
+            initial={"only": 1}, fixed={"only"},
+        )
+        assert result.assignment == {"only": 1}
+        assert result.cut_size == 0
 
 
 class TestProperties:

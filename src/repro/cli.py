@@ -5,7 +5,10 @@ Commands
 ``flow``     run one configuration of one netlist and print its PPAC row
 ``matrix``   run the full Fig. 1 configuration set for one netlist
              (``--jobs N`` fans the cells out, ``--stats`` prints the
-             telemetry: cache hits/misses, flow counts, wall times)
+             telemetry: cache hits/misses, flow counts, wall times;
+             ``--keep-going``/``--max-retries``/``--timeout``/``--resume``
+             control the resilience layer -- quarantined cells print a
+             failure table and the command exits with status 3)
 ``sweep``    find the 12-track 2-D maximum frequency of a netlist
 ``export``   write the Verilog/DEF/Liberty artifacts of one implementation
 ``tables``   regenerate the cheap paper tables (I-IV) as text
@@ -19,9 +22,11 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.errors import ReproError
 from repro.experiments.configs import CONFIG_NAMES, configurations
 from repro.experiments.runner import find_target_period, run_configuration
 from repro.experiments.telemetry import get_telemetry
+from repro.log import init_from_env
 from repro.experiments.tables import (
     PAPER_TABLE1,
     table1_qualitative_ranks,
@@ -32,6 +37,10 @@ from repro.experiments.tables import (
 from repro.netlist.generators import DESIGN_NAMES
 
 __all__ = ["main"]
+
+#: Exit status when the run completed but one or more cells were
+#: quarantined (so CI and scripts can detect degraded runs).
+EXIT_QUARANTINED = 3
 
 
 def _print_result(result) -> None:
@@ -50,42 +59,51 @@ def _cmd_flow(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_matrix(args: argparse.Namespace) -> int:
-    from repro.experiments.parallel import default_jobs, run_cells
+def _print_failures(matrix) -> None:
+    print("\n-- failed cells --")
+    print(matrix.failure_summary())
 
-    period = args.period or find_target_period(
-        args.design, scale=args.scale, seed=args.seed
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_matrix
+
+    matrix = run_matrix(
+        designs=(args.design,),
+        config_names=CONFIG_NAMES,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        keep_going=args.keep_going,
+        max_retries=args.max_retries,
+        timeout_s=args.timeout,
+        resume=args.resume,
+        target_periods={args.design: args.period} if args.period else None,
     )
-    print(f"target period {period:.3f} ns ({1 / period:.2f} GHz)")
-    jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
-    results = None
-    if jobs > 1:
-        results = run_cells(
-            [(args.design, name, period) for name in CONFIG_NAMES],
-            scale=args.scale,
-            seed=args.seed,
-            jobs=jobs,
-        )
-    if results is None:
-        results = {}
-        for name in CONFIG_NAMES:
-            _design, result = run_configuration(
-                args.design, name,
-                period_ns=period, scale=args.scale, seed=args.seed,
-            )
-            results[(args.design, name)] = result
+    period = matrix.target_periods.get(args.design)
+    if period is not None:
+        print(f"target period {period:.3f} ns ({1 / period:.2f} GHz)")
     for name in CONFIG_NAMES:
-        result = results[(args.design, name)]
+        result = matrix.results.get((args.design, name))
+        if result is None:
+            cell = matrix.failed.get((args.design, name))
+            reason = (
+                f"{cell.error_type} at {cell.stage}" if cell is not None
+                else "period search failed"
+            )
+            print(f"{name:8s} QUARANTINED ({reason})")
+            continue
         print(
             f"{name:8s} WNS {result.wns_ns:+7.3f}  "
             f"P {result.total_power_mw:8.3f} mW  "
             f"PDP {result.pdp_pj:8.3f} pJ  "
             f"cost {result.die_cost_1e6:8.4f}  PPC {result.ppc:10.1f}"
         )
+    if not matrix.ok:
+        _print_failures(matrix)
     if args.stats:
         print("\n-- telemetry --")
         print(get_telemetry().summary())
-    return 0
+    return 0 if matrix.ok else EXIT_QUARANTINED
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -158,7 +176,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.reportgen import render_report
     from repro.experiments.runner import run_matrix
 
-    matrix = run_matrix(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    matrix = run_matrix(
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        keep_going=args.keep_going,
+        max_retries=args.max_retries,
+        timeout_s=args.timeout,
+        resume=args.resume,
+    )
+    if not matrix.ok:
+        # The report tables index every cell; a partial matrix cannot
+        # be rendered faithfully, so report the damage instead.
+        print(f"matrix incomplete; {args.output} not written")
+        _print_failures(matrix)
+        return EXIT_QUARANTINED
     text = render_report(matrix)
     Path(args.output).write_text(text)
     print(f"wrote {args.output} ({len(text.splitlines())} lines)")
@@ -186,12 +218,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
+    def add_resilience(p):
+        p.add_argument("--keep-going", action="store_true",
+                       help="quarantine failing cells and finish the rest "
+                            "(exit status 3 when any cell failed)")
+        p.add_argument("--max-retries", type=int, default=None,
+                       help="retries per transient failure (default 2)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-wave wall-clock timeout in seconds "
+                            "(parallel path only)")
+        p.add_argument("--resume", action="store_true",
+                       help="resume an interrupted run from its manifest; "
+                            "completed cells are never rerun")
+
     p_matrix = sub.add_parser("matrix", help="run all five configurations")
     add_common(p_matrix, with_config=False)
     p_matrix.add_argument("--jobs", type=int, default=None,
                           help="worker processes (default $REPRO_JOBS or 1)")
     p_matrix.add_argument("--stats", action="store_true",
                           help="print cache/flow telemetry after the run")
+    add_resilience(p_matrix)
     p_matrix.set_defaults(func=_cmd_matrix)
 
     p_sweep = sub.add_parser("sweep", help="find the 12T 2-D max frequency")
@@ -214,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--output", default="paper_tables.md")
     p_report.add_argument("--jobs", type=int, default=None,
                           help="worker processes (default $REPRO_JOBS or 1)")
+    add_resilience(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_cache = sub.add_parser(
@@ -227,13 +274,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    init_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "command", None) == "flow" and args.period is None:
-        args.period = find_target_period(
-            args.design, scale=args.scale, seed=args.seed
-        )
-    return args.func(args)
+    try:
+        if getattr(args, "command", None) == "flow" and args.period is None:
+            args.period = find_target_period(
+                args.design, scale=args.scale, seed=args.seed
+            )
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -3,6 +3,13 @@
 Every error raised by the library derives from :class:`ReproError` so a
 caller can catch the whole family with a single ``except`` clause while
 still being able to distinguish the failure domain.
+
+Errors that travel through the evaluation engine carry *context*: the
+flow stage, design, configuration and retry attempt they happened in.
+:meth:`ReproError.with_context` annotates an exception in place (and
+returns it, so ``raise exc.with_context(stage="flow")`` reads well);
+the context renders at the end of ``str(exc)`` so logs and failure
+tables are self-describing even after the traceback is gone.
 """
 
 from __future__ import annotations
@@ -10,6 +17,30 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro package."""
+
+    @property
+    def context(self) -> dict:
+        """Engine context (stage/design/config/attempt) attached so far."""
+        ctx = getattr(self, "_context", None)
+        if ctx is None:
+            ctx = {}
+            self._context = ctx
+        return ctx
+
+    def with_context(self, **fields) -> "ReproError":
+        """Attach context fields in place; ``None`` values are ignored."""
+        self.context.update(
+            {key: value for key, value in fields.items() if value is not None}
+        )
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        ctx = getattr(self, "_context", None)
+        if not ctx:
+            return base
+        rendered = ", ".join(f"{key}={value}" for key, value in ctx.items())
+        return f"{base}  [{rendered}]"
 
 
 class LibraryError(ReproError):

@@ -1,6 +1,7 @@
 """Experiment harnesses: the 4-netlist x 5-configuration evaluation matrix."""
 
 from repro.experiments.configs import CONFIG_NAMES, Configuration, configurations
+from repro.experiments.resilience import FailedCell, RetryPolicy
 from repro.experiments.runner import (
     EvaluationMatrix,
     clear_memory_caches,
@@ -15,6 +16,8 @@ __all__ = [
     "Configuration",
     "configurations",
     "EvaluationMatrix",
+    "FailedCell",
+    "RetryPolicy",
     "clear_memory_caches",
     "find_target_period",
     "run_configuration",

@@ -9,7 +9,11 @@ starts in milliseconds:
   matrix cell, keyed by design/config/scale/seed/period (and the flow's
   keyword overrides, when cacheable);
 - ``period`` entries: the per-design 12-track max-frequency search
-  outcome, keyed by design/scale/seed/iterations.
+  outcome, keyed by design/scale/seed/iterations;
+- ``manifest`` entries: one per matrix run shape
+  (designs/configs/scale/seed), recording target periods, completed
+  cells and quarantined failures as the run progresses -- this is what
+  makes an interrupted matrix resumable (``repro matrix --resume``).
 
 Entries are content-addressed: the filename is the SHA-256 of the
 canonical JSON of the key fields *plus the package version*, so a new
@@ -33,20 +37,27 @@ import os
 from pathlib import Path
 
 from repro import __version__
+from repro.experiments.faults import inject
 from repro.flow.report import FlowResult
+from repro.log import get_logger
 
 __all__ = [
     "cache_dir",
     "cache_enabled",
     "cache_key",
     "clear_cache",
+    "load_manifest",
     "load_payload",
     "load_period",
     "load_result",
+    "manifest_key",
+    "store_manifest",
     "store_payload",
     "store_period",
     "store_result",
 ]
+
+_log = get_logger("cache")
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_SWITCH = "REPRO_CACHE"
@@ -99,6 +110,7 @@ def load_payload(key: str) -> dict | None:
         return entry["payload"]
     except (ValueError, TypeError, KeyError):
         # Truncated write or foreign file: recover by dropping the entry.
+        _log.warning("dropping corrupt cache entry %s", path.name)
         try:
             path.unlink()
         except OSError:
@@ -106,20 +118,27 @@ def load_payload(key: str) -> dict | None:
         return None
 
 
-def store_payload(key: str, payload: dict, *, meta: dict | None = None) -> None:
+def store_payload(
+    key: str,
+    payload: dict,
+    *,
+    meta: dict | None = None,
+    entry_kind: str = "",
+) -> None:
     """Write one entry atomically (tmp file + rename); best-effort."""
     if not cache_enabled():
         return
     path = _entry_path(key)
     entry = {"version": __version__, "meta": meta or {}, "payload": payload}
     try:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        os.replace(tmp, path)
-    except OSError:
+        with inject("cache_write", entry=entry_kind, key=key, path=str(path)):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(entry, sort_keys=True))
+            os.replace(tmp, path)
+    except OSError as exc:
         # A read-only or full disk never breaks the run; it just stays cold.
-        pass
+        _log.warning("cache write failed for %s: %s", path.name, exc)
 
 
 # ----------------------------------------------------------------------
@@ -164,7 +183,7 @@ def load_result(key: str) -> FlowResult | None:
 
 def store_result(key: str, result: FlowResult, *, meta: dict | None = None) -> None:
     """Persist one matrix-cell result."""
-    store_payload(key, result.to_dict(), meta=meta)
+    store_payload(key, result.to_dict(), meta=meta, entry_kind="result")
 
 
 def period_key(design: str, *, scale: float, seed: int, iterations: int) -> str:
@@ -185,7 +204,42 @@ def load_period(key: str) -> float | None:
 
 def store_period(key: str, period_ns: float, *, meta: dict | None = None) -> None:
     """Persist one target-period search outcome."""
-    store_payload(key, {"period_ns": period_ns}, meta=meta)
+    store_payload(key, {"period_ns": period_ns}, meta=meta, entry_kind="period")
+
+
+def manifest_key(
+    designs: tuple[str, ...],
+    config_names: tuple[str, ...],
+    *,
+    scale: float,
+    seed: int,
+    periods: dict | None = None,
+) -> str:
+    """Key of one matrix run-manifest (the run's shape, not its data).
+
+    ``periods`` participates only when the caller pinned explicit target
+    periods (CLI ``--period``), so a pinned run never aliases the
+    default-period manifest.
+    """
+    return cache_key(
+        "manifest",
+        designs=list(designs),
+        configs=list(config_names),
+        scale=scale,
+        seed=seed,
+        periods=periods or {},
+    )
+
+
+def load_manifest(key: str) -> dict | None:
+    """The stored run-manifest payload, or ``None``."""
+    payload = load_payload(key)
+    return payload if isinstance(payload, dict) else None
+
+
+def store_manifest(key: str, manifest: dict) -> None:
+    """Persist one run-manifest (rewritten as the run progresses)."""
+    store_payload(key, manifest, entry_kind="manifest")
 
 
 def clear_cache() -> int:

@@ -1,0 +1,276 @@
+"""Deterministic fault injection for the evaluation engine.
+
+The resilience layer (:mod:`repro.experiments.resilience`) exists to
+survive worker crashes, hangs, corrupt cache entries and bad cells --
+none of which occur naturally in a unit test.  This module makes them
+occur *on demand, deterministically*: the engine is instrumented with
+named injection sites (``with inject("cell", design=..., config=...)``)
+that are no-ops unless ``$REPRO_FAULTS`` names them.
+
+Spec format
+-----------
+``REPRO_FAULTS`` holds ``;``-separated fault entries; each entry is a
+``,``-separated list of ``key=value`` fields::
+
+    REPRO_FAULTS="site=worker,design=aes,config=3D_9T,kind=exit"
+    REPRO_FAULTS="site=cell,design=ldpc,kind=raise,times=0;site=cache_write,kind=corrupt"
+
+Recognized fields:
+
+``site`` (required)
+    Name of the injection point.  The engine defines ``cell`` (around
+    each flow execution), ``period_search`` (around each target-period
+    search), ``worker`` (at worker-process task entry) and
+    ``cache_write`` (around each on-disk cache store).
+``kind`` (required)
+    ``raise`` (a deterministic :class:`FaultInjected`, a
+    :class:`~repro.errors.ReproError`), ``raise_transient`` (a
+    :class:`TransientFaultInjected`, an ``OSError``), ``exit`` (the
+    process dies via ``os._exit`` -- a worker crash), ``hang`` (sleep
+    ``seconds`` before proceeding), or ``corrupt`` (overwrite the file
+    named by the site's ``path`` context after the block completes).
+``times`` (default 1)
+    How many matching hits fire; ``0`` means every hit, forever.
+``after`` (default 0)
+    Skip the first N matching hits before firing.
+``seconds`` (default 30)
+    Sleep duration for ``hang``.
+``p`` / ``seed`` (defaults 1 / 0)
+    Fire probability per eligible hit, drawn from a RNG seeded by
+    ``(seed, site, entry index, hit index)`` -- reproducible across
+    runs and processes.
+
+Any other field is a *match filter*: the fault only fires when the
+site's context has that key with that (stringified) value.
+
+Cross-process determinism
+-------------------------
+Hit counting must be shared between the parent and its pool workers for
+``times``/``after`` to mean anything fleet-wide.  Point
+``$REPRO_FAULTS_STATE`` at a fresh directory and every hit claims a slot
+file there with ``O_CREAT|O_EXCL`` -- an atomic, processes-wide counter.
+Without a state dir, counting is per-process (fine for serial runs).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.log import get_logger
+
+__all__ = [
+    "ENV_FAULTS",
+    "ENV_FAULTS_STATE",
+    "FaultInjected",
+    "TransientFaultInjected",
+    "FaultSpec",
+    "active_faults",
+    "inject",
+    "parse_spec",
+    "reset_fault_state",
+]
+
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_FAULTS_STATE = "REPRO_FAULTS_STATE"
+
+_KINDS = ("raise", "raise_transient", "exit", "hang", "corrupt")
+
+_log = get_logger("faults")
+
+
+class FaultInjected(ReproError):
+    """Deterministic injected failure (quarantine path)."""
+
+
+class TransientFaultInjected(OSError):
+    """Transient injected failure (retry path); deliberately not a ReproError."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``REPRO_FAULTS`` entry."""
+
+    site: str
+    kind: str
+    index: int  # position in the spec string; part of the fault's identity
+    times: int = 1
+    after: int = 0
+    seconds: float = 30.0
+    p: float = 1.0
+    seed: int = 0
+    match: dict = field(default_factory=dict)
+
+
+def parse_spec(text: str) -> list[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` value; raises ``ValueError`` on bad specs."""
+    specs: list[FaultSpec] = []
+    for index, raw in enumerate(part for part in text.split(";") if part.strip()):
+        fields: dict[str, str] = {}
+        for item in raw.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ValueError(f"fault field {item!r} is not key=value")
+            key, value = item.split("=", 1)
+            fields[key.strip()] = value.strip()
+        site = fields.pop("site", "")
+        kind = fields.pop("kind", "")
+        if not site:
+            raise ValueError(f"fault entry {raw!r} is missing site=")
+        if kind not in _KINDS:
+            raise ValueError(
+                f"fault entry {raw!r} has unknown kind {kind!r}"
+                f" (expected one of {', '.join(_KINDS)})"
+            )
+        specs.append(
+            FaultSpec(
+                site=site,
+                kind=kind,
+                index=index,
+                times=int(fields.pop("times", "1")),
+                after=int(fields.pop("after", "0")),
+                seconds=float(fields.pop("seconds", "30")),
+                p=float(fields.pop("p", "1")),
+                seed=int(fields.pop("seed", "0")),
+                match=fields,
+            )
+        )
+    return specs
+
+
+# Parsed specs memoized on the raw env text (hot path: no-fault runs).
+_parse_memo: tuple[str, list[FaultSpec]] | None = None
+
+# Per-process hit counters, used when no state dir is configured.
+_counters: dict[int, int] = {}
+
+
+def active_faults() -> list[FaultSpec]:
+    """The faults currently requested by ``$REPRO_FAULTS`` (maybe empty)."""
+    global _parse_memo
+    text = os.environ.get(ENV_FAULTS, "")
+    if not text.strip():
+        return []
+    if _parse_memo is not None and _parse_memo[0] == text:
+        return _parse_memo[1]
+    specs = parse_spec(text)
+    _parse_memo = (text, specs)
+    return specs
+
+
+def reset_fault_state() -> None:
+    """Drop per-process hit counters and the parse memo (tests)."""
+    global _parse_memo
+    _parse_memo = None
+    _counters.clear()
+
+
+def _matches(spec: FaultSpec, site: str, context: dict) -> bool:
+    if spec.site != site:
+        return False
+    return all(
+        str(context.get(key)) == value for key, value in spec.match.items()
+    )
+
+
+def _claim_hit(spec: FaultSpec) -> int | None:
+    """Reserve this hit's global index, or ``None`` when exhausted.
+
+    With ``$REPRO_FAULTS_STATE`` set, slots are ``O_CREAT|O_EXCL`` files
+    shared by every process of the run; otherwise a per-process counter.
+    """
+    limit = None if spec.times <= 0 else spec.after + spec.times
+    state = os.environ.get(ENV_FAULTS_STATE)
+    if not state:
+        n = _counters.get(spec.index, 0)
+        if limit is not None and n >= limit:
+            return None
+        _counters[spec.index] = n + 1
+        return n
+    root = Path(state)
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    n = 0
+    while limit is None or n < limit:
+        slot = root / f"fault-{spec.index}.{n}"
+        try:
+            fd = os.open(slot, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            n += 1
+            continue
+        except OSError:
+            return None
+        os.close(fd)
+        return n
+    return None
+
+
+def _should_fire(spec: FaultSpec, site: str, context: dict) -> bool:
+    if not _matches(spec, site, context):
+        return False
+    n = _claim_hit(spec)
+    if n is None or n < spec.after:
+        return False
+    if spec.p < 1.0:
+        rng = random.Random(f"{spec.seed}:{spec.site}:{spec.index}:{n}")
+        if rng.random() >= spec.p:
+            return False
+    return True
+
+
+def _describe(site: str, context: dict) -> str:
+    rendered = ", ".join(f"{k}={v}" for k, v in sorted(context.items()))
+    return f"{site}({rendered})" if rendered else site
+
+
+def _corrupt_path(path: str) -> None:
+    try:
+        Path(path).write_text("{ corrupted by fault injection")
+    except OSError:
+        pass
+
+
+@contextmanager
+def inject(site: str, **context):
+    """Injection point: a no-op unless an active fault targets ``site``.
+
+    ``raise``/``raise_transient``/``exit``/``hang`` act before the body
+    runs; ``corrupt`` acts after it completes, mangling the file named
+    by the site's ``path`` context value.
+    """
+    post_corrupt: list[FaultSpec] = []
+    for spec in active_faults():
+        if not _should_fire(spec, site, context):
+            continue
+        where = _describe(site, context)
+        if spec.kind == "corrupt":
+            post_corrupt.append(spec)
+        elif spec.kind == "hang":
+            _log.warning("injected hang %.1fs at %s", spec.seconds, where)
+            time.sleep(spec.seconds)
+        elif spec.kind == "exit":
+            _log.warning("injected process exit at %s", where)
+            os._exit(23)
+        elif spec.kind == "raise_transient":
+            _log.warning("injected transient fault at %s", where)
+            raise TransientFaultInjected(f"injected transient fault at {where}")
+        else:  # "raise"
+            _log.warning("injected deterministic fault at %s", where)
+            raise FaultInjected(f"injected fault at {where}")
+    yield
+    for spec in post_corrupt:
+        path = context.get("path")
+        if path:
+            _log.warning(
+                "injected cache corruption at %s", _describe(site, context)
+            )
+            _corrupt_path(str(path))

@@ -15,23 +15,41 @@ each result; the parent merges them so ``repro matrix --stats`` stays
 truthful.  Workers share the on-disk cache with the parent, so a
 parallel cold run leaves the same warm cache a serial one would.
 
-Any spawn or pickling failure degrades gracefully: the caller falls
-back to the serial path and produces identical results.
+Failure handling is delegated to
+:mod:`repro.experiments.resilience`:
+
+- a worker *crash* (``BrokenProcessPool``) or a per-wave *timeout* is
+  transient -- the pool is rebuilt and only the unfinished jobs rerun;
+  results already harvested from completed futures are never discarded;
+- an exception raised by the *flow itself* inside a worker crosses the
+  process boundary as a :class:`~repro.experiments.resilience.WorkerTaskError`
+  (so a flow-raised ``OSError`` is never mistaken for pool breakage);
+  deterministic failures (any :class:`~repro.errors.ReproError`) are
+  quarantined, not retried;
+- only when the very first pool cannot be constructed at all does the
+  caller fall back to the fully-serial path
+  (:class:`~repro.experiments.resilience.PoolUnavailable`), which
+  produces identical results.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 
+from repro.experiments.faults import inject
+from repro.experiments.resilience import (
+    FailedCell,
+    RetryPolicy,
+    WorkerTaskError,
+    run_jobs_with_retry,
+)
 from repro.flow.report import FlowResult
+from repro.log import get_logger
 
 __all__ = ["default_jobs", "find_periods", "run_cells", "run_matrix_parallel"]
 
-#: Exceptions that mean "the pool broke", not "the flow failed".
-_POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError, ImportError)
+_log = get_logger("parallel")
 
 
 def default_jobs() -> int:
@@ -43,6 +61,13 @@ def default_jobs() -> int:
     return max(1, jobs)
 
 
+def _pool_factory(workers: int):
+    """Build the wave executor (module-level so tests can monkeypatch
+    ``ProcessPoolExecutor`` here, and so spawn failures surface as
+    :class:`PoolUnavailable` in the caller)."""
+    return ProcessPoolExecutor(max_workers=max(1, workers))
+
+
 # ----------------------------------------------------------------------
 # worker entry points (top level: must be picklable by spawn/fork alike)
 # ----------------------------------------------------------------------
@@ -51,7 +76,13 @@ def _probe_period(design_name: str, scale: float, seed: int):
     from repro.experiments.telemetry import get_telemetry, reset_telemetry
 
     reset_telemetry()
-    period = find_target_period(design_name, scale=scale, seed=seed)
+    try:
+        with inject("worker", stage="period_search", design=design_name):
+            period = find_target_period(design_name, scale=scale, seed=seed)
+    except Exception as exc:  # noqa: BLE001 -- process boundary
+        raise WorkerTaskError.wrap(
+            exc, stage="period_search", design=design_name
+        ) from None
     return design_name, period, get_telemetry().snapshot()
 
 
@@ -62,9 +93,18 @@ def _run_cell(
     from repro.experiments.telemetry import get_telemetry, reset_telemetry
 
     reset_telemetry()
-    _design, result = run_configuration(
-        design_name, config_name, period_ns=period_ns, scale=scale, seed=seed
-    )
+    try:
+        with inject(
+            "worker", stage="flow", design=design_name, config=config_name
+        ):
+            _design, result = run_configuration(
+                design_name, config_name,
+                period_ns=period_ns, scale=scale, seed=seed,
+            )
+    except Exception as exc:  # noqa: BLE001 -- process boundary
+        raise WorkerTaskError.wrap(
+            exc, stage="flow", design=design_name, config=config_name
+        ) from None
     return (design_name, config_name), result, get_telemetry().snapshot()
 
 
@@ -77,31 +117,36 @@ def find_periods(
     scale: float,
     seed: int,
     jobs: int,
-) -> dict[str, float] | None:
+    policy: RetryPolicy | None = None,
+) -> tuple[dict[str, float], dict[str, FailedCell]]:
     """Wave 1: per-design target periods, in parallel.
 
-    Returns ``None`` if the pool could not be used (caller goes serial).
+    Returns ``(periods, failures)``.  Periods already found survive any
+    mid-wave pool breakage.  Raises
+    :class:`~repro.experiments.resilience.PoolUnavailable` only when the
+    first pool cannot be built (nothing lost; caller goes serial).
     """
     from repro.experiments.runner import _period_cache
     from repro.experiments.telemetry import get_telemetry
 
+    policy = policy or RetryPolicy()
+    tasks = {name: (name, scale, seed) for name in designs}
+    raw, failures = run_jobs_with_retry(
+        tasks,
+        _probe_period,
+        pool_factory=_pool_factory,
+        jobs=min(jobs, max(1, len(designs))),
+        policy=policy,
+        describe=lambda name: ("period_search", name, "*"),
+    )
     periods: dict[str, float] = {}
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(designs))) as pool:
-            futures = [
-                pool.submit(_probe_period, name, scale, seed) for name in designs
-            ]
-            for future in as_completed(futures):
-                name, period, snapshot = future.result()
-                periods[name] = period
-                get_telemetry().merge(snapshot)
-    except _POOL_FAILURES:
-        return None
-    for name, period in periods.items():
+    for name, (_name, period, snapshot) in raw.items():
+        periods[name] = period
+        get_telemetry().merge(snapshot)
         # Seed the parent's in-process cache; the disk entry was written
         # by the worker, so only the memory layer needs filling in.
         _period_cache[(name, scale, seed)] = period
-    return periods
+    return periods, failures
 
 
 def run_cells(
@@ -110,34 +155,42 @@ def run_cells(
     scale: float,
     seed: int,
     jobs: int,
-) -> dict[tuple[str, str], FlowResult] | None:
+    policy: RetryPolicy | None = None,
+) -> tuple[dict[tuple[str, str], FlowResult], dict[tuple[str, str], FailedCell]]:
     """Wave 2: independent ``(design, config, period_ns)`` cells.
 
-    Returns ``None`` if the pool could not be used (caller goes serial).
+    Returns ``(results, failures)``; completed cells survive pool
+    breakage mid-wave and are never rerun.  Raises
+    :class:`~repro.experiments.resilience.PoolUnavailable` only when the
+    first pool cannot be built.
     """
     from repro.experiments.runner import _result_cache
     from repro.experiments.telemetry import get_telemetry
 
+    policy = policy or RetryPolicy()
+    tasks = {
+        (design, config): (design, config, period, scale, seed)
+        for design, config, period in cells
+    }
+    period_of = {(design, config): period for design, config, period in cells}
+    raw, failures = run_jobs_with_retry(
+        tasks,
+        _run_cell,
+        pool_factory=_pool_factory,
+        jobs=min(jobs, max(1, len(cells))),
+        policy=policy,
+        describe=lambda key: ("flow", key[0], key[1]),
+    )
     results: dict[tuple[str, str], FlowResult] = {}
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, max(1, len(cells)))) as pool:
-            futures = {
-                pool.submit(_run_cell, design, config, period, scale, seed): (
-                    design,
-                    config,
-                    period,
-                )
-                for design, config, period in cells
-            }
-            for future in as_completed(futures):
-                key, result, snapshot = future.result()
-                results[key] = result
-                get_telemetry().merge(snapshot)
-                design, config, period = futures[future]
-                _result_cache[(design, config, scale, seed, period)] = (None, result)
-    except _POOL_FAILURES:
-        return None
-    return results
+    for key, (_key, result, snapshot) in raw.items():
+        results[key] = result
+        get_telemetry().merge(snapshot)
+        design, config = key
+        _result_cache[(design, config, scale, seed, period_of[key])] = (
+            None,
+            result,
+        )
+    return results, failures
 
 
 def run_matrix_parallel(
@@ -146,52 +199,134 @@ def run_matrix_parallel(
     designs: tuple[str, ...],
     config_names: tuple[str, ...],
     jobs: int,
+    policy: RetryPolicy | None = None,
 ) -> bool:
     """Fill ``matrix`` using worker processes.
 
-    Returns ``False`` when the pool is unusable so :func:`run_matrix`
-    can fall back to its serial loop (results are identical either way).
+    Returns ``False`` when no pool can be built at all, so
+    :func:`~repro.experiments.runner.run_matrix` can fall back to its
+    serial loop (results are identical either way).  Failures are
+    recorded on ``matrix.failed`` / ``matrix.failed_periods`` after
+    transient ones get one last serial rescue attempt in the parent.
     """
-    from repro.experiments.runner import run_configuration
+    from repro.experiments.resilience import (
+        DETERMINISTIC,
+        PoolUnavailable,
+        call_with_retry,
+    )
+    from repro.experiments.runner import find_target_period, run_configuration
 
+    policy = policy or RetryPolicy()
     scale, seed = matrix.scale, matrix.seed
-    periods = find_periods(designs, scale=scale, seed=seed, jobs=jobs)
-    if periods is None:
-        return False
-    matrix.target_periods.update(periods)
+
+    need = tuple(d for d in designs if d not in matrix.target_periods)
+    if need:
+        try:
+            periods, period_failures = find_periods(
+                need, scale=scale, seed=seed, jobs=jobs, policy=policy
+            )
+        except PoolUnavailable as exc:
+            _log.warning("worker pool unavailable (%s); running serially", exc)
+            return False
+        matrix.target_periods.update(periods)
+        for name, failure in period_failures.items():
+            if failure.kind == DETERMINISTIC:
+                matrix.record_period_failure(name, failure)
+                continue
+            # Transient even after pool retries: one serial rescue try.
+            _log.warning(
+                "period search for %s failed transiently in the pool;"
+                " retrying serially", name,
+            )
+            period, serial_failure = call_with_retry(
+                lambda name=name: find_target_period(
+                    name, scale=scale, seed=seed
+                ),
+                policy=policy, stage="period_search", design=name,
+            )
+            if serial_failure is None:
+                matrix.target_periods[name] = period
+            else:
+                matrix.record_period_failure(name, serial_failure)
 
     # Serve warm cells from the parent's caches; only cold cells travel
     # to the pool (workers would re-read the disk entry anyway, but the
     # parent-side lookup keeps telemetry provenance accurate).
     cold: list[tuple[str, str, float]] = []
     for design_name in designs:
+        period = matrix.target_periods.get(design_name)
+        if period is None:
+            continue  # period search quarantined this design's row
         for config_name in config_names:
             design, result = _lookup_cached(
-                design_name, config_name, periods[design_name], scale, seed
+                design_name, config_name, period, scale, seed
             )
             if result is None:
-                cold.append((design_name, config_name, periods[design_name]))
+                cold.append((design_name, config_name, period))
             else:
                 matrix.results[(design_name, config_name)] = result
                 if design is not None:
                     matrix.designs[(design_name, config_name)] = design
 
     if cold:
-        fanned = run_cells(cold, scale=scale, seed=seed, jobs=jobs)
-        if fanned is None:
-            # Pool died mid-matrix: finish the remaining cells serially.
+        try:
+            fanned, cell_failures = run_cells(
+                cold, scale=scale, seed=seed, jobs=jobs, policy=policy
+            )
+        except PoolUnavailable as exc:
+            # Pool died between waves: finish the remaining cells
+            # serially, keeping everything already completed.
+            _log.warning(
+                "worker pool unavailable mid-matrix (%s);"
+                " finishing %d cell(s) serially", exc, len(cold),
+            )
+            fanned, cell_failures = {}, {}
             for design_name, config_name, period in cold:
                 if (design_name, config_name) in matrix.results:
                     continue
-                design, result = run_configuration(
-                    design_name, config_name,
-                    period_ns=period, scale=scale, seed=seed,
+                value, failure = call_with_retry(
+                    lambda d=design_name, c=config_name, p=period: (
+                        run_configuration(
+                            d, c, period_ns=p, scale=scale, seed=seed
+                        )
+                    ),
+                    policy=policy, stage="flow",
+                    design=design_name, config=config_name,
                 )
-                matrix.results[(design_name, config_name)] = result
+                if failure is None:
+                    design, result = value
+                    matrix.results[(design_name, config_name)] = result
+                    if design is not None:
+                        matrix.designs[(design_name, config_name)] = design
+                else:
+                    cell_failures[(design_name, config_name)] = failure
+        matrix.results.update(fanned)
+        for key, failure in cell_failures.items():
+            if failure.kind == DETERMINISTIC:
+                matrix.record_cell_failure(key, failure)
+                continue
+            # Transient after all pool retries (e.g. repeated timeouts):
+            # one serial rescue attempt before quarantining.
+            design_name, config_name = key
+            _log.warning(
+                "cell %s/%s failed transiently in the pool;"
+                " retrying serially", design_name, config_name,
+            )
+            period = matrix.target_periods[design_name]
+            value, serial_failure = call_with_retry(
+                lambda d=design_name, c=config_name, p=period: (
+                    run_configuration(d, c, period_ns=p, scale=scale, seed=seed)
+                ),
+                policy=policy, stage="flow",
+                design=design_name, config=config_name,
+            )
+            if serial_failure is None:
+                design, result = value
+                matrix.results[key] = result
                 if design is not None:
-                    matrix.designs[(design_name, config_name)] = design
-        else:
-            matrix.results.update(fanned)
+                    matrix.designs[key] = design
+            else:
+                matrix.record_cell_failure(key, serial_failure)
     return True
 
 

@@ -22,6 +22,18 @@ Independent matrix cells can fan out over worker processes
 (:mod:`repro.experiments.parallel`); pass ``jobs=`` to
 :func:`run_matrix` or set ``$REPRO_JOBS``.  Cache traffic and flow
 executions are counted by :mod:`repro.experiments.telemetry`.
+
+Failure semantics (:mod:`repro.experiments.resilience`): transient
+failures (worker crash, hang past the timeout, OS-level errors) are
+retried with capped exponential backoff; deterministic failures (any
+:class:`~repro.errors.ReproError`) are never retried.  With
+``keep_going=True`` a failing cell is *quarantined* -- recorded as a
+structured :class:`~repro.experiments.resilience.FailedCell` on
+``matrix.failed`` -- and the rest of the matrix still completes.  A
+run-manifest in the on-disk cache tracks target periods, completed
+cells and quarantines as the run progresses, so an interrupted matrix
+is resumable (``resume=True`` / ``repro matrix --resume``) with zero
+redundant flow runs for already-completed cells.
 """
 
 from __future__ import annotations
@@ -32,9 +44,17 @@ from dataclasses import dataclass, field
 
 from repro.experiments import cache
 from repro.experiments.configs import CONFIG_NAMES, configurations
+from repro.experiments.faults import inject
+from repro.experiments.resilience import (
+    DETERMINISTIC,
+    FailedCell,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.experiments.telemetry import get_telemetry, timed_stage
 from repro.flow.design import Design
 from repro.flow.report import FlowResult
+from repro.log import get_logger
 from repro.netlist.generators import DESIGN_NAMES
 
 __all__ = [
@@ -45,6 +65,8 @@ __all__ = [
     "run_configuration",
     "run_matrix",
 ]
+
+_log = get_logger("runner")
 
 #: Period sweep bounds per design (ns): generous brackets around each
 #: netlist's achievable range at the default scale.
@@ -115,7 +137,7 @@ def find_target_period(
     configs = configurations()
     lo, hi = _SWEEP_BOUNDS[design_name]
     best = hi
-    with timed_stage("period_search"):
+    with timed_stage("period_search"), inject("period_search", design=design_name):
         for _ in range(iterations):
             mid = 0.5 * (lo + hi)
             _design, result = configs["2D_12T"].run(
@@ -196,7 +218,9 @@ def run_configuration(
 
     configs = configurations()
     start = time.perf_counter()
-    with timed_stage("flow"):
+    with timed_stage("flow"), inject(
+        "cell", design=design_name, config=config_name
+    ):
         design, result = configs[config_name].run(
             design_name, period_ns=period_ns, scale=scale, seed=seed, **kwargs
         )
@@ -247,19 +271,75 @@ class _LazyDesigns(dict):
 
 @dataclass
 class EvaluationMatrix:
-    """All results of the 4 x 5 evaluation."""
+    """All results of the 4 x 5 evaluation.
+
+    ``failed`` holds quarantined cells (``keep_going`` runs only) as
+    structured :class:`FailedCell` records; ``failed_periods`` holds
+    design-level period-search failures, which block that design's whole
+    row.  A matrix with either non-empty is *partial* -- ``matrix.ok``
+    is ``False`` and the CLI exits nonzero.
+    """
 
     scale: float
     seed: int
     target_periods: dict[str, float] = field(default_factory=dict)
     results: dict[tuple[str, str], FlowResult] = field(default_factory=dict)
     designs: dict[tuple[str, str], Design] = field(default_factory=dict)
+    failed: dict[tuple[str, str], FailedCell] = field(default_factory=dict)
+    failed_periods: dict[str, FailedCell] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not isinstance(self.designs, _LazyDesigns):
             lazy = _LazyDesigns(self)
             lazy.update(self.designs)
             self.designs = lazy
+
+    @property
+    def ok(self) -> bool:
+        """Whether every requested cell completed."""
+        return not self.failed and not self.failed_periods
+
+    def record_cell_failure(self, key: tuple[str, str], cell: FailedCell) -> None:
+        """Quarantine one cell (and count it in the telemetry)."""
+        self.failed[key] = cell
+        get_telemetry().quarantined += 1
+        _log.warning(
+            "quarantined cell %s/%s after %d attempt(s): %s: %s",
+            cell.design, cell.config, cell.attempts,
+            cell.error_type, cell.message,
+        )
+
+    def record_period_failure(self, design: str, cell: FailedCell) -> None:
+        """Quarantine a whole design row: its period search failed."""
+        self.failed_periods[design] = cell
+        get_telemetry().quarantined += 1
+        _log.warning(
+            "quarantined design %s (period search) after %d attempt(s): %s: %s",
+            cell.design, cell.attempts, cell.error_type, cell.message,
+        )
+
+    def all_failures(self) -> list[FailedCell]:
+        """Every quarantine record, period-search ones first."""
+        return list(self.failed_periods.values()) + [
+            self.failed[key] for key in sorted(self.failed)
+        ]
+
+    def failure_summary(self) -> str:
+        """Human-readable per-cell failure table (empty string when ok)."""
+        cells = self.all_failures()
+        if not cells:
+            return ""
+        lines = [
+            f"{'design':8s} {'config':8s} {'stage':14s} {'kind':14s}"
+            f" {'attempts':8s} error"
+        ]
+        for cell in cells:
+            lines.append(
+                f"{cell.design:8s} {cell.config:8s} {cell.stage:14s}"
+                f" {cell.kind:14s} {cell.attempts:<8d}"
+                f" {cell.error_type}: {cell.message}"
+            )
+        return "\n".join(lines)
 
     def result(self, design: str, config: str) -> FlowResult:
         """One cell of the matrix."""
@@ -282,6 +362,58 @@ class EvaluationMatrix:
         return (het - ref) / ref * 100.0
 
 
+def _store_run_manifest(
+    manifest_key: str,
+    matrix: EvaluationMatrix,
+    designs: tuple[str, ...],
+    config_names: tuple[str, ...],
+    *,
+    complete: bool,
+) -> None:
+    """Persist the run's progress (best-effort, like every cache write)."""
+    cache.store_manifest(
+        manifest_key,
+        {
+            "scale": matrix.scale,
+            "seed": matrix.seed,
+            "designs": list(designs),
+            "configs": list(config_names),
+            "target_periods": dict(matrix.target_periods),
+            "completed": sorted([d, c] for d, c in matrix.results),
+            "failed": [cell.to_dict() for cell in matrix.all_failures()],
+            "complete": complete,
+        },
+    )
+
+
+def _restore_from_manifest(manifest_key: str, matrix: EvaluationMatrix) -> None:
+    """Seed a resuming matrix with the interrupted run's target periods.
+
+    Completed cells are *not* copied -- they reload through the
+    content-addressed result cache, which is what guarantees zero
+    redundant flow runs.  Previously-failed cells get a fresh chance.
+    """
+    manifest = cache.load_manifest(manifest_key)
+    if manifest is None:
+        _log.warning("no run-manifest to resume from; starting cold")
+        return
+    periods = manifest.get("target_periods", {})
+    if isinstance(periods, dict):
+        for name, period in periods.items():
+            if isinstance(period, (int, float)):
+                matrix.target_periods[str(name)] = float(period)
+                _period_cache[(str(name), matrix.scale, matrix.seed)] = float(
+                    period
+                )
+    _log.info(
+        "resuming matrix: %d period(s), %d completed cell(s),"
+        " %d prior failure(s)",
+        len(matrix.target_periods),
+        len(manifest.get("completed", [])),
+        len(manifest.get("failed", [])),
+    )
+
+
 def run_matrix(
     *,
     designs: tuple[str, ...] = DESIGN_NAMES,
@@ -289,35 +421,134 @@ def run_matrix(
     scale: float | None = None,
     seed: int = 0,
     jobs: int | None = None,
+    keep_going: bool = False,
+    max_retries: int | None = None,
+    timeout_s: float | None = None,
+    resume: bool = False,
+    target_periods: dict[str, float] | None = None,
+    policy: RetryPolicy | None = None,
 ) -> EvaluationMatrix:
     """Run the full evaluation matrix (cached per cell).
 
     ``jobs`` (default ``$REPRO_JOBS``, else 1) fans the per-design
     period searches and then all independent cells out over worker
-    processes; any spawn or pickling failure falls back to the serial
-    path, which produces identical results.
+    processes; if no pool can be built at all, the serial path takes
+    over and produces identical results.
+
+    Resilience: transient failures (worker crash, hang past
+    ``timeout_s``, OS-level errors) are retried up to ``max_retries``
+    times with capped exponential backoff, rebuilding the pool when it
+    broke -- completed cells are never discarded or rerun.
+    Deterministic failures (any :class:`~repro.errors.ReproError`) are
+    quarantined when ``keep_going`` is true: the matrix completes
+    partially, with structured records on ``matrix.failed``.  With
+    ``keep_going=False`` (default) the first unrecoverable failure
+    raises, preserving the original exception (annotated with
+    stage/design/config/attempt context).
+
+    A run-manifest in the on-disk cache tracks progress; ``resume=True``
+    restores the target periods of an interrupted run and reloads its
+    completed cells from the result cache without rerunning a single
+    flow.  ``target_periods`` pins explicit periods (skipping the
+    per-design searches); ``policy`` overrides the whole retry policy
+    (the individual ``keep_going``/``max_retries``/``timeout_s``
+    arguments refine whichever policy is in effect).
     """
     from repro.experiments.parallel import default_jobs, run_matrix_parallel
 
     scale = default_scale() if scale is None else scale
     jobs = default_jobs() if jobs is None else jobs
+    policy = (policy or RetryPolicy()).with_overrides(
+        keep_going=keep_going or None,
+        max_retries=max_retries,
+        timeout_s=timeout_s,
+    )
     matrix = EvaluationMatrix(scale=scale, seed=seed)
-    if jobs > 1 and run_matrix_parallel(
-        matrix, designs=designs, config_names=config_names, jobs=jobs
-    ):
-        return matrix
-    for design_name in designs:
-        period = find_target_period(design_name, scale=scale, seed=seed)
-        matrix.target_periods[design_name] = period
-        for config_name in config_names:
-            design, result = run_configuration(
-                design_name,
-                config_name,
-                period_ns=period,
-                scale=scale,
-                seed=seed,
+    manifest_key = cache.manifest_key(
+        designs, config_names, scale=scale, seed=seed, periods=target_periods
+    )
+    if resume:
+        _restore_from_manifest(manifest_key, matrix)
+    if target_periods:
+        matrix.target_periods.update(target_periods)
+
+    try:
+        if jobs > 1 and run_matrix_parallel(
+            matrix,
+            designs=designs,
+            config_names=config_names,
+            jobs=jobs,
+            policy=policy,
+        ):
+            pass
+        else:
+            _run_matrix_serial(
+                matrix, designs, config_names, policy, manifest_key
             )
-            matrix.results[(design_name, config_name)] = result
-            if design is not None:
-                matrix.designs[(design_name, config_name)] = design
+    finally:
+        _store_run_manifest(
+            manifest_key, matrix, designs, config_names,
+            complete=matrix.ok
+            and all(
+                (d, c) in matrix.results
+                for d in designs
+                for c in config_names
+            ),
+        )
+
+    if not matrix.ok and not policy.keep_going:
+        raise matrix.all_failures()[0].raisable()
     return matrix
+
+
+def _run_matrix_serial(
+    matrix: EvaluationMatrix,
+    designs: tuple[str, ...],
+    config_names: tuple[str, ...],
+    policy: RetryPolicy,
+    manifest_key: str,
+) -> None:
+    """The serial path: one cell at a time, retry/quarantine aware."""
+    for design_name in designs:
+        period = matrix.target_periods.get(design_name)
+        if period is None:
+            period, failure = call_with_retry(
+                lambda name=design_name: find_target_period(
+                    name, scale=matrix.scale, seed=matrix.seed
+                ),
+                policy=policy, stage="period_search", design=design_name,
+            )
+            if failure is not None:
+                matrix.record_period_failure(design_name, failure)
+                if not policy.keep_going:
+                    return  # run_matrix re-raises from matrix.failed_periods
+                continue
+            matrix.target_periods[design_name] = period
+            _store_run_manifest(
+                manifest_key, matrix, designs, config_names, complete=False
+            )
+        for config_name in config_names:
+            key = (design_name, config_name)
+            if key in matrix.results:
+                continue
+            value, failure = call_with_retry(
+                lambda d=design_name, c=config_name, p=period: (
+                    run_configuration(
+                        d, c, period_ns=p, scale=matrix.scale, seed=matrix.seed
+                    )
+                ),
+                policy=policy, stage="flow",
+                design=design_name, config=config_name,
+            )
+            if failure is not None:
+                matrix.record_cell_failure(key, failure)
+                if not policy.keep_going:
+                    return
+                continue
+            design, result = value
+            matrix.results[key] = result
+            if design is not None:
+                matrix.designs[key] = design
+            _store_run_manifest(
+                manifest_key, matrix, designs, config_names, complete=False
+            )

@@ -7,6 +7,10 @@ A process-global :class:`Telemetry` object accumulates, per run:
   report zero);
 - ``memory_hits`` / ``disk_hits`` / ``disk_misses`` -- where each
   requested cell was served from;
+- ``retries`` / ``timeouts`` / ``quarantined`` / ``pool_rebuilds`` --
+  the resilience layer's activity: transient-failure retries, per-wave
+  timeouts, cells quarantined as :class:`FailedCell` records, and
+  worker-pool rebuilds after breakage;
 - ``cell_seconds`` / ``cell_source`` -- wall time and provenance
   (``"flow"``, ``"memory"``, ``"disk"``) of every matrix cell;
 - ``stage_seconds`` -- cumulative wall time per named stage
@@ -35,6 +39,10 @@ class Telemetry:
     memory_hits: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
     cell_seconds: dict[tuple[str, str], float] = field(default_factory=dict)
     cell_source: dict[tuple[str, str], str] = field(default_factory=dict)
     stage_seconds: dict[str, float] = field(default_factory=dict)
@@ -65,6 +73,10 @@ class Telemetry:
         self.memory_hits += other.memory_hits
         self.disk_hits += other.disk_hits
         self.disk_misses += other.disk_misses
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.quarantined += other.quarantined
+        self.pool_rebuilds += other.pool_rebuilds
         self.cell_seconds.update(other.cell_seconds)
         self.cell_source.update(other.cell_source)
         for stage, seconds in other.stage_seconds.items():
@@ -86,6 +98,10 @@ class Telemetry:
             memory_hits=d.get("memory_hits", 0),
             disk_hits=d.get("disk_hits", 0),
             disk_misses=d.get("disk_misses", 0),
+            retries=d.get("retries", 0),
+            timeouts=d.get("timeouts", 0),
+            quarantined=d.get("quarantined", 0),
+            pool_rebuilds=d.get("pool_rebuilds", 0),
             stage_seconds=dict(d.get("stage_seconds", {})),
         )
         for design, config, v in d.get("cell_seconds", []):
@@ -104,6 +120,10 @@ class Telemetry:
             f" (period probes {self.period_probes})",
             f"cache            memory {self.memory_hits} hits,"
             f" disk {self.disk_hits} hits / {self.disk_misses} misses",
+            f"resilience       retries {self.retries},"
+            f" timeouts {self.timeouts},"
+            f" quarantined {self.quarantined},"
+            f" pool rebuilds {self.pool_rebuilds}",
         ]
         if self.stage_seconds:
             lines.append("stage wall time:")

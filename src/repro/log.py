@@ -1,0 +1,65 @@
+"""Package-wide logging for repro.
+
+Every module logs through a child of the single ``"repro"`` logger so
+applications can configure the whole package with one call.  The library
+itself never prints: by default a :class:`logging.NullHandler` swallows
+everything, as a library should.  Fallback paths that used to be silent
+(cache write failures, corrupt-entry recovery, pool degradation, retry
+and quarantine decisions) now emit log records here, so a degraded run
+is always diagnosable after the fact.
+
+The CLI (and any script that wants console output) calls
+:func:`init_from_env`, which attaches one stream handler at the level
+named by ``$REPRO_LOG`` (``debug``/``info``/``warning``/``error``;
+default ``warning``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+__all__ = ["ENV_LOG_LEVEL", "get_logger", "init_from_env"]
+
+ENV_LOG_LEVEL = "REPRO_LOG"
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+#: Marker so repeated init_from_env calls never stack handlers.
+_CONSOLE_HANDLER: logging.Handler | None = None
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """The package logger, or a named child of it (``repro.<name>``)."""
+    if not name:
+        return _ROOT
+    return _ROOT.getChild(name)
+
+
+def init_from_env(default: str = "warning") -> logging.Logger:
+    """Attach one console handler at the ``$REPRO_LOG`` level.
+
+    Idempotent: calling it again only adjusts the level.  Returns the
+    package logger.
+    """
+    global _CONSOLE_HANDLER
+    raw = os.environ.get(ENV_LOG_LEVEL, default).strip().lower()
+    level = _LEVELS.get(raw, logging.WARNING)
+    if _CONSOLE_HANDLER is None:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        _ROOT.addHandler(handler)
+        _CONSOLE_HANDLER = handler
+    _CONSOLE_HANDLER.setLevel(level)
+    _ROOT.setLevel(level)
+    return _ROOT

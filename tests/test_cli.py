@@ -38,6 +38,22 @@ class TestParser:
         assert build_parser().parse_args(["cache"]).clear is False
         assert build_parser().parse_args(["cache", "--clear"]).clear is True
 
+    def test_resilience_flags(self):
+        for base in (["matrix", "aes"], ["report"]):
+            args = build_parser().parse_args(base)
+            assert args.keep_going is False
+            assert args.max_retries is None
+            assert args.timeout is None
+            assert args.resume is False
+            args = build_parser().parse_args(base + [
+                "--keep-going", "--max-retries", "5",
+                "--timeout", "30", "--resume",
+            ])
+            assert args.keep_going is True
+            assert args.max_retries == 5
+            assert args.timeout == 30.0
+            assert args.resume is True
+
 
 class TestCommands:
     def test_tables(self, capsys):
@@ -89,3 +105,49 @@ class TestCommands:
         assert "3D_HET" in out
         assert "-- telemetry --" in out
         assert "flows run" in out
+
+
+class TestDegradedRuns:
+    """Failure semantics at the CLI boundary, driven by fault injection."""
+
+    @pytest.fixture(autouse=True)
+    def faulty_cell(self, monkeypatch, tmp_path):
+        from repro.experiments import faults
+        from repro.experiments.runner import clear_memory_caches
+        from repro.experiments.telemetry import reset_telemetry
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            "site=cell,design=aes,config=3D_HET,kind=raise,times=0",
+        )
+        faults.reset_fault_state()
+        clear_memory_caches()
+        reset_telemetry()
+        yield
+        faults.reset_fault_state()
+        clear_memory_caches()
+        reset_telemetry()
+
+    ARGS = ["matrix", "aes", "--period", "0.9", "--scale", "0.2",
+            "--seed", "7"]
+
+    def test_keep_going_prints_failure_table_and_exits_3(self, capsys):
+        from repro.cli import EXIT_QUARANTINED
+
+        rc = main(self.ARGS + ["--keep-going"])
+        assert rc == EXIT_QUARANTINED
+        out = capsys.readouterr().out
+        assert "QUARANTINED" in out
+        assert "-- failed cells --" in out
+        assert "FaultInjected" in out
+        # the healthy cells still printed their rows
+        assert "2D_12T" in out and "WNS" in out
+
+    def test_fail_fast_prints_error_and_exits_1(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "design=aes" in captured.err
+        assert "config=3D_HET" in captured.err

@@ -60,6 +60,56 @@ class TestPlaceWithCongestionControl:
         assert used < 0.85
         assert design.notes["peak_congestion_at_floorplan"] > 0
 
+    def test_retry_loop_exhausts_at_max_retries(self, pair, monkeypatch):
+        """A floorplan that never routes backs off exactly MAX_RETRIES
+        times and keeps the *final* attempt's congestion in the notes."""
+        from types import SimpleNamespace
+
+        import repro.flow.stages as stages
+
+        peaks = []
+
+        def always_congested(netlist, lib, w, h, tiers):
+            peaks.append(2.0 - 0.1 * len(peaks))  # distinct per attempt
+            return SimpleNamespace(peak_demand=peaks[-1])
+
+        monkeypatch.setattr(stages, "analyze_congestion", always_congested)
+        design = make_design(pair)
+        used = place_with_congestion_control(design)
+        assert len(peaks) == stages.MAX_RETRIES + 1
+        assert used == pytest.approx(
+            design.utilization_target
+            * stages.UTILIZATION_BACKOFF ** stages.MAX_RETRIES
+        )
+        assert design.notes["peak_congestion_at_floorplan"] == peaks[-1]
+        assert design.notes["utilization_used"] == used
+
+    def test_retry_loop_stops_once_under_limit(self, pair, monkeypatch):
+        """Congestion clearing on the third attempt stops the backoff at
+        two shrinks -- no further attempts are spent."""
+        from types import SimpleNamespace
+
+        import repro.flow.stages as stages
+
+        demands = iter([1.8, 1.3, CONGESTION_LIMIT * 0.9])
+        calls = []
+
+        def scripted(netlist, lib, w, h, tiers):
+            calls.append(1)
+            return SimpleNamespace(peak_demand=next(demands))
+
+        monkeypatch.setattr(stages, "analyze_congestion", scripted)
+        design = make_design(pair)
+        used = place_with_congestion_control(design)
+        assert len(calls) == 3
+        assert used == pytest.approx(
+            design.utilization_target * stages.UTILIZATION_BACKOFF**2
+        )
+        assert (
+            design.notes["peak_congestion_at_floorplan"]
+            == CONGESTION_LIMIT * 0.9
+        )
+
     def test_pseudo_3d_mode_halves_footprint(self, pair):
         flat = make_design(pair)
         place_with_congestion_control(flat)

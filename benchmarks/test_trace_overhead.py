@@ -1,0 +1,66 @@
+"""Tracing-overhead guard: spans must stay effectively free.
+
+The observability layer promises near-zero overhead when tracing is off
+(one boolean check per ``span()`` call) and low single-digit-percent
+overhead when it is on.  This benchmark times the same small 2-D flow
+both ways -- laps interleaved off/on and best-of-N on each side, because
+back-to-back blocks pick up run-order effects (frequency scaling, page
+cache) far larger than 24 spans of bookkeeping -- and fails if the
+traced run costs more than 5% extra wall time.
+
+Runs under ``benchmarks/`` only, never in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.flow.flow2d import run_flow_2d
+from repro.liberty.presets import make_twelve_track_library
+from repro.obs import trace
+
+#: Small enough to repeat six times, large enough that per-stage fixed
+#: costs (where span bookkeeping lives) do not vanish in the noise.
+SCALE = 0.2
+REPEATS = 5
+MAX_OVERHEAD = 1.05
+
+_LIB = make_twelve_track_library()
+
+
+def _lap(traced: bool) -> float:
+    if traced:
+        trace.enable_tracing()
+    else:
+        trace.disable_tracing()
+    trace.reset_trace()  # identical span bookkeeping every traced lap
+    t0 = time.perf_counter()
+    run_flow_2d("aes", _LIB, period_ns=0.7, scale=SCALE, seed=7)
+    return time.perf_counter() - t0
+
+
+def test_tracing_overhead_under_five_percent():
+    trace.disable_tracing()
+    try:
+        _lap(False)  # warm every lazy import/cache outside the clock
+        offs, ons = [], []
+        for _ in range(REPEATS):
+            offs.append(_lap(False))
+            ons.append(_lap(True))
+        off, on = min(offs), min(ons)
+    finally:
+        trace.disable_tracing()
+        trace.reset_trace()
+    ratio = on / off
+    emit(
+        "tracing overhead (aes 2D_12T, scale %.2f)" % SCALE,
+        f"off {off * 1e3:8.1f} ms\n"
+        f"on  {on * 1e3:8.1f} ms\n"
+        f"ratio {ratio:.4f} (limit {MAX_OVERHEAD:.2f})",
+    )
+    assert ratio < MAX_OVERHEAD, (
+        f"tracing overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (MAX_OVERHEAD - 1):.0f}% budget"
+    )

@@ -14,19 +14,30 @@ Commands
 ``tables``   regenerate the cheap paper tables (I-IV) as text
 ``report``   run the full evaluation matrix and write a markdown report
 ``cache``    show (or ``--clear``) the persistent on-disk result cache
+``trace``    pretty-print (or ``--validate``) a recorded trace file
+``profile``  rank the hottest flow stages of a recorded trace
+
+``flow``/``matrix``/``sweep``/``report`` accept ``--trace PATH``: spans
+are recorded for the whole command (workers inherit ``$REPRO_TRACE``)
+and written to PATH on exit -- Chrome trace-event JSON by default,
+JSONL when PATH ends in ``.jsonl``.  The file is written even when the
+run ends quarantined (exit 3), so a degraded run still leaves a
+truncated-but-valid trace behind.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from repro.errors import ReproError
 from repro.experiments.configs import CONFIG_NAMES, configurations
 from repro.experiments.runner import find_target_period, run_configuration
-from repro.experiments.telemetry import get_telemetry
+from repro.experiments.telemetry import get_telemetry, timed_stage
 from repro.log import init_from_env
+from repro.obs import trace as obs_trace
 from repro.experiments.tables import (
     PAPER_TABLE1,
     table1_qualitative_ranks,
@@ -52,9 +63,11 @@ def _print_result(result) -> None:
 
 def _cmd_flow(args: argparse.Namespace) -> int:
     configs = configurations()
-    _design, result = configs[args.config].run(
-        args.design, period_ns=args.period, scale=args.scale, seed=args.seed
-    )
+    with timed_stage("flow", design=args.design, config=args.config):
+        _design, result = configs[args.config].run(
+            args.design, period_ns=args.period, scale=args.scale,
+            seed=args.seed,
+        )
     _print_result(result)
     return 0
 
@@ -197,6 +210,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import (
+        load_trace,
+        tree_summary,
+        validate_chrome_trace,
+    )
+
+    path = Path(args.file)
+    if args.validate:
+        try:
+            obj = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not JSON: {exc}", file=sys.stderr)
+            return 1
+        problems = validate_chrome_trace(obj)
+        if problems:
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            return 1
+        print(f"{path}: valid Chrome trace "
+              f"({len(obj.get('traceEvents', []))} events)")
+        return 0
+    roots = load_trace(path)
+    if not roots:
+        print(f"{path}: no spans recorded")
+        return 0
+    print(tree_summary(roots, max_depth=args.depth, metrics=not args.no_metrics))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.export import load_trace, profile_summary
+
+    roots = load_trace(Path(args.file))
+    if not roots:
+        print(f"{args.file}: no spans recorded")
+        return 0
+    print(profile_summary(roots, top=args.top))
+    return 0
+
+
+def _export_trace(path: str) -> None:
+    """Write the recorded spans of this process to ``path``.
+
+    JSONL when the suffix says so, Chrome trace-event JSON otherwise.
+    Runs in a ``finally`` so quarantined (exit-3) runs still get their
+    truncated-but-valid trace.
+    """
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    roots = obs_trace.trace_roots()
+    if Path(path).suffix == ".jsonl":
+        write_jsonl(path, roots)
+    else:
+        write_chrome_trace(path, roots)
+    print(f"wrote trace ({len(roots)} root span(s)) to {path}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -214,8 +287,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.4)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_trace(p):
+        p.add_argument("--trace", metavar="PATH", default=None,
+                       help="record spans for the whole command and write "
+                            "them to PATH (Chrome trace-event JSON, or "
+                            "JSONL when PATH ends in .jsonl)")
+
     p_flow = sub.add_parser("flow", help="run one configuration")
     add_common(p_flow)
+    add_trace(p_flow)
     p_flow.set_defaults(func=_cmd_flow)
 
     def add_resilience(p):
@@ -238,10 +318,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_matrix.add_argument("--stats", action="store_true",
                           help="print cache/flow telemetry after the run")
     add_resilience(p_matrix)
+    add_trace(p_matrix)
     p_matrix.set_defaults(func=_cmd_matrix)
 
     p_sweep = sub.add_parser("sweep", help="find the 12T 2-D max frequency")
     add_common(p_sweep, with_config=False, with_period=False)
+    add_trace(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_export = sub.add_parser("export", help="write Verilog/DEF/Liberty")
@@ -261,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--jobs", type=int, default=None,
                           help="worker processes (default $REPRO_JOBS or 1)")
     add_resilience(p_report)
+    add_trace(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_cache = sub.add_parser(
@@ -269,6 +352,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--clear", action="store_true",
                          help="delete every cached entry")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_trace = sub.add_parser(
+        "trace", help="pretty-print a recorded trace file"
+    )
+    p_trace.add_argument("file", help="trace file (Chrome JSON or JSONL)")
+    p_trace.add_argument("--depth", type=int, default=None,
+                         help="limit the tree to this many levels")
+    p_trace.add_argument("--no-metrics", action="store_true",
+                         help="omit per-span QoR metric lines")
+    p_trace.add_argument("--validate", action="store_true",
+                         help="schema-check a Chrome trace-event file "
+                              "instead of printing it (exit 1 on problems)")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_profile = sub.add_parser(
+        "profile", help="rank the hottest flow stages of a trace"
+    )
+    p_profile.add_argument("file", help="trace file (Chrome JSON or JSONL)")
+    p_profile.add_argument("--top", type=int, default=5,
+                           help="number of stages to print (default 5)")
+    p_profile.set_defaults(func=_cmd_profile)
     return parser
 
 
@@ -277,6 +381,12 @@ def main(argv: list[str] | None = None) -> int:
     init_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        # Setting the env var (not just the in-process flag) is what lets
+        # pool workers inherit the tracing mode and ship subtrees back.
+        os.environ[obs_trace.ENV_TRACE] = "1"
+        obs_trace.reset_trace(from_env=True)
     try:
         if getattr(args, "command", None) == "flow" and args.period is None:
             args.period = find_target_period(
@@ -286,6 +396,9 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if trace_path:
+            _export_trace(trace_path)
 
 
 if __name__ == "__main__":

@@ -34,6 +34,7 @@ from repro.errors import FlowError
 from repro.liberty.cells import CellFunction, CellType
 from repro.liberty.library import StdCellLibrary
 from repro.netlist.core import Netlist
+from repro.obs import emit_metric, span
 from repro.units import RC_TO_NS
 
 __all__ = ["TierPolicy", "ClockReport", "ClockTreeSynthesizer"]
@@ -127,15 +128,26 @@ class ClockTreeSynthesizer:
     # ------------------------------------------------------------------
     def run(self) -> ClockReport:
         """Synthesize the tree and return its report."""
-        sinks = self._collect_sinks()
-        if not sinks:
-            raise FlowError("no clock sinks to synthesize")
-        self._buffers = []
-        self._latencies = {}
-        leaves = self._cluster(sinks)
-        root = self._build_levels(leaves)
-        self._assign_latency(root, 0.0, PAD_SLEW_NS)
-        return self._report(root)
+        with span("cts", policy=self._policy.value):
+            sinks = self._collect_sinks()
+            if not sinks:
+                raise FlowError("no clock sinks to synthesize")
+            self._buffers = []
+            self._latencies = {}
+            leaves = self._cluster(sinks)
+            root = self._build_levels(leaves)
+            self._assign_latency(root, 0.0, PAD_SLEW_NS)
+            report = self._report(root)
+            emit_metric("clock_buffers", report.buffer_count)
+            emit_metric("clock_skew_ns", report.max_skew_ns)
+            emit_metric("clock_power_mw", report.power_mw)
+            if self._policy is not TierPolicy.SINGLE:
+                emit_metric(
+                    "clock_slow_tier_fraction",
+                    report.tier_fraction(self._slow_tier),
+                    tier=self._slow_tier,
+                )
+        return report
 
     # ------------------------------------------------------------------
     def _collect_sinks(self) -> list[_Sink]:

@@ -46,6 +46,7 @@ from repro.experiments.resilience import (
 )
 from repro.flow.report import FlowResult
 from repro.log import get_logger
+from repro.obs import attach_subtree
 
 __all__ = ["default_jobs", "find_periods", "run_cells", "run_matrix_parallel"]
 
@@ -74,8 +75,12 @@ def _pool_factory(workers: int):
 def _probe_period(design_name: str, scale: float, seed: int):
     from repro.experiments.runner import find_target_period
     from repro.experiments.telemetry import get_telemetry, reset_telemetry
+    from repro.obs import reset_trace, trace_snapshot
 
     reset_telemetry()
+    # Honour the tracing mode the parent exported before building the
+    # pool; the subtree ships back with the result for stitching.
+    reset_trace(from_env=True)
     try:
         with inject("worker", stage="period_search", design=design_name):
             period = find_target_period(design_name, scale=scale, seed=seed)
@@ -83,7 +88,7 @@ def _probe_period(design_name: str, scale: float, seed: int):
         raise WorkerTaskError.wrap(
             exc, stage="period_search", design=design_name
         ) from None
-    return design_name, period, get_telemetry().snapshot()
+    return design_name, period, get_telemetry().snapshot(), trace_snapshot()
 
 
 def _run_cell(
@@ -91,8 +96,10 @@ def _run_cell(
 ):
     from repro.experiments.runner import run_configuration
     from repro.experiments.telemetry import get_telemetry, reset_telemetry
+    from repro.obs import reset_trace, trace_snapshot
 
     reset_telemetry()
+    reset_trace(from_env=True)
     try:
         with inject(
             "worker", stage="flow", design=design_name, config=config_name
@@ -105,7 +112,12 @@ def _run_cell(
         raise WorkerTaskError.wrap(
             exc, stage="flow", design=design_name, config=config_name
         ) from None
-    return (design_name, config_name), result, get_telemetry().snapshot()
+    return (
+        (design_name, config_name),
+        result,
+        get_telemetry().snapshot(),
+        trace_snapshot(),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -140,9 +152,10 @@ def find_periods(
         describe=lambda name: ("period_search", name, "*"),
     )
     periods: dict[str, float] = {}
-    for name, (_name, period, snapshot) in raw.items():
+    for name, (_name, period, snapshot, trace) in raw.items():
         periods[name] = period
         get_telemetry().merge(snapshot)
+        attach_subtree(trace, worker=f"period_search:{name}")
         # Seed the parent's in-process cache; the disk entry was written
         # by the worker, so only the memory layer needs filling in.
         _period_cache[(name, scale, seed)] = period
@@ -182,10 +195,11 @@ def run_cells(
         describe=lambda key: ("flow", key[0], key[1]),
     )
     results: dict[tuple[str, str], FlowResult] = {}
-    for key, (_key, result, snapshot) in raw.items():
+    for key, (_key, result, snapshot, trace) in raw.items():
         results[key] = result
         get_telemetry().merge(snapshot)
         design, config = key
+        attach_subtree(trace, worker=f"{design}:{config}")
         _result_cache[(design, config, scale, seed, period_of[key])] = (
             None,
             result,

@@ -56,6 +56,7 @@ from repro.flow.design import Design
 from repro.flow.report import FlowResult
 from repro.log import get_logger
 from repro.netlist.generators import DESIGN_NAMES
+from repro.obs import add_span_event, span
 
 __all__ = [
     "default_scale",
@@ -137,7 +138,9 @@ def find_target_period(
     configs = configurations()
     lo, hi = _SWEEP_BOUNDS[design_name]
     best = hi
-    with timed_stage("period_search"), inject("period_search", design=design_name):
+    with timed_stage("period_search", design=design_name), inject(
+        "period_search", design=design_name
+    ):
         for _ in range(iterations):
             mid = 0.5 * (lo + hi)
             _design, result = configs["2D_12T"].run(
@@ -218,7 +221,7 @@ def run_configuration(
 
     configs = configurations()
     start = time.perf_counter()
-    with timed_stage("flow"), inject(
+    with timed_stage("flow", design=design_name, config=config_name), inject(
         "cell", design=design_name, config=config_name
     ):
         design, result = configs[config_name].run(
@@ -303,6 +306,15 @@ class EvaluationMatrix:
         """Quarantine one cell (and count it in the telemetry)."""
         self.failed[key] = cell
         get_telemetry().quarantined += 1
+        add_span_event(
+            "quarantined",
+            stage=cell.stage,
+            design=cell.design,
+            config=cell.config,
+            kind=cell.kind,
+            attempts=cell.attempts,
+            error=f"{cell.error_type}: {cell.message}",
+        )
         _log.warning(
             "quarantined cell %s/%s after %d attempt(s): %s: %s",
             cell.design, cell.config, cell.attempts,
@@ -313,6 +325,14 @@ class EvaluationMatrix:
         """Quarantine a whole design row: its period search failed."""
         self.failed_periods[design] = cell
         get_telemetry().quarantined += 1
+        add_span_event(
+            "quarantined",
+            stage=cell.stage,
+            design=cell.design,
+            kind=cell.kind,
+            attempts=cell.attempts,
+            error=f"{cell.error_type}: {cell.message}",
+        )
         _log.warning(
             "quarantined design %s (period search) after %d attempt(s): %s: %s",
             cell.design, cell.attempts, cell.error_type, cell.message,
@@ -473,18 +493,19 @@ def run_matrix(
         matrix.target_periods.update(target_periods)
 
     try:
-        if jobs > 1 and run_matrix_parallel(
-            matrix,
-            designs=designs,
-            config_names=config_names,
-            jobs=jobs,
-            policy=policy,
-        ):
-            pass
-        else:
-            _run_matrix_serial(
-                matrix, designs, config_names, policy, manifest_key
-            )
+        with span("matrix", scale=scale, seed=seed, jobs=jobs):
+            if jobs > 1 and run_matrix_parallel(
+                matrix,
+                designs=designs,
+                config_names=config_names,
+                jobs=jobs,
+                policy=policy,
+            ):
+                pass
+            else:
+                _run_matrix_serial(
+                    matrix, designs, config_names, policy, manifest_key
+                )
     finally:
         _store_run_manifest(
             manifest_key, matrix, designs, config_names,

@@ -27,7 +27,12 @@ import time
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 
+from repro.log import get_logger
+from repro.obs import trace as _trace
+
 __all__ = ["Telemetry", "get_telemetry", "reset_telemetry", "timed_stage"]
+
+_log = get_logger("telemetry")
 
 
 @dataclass
@@ -77,6 +82,20 @@ class Telemetry:
         self.timeouts += other.timeouts
         self.quarantined += other.quarantined
         self.pool_rebuilds += other.pool_rebuilds
+        # Worker snapshots must describe disjoint cells: the matrix
+        # dispatches each (design, config) to exactly one worker.  A
+        # collision means a cell was attributed twice (double-counted
+        # wall time), so make it diagnosable instead of silently keeping
+        # whichever snapshot merged last.
+        collisions = self.cell_seconds.keys() & other.cell_seconds.keys()
+        for design, config in sorted(collisions):
+            _log.warning(
+                "telemetry merge: cell %s/%s reported by more than one"
+                " source (%.2fs then %.2fs); keeping the later report",
+                design, config,
+                self.cell_seconds[(design, config)],
+                other.cell_seconds[(design, config)],
+            )
         self.cell_seconds.update(other.cell_seconds)
         self.cell_source.update(other.cell_source)
         for stage, seconds in other.stage_seconds.items():
@@ -157,10 +176,24 @@ def reset_telemetry() -> Telemetry:
 
 
 @contextmanager
-def timed_stage(stage: str):
-    """Context manager accumulating the block's wall time under ``stage``."""
-    start = time.perf_counter()
+def timed_stage(stage: str, **attrs):
+    """Accumulate the block's wall time under ``stage`` -- as a span.
+
+    Every ``timed_stage`` site is also a tracing span: with tracing
+    enabled the block appears in the trace tree (with ``attrs``) and
+    ``stage_seconds`` is *derived from the span's own clock*, so the
+    trace and the telemetry can never disagree about a stage's wall
+    time.  With tracing off, the span is the shared no-op and a local
+    ``perf_counter`` pair does the timing, exactly as before.
+    """
+    sp = _trace.span(stage, **attrs)
+    start = 0.0 if sp.is_recording else time.perf_counter()
     try:
-        yield
+        with sp:
+            yield sp
     finally:
-        get_telemetry().record_stage(stage, time.perf_counter() - start)
+        seconds = (
+            sp.duration_s if sp.is_recording
+            else time.perf_counter() - start
+        )
+        get_telemetry().record_stage(stage, seconds)

@@ -20,6 +20,7 @@ from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
 from repro.flow.synthesis import initial_sizing
 from repro.liberty.library import StdCellLibrary
 from repro.netlist.generators import generate_netlist
+from repro.obs import emit_metric, span
 
 __all__ = ["run_flow_2d"]
 
@@ -37,16 +38,19 @@ def run_flow_2d(
     cost_model: CostModel | None = None,
 ) -> tuple[Design, FlowResult]:
     """Implement one netlist in 2-D with one library at one frequency."""
-    netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
-    design = Design(
-        name=design_name,
-        config=f"2D_{lib.tracks}T",
-        netlist=netlist,
-        tier_libs={0: lib},
-        target_period_ns=period_ns,
-        utilization_target=utilization,
-    )
-    initial_sizing(design)
+    with span("synthesis", design=design_name, library=lib.name):
+        netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
+        design = Design(
+            name=design_name,
+            config=f"2D_{lib.tracks}T",
+            netlist=netlist,
+            tier_libs={0: lib},
+            target_period_ns=period_ns,
+            utilization_target=utilization,
+        )
+        initial_sizing(design)
+        emit_metric("cells", len(netlist.instances))
+        emit_metric("cell_area_um2", netlist.cell_area_um2())
     place_with_congestion_control(design)
     legalize_all_tiers(design)
 

@@ -35,6 +35,7 @@ from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
 from repro.flow.synthesis import initial_sizing
 from repro.liberty.library import StdCellLibrary
 from repro.netlist.generators import generate_netlist
+from repro.obs import emit_metric, span
 from repro.partition.bins import bin_fm_partition
 from repro.partition.repartition import (
     RepartitionConfig,
@@ -158,16 +159,21 @@ def run_flow_hetero_3d(
             "level shifters would be required (Section III-B); pass "
             "allow_level_shifters=True to insert them anyway"
         )
-    netlist = generate_netlist(design_name, fast_lib, scale=scale, seed=seed)
-    design = Design(
-        name=design_name,
-        config="3D_HET",
-        netlist=netlist,
-        tier_libs={FAST_TIER: fast_lib, SLOW_TIER: slow_lib},
-        target_period_ns=period_ns,
-        utilization_target=utilization,
-    )
-    initial_sizing(design)
+    with span("synthesis", design=design_name, library=fast_lib.name):
+        netlist = generate_netlist(
+            design_name, fast_lib, scale=scale, seed=seed
+        )
+        design = Design(
+            name=design_name,
+            config="3D_HET",
+            netlist=netlist,
+            tier_libs={FAST_TIER: fast_lib, SLOW_TIER: slow_lib},
+            target_period_ns=period_ns,
+            utilization_target=utilization,
+        )
+        initial_sizing(design)
+        emit_metric("cells", len(netlist.instances))
+        emit_metric("cell_area_um2", netlist.cell_area_um2())
 
     # Memory macros are corner-independent ("the same size in both
     # technology variants"), so their tier is a free choice; alternating
@@ -182,50 +188,53 @@ def run_flow_hetero_3d(
     place_with_congestion_control(design, demand_scale=0.5, area_scale=0.5)
     pseudo_fp = design.floorplan
 
-    pinned: dict[str, int] = {}
-    if timing_partitioning:
-        calc = design.calculator(placed=True)
-        report = run_sta(
-            design.netlist, calc, period_ns, with_cell_slacks=True
-        )
-        pinned = timing_based_pinning(
-            design.netlist,
-            report.cell_slack,
-            fast_tier=FAST_TIER,
-            area_cap_fraction=pinning_area_cap,
-            # Cells within 30% of the period of criticality compete for
-            # the fast die; padding the fast tier with mid-slack cells
-            # would only waste the area the ECO loop later needs.
-            slack_threshold_ns=0.30 * period_ns,
-        )
-        design.notes["pinned_cells"] = float(len(pinned))
+    with span("partitioning", design=design_name):
+        pinned: dict[str, int] = {}
+        if timing_partitioning:
+            calc = design.calculator(placed=True)
+            report = run_sta(
+                design.netlist, calc, period_ns, with_cell_slacks=True
+            )
+            pinned = timing_based_pinning(
+                design.netlist,
+                report.cell_slack,
+                fast_tier=FAST_TIER,
+                area_cap_fraction=pinning_area_cap,
+                # Cells within 30% of the period of criticality compete for
+                # the fast die; padding the fast tier with mid-slack cells
+                # would only waste the area the ECO loop later needs.
+                slack_threshold_ns=0.30 * period_ns,
+            )
+            design.notes["pinned_cells"] = float(len(pinned))
 
-    # Balance with side-dependent areas: a cell moving to the top tier
-    # will shrink to its 9-track equivalent, so the partitioner measures
-    # each side in its own metric and both dies land at the same fill.
-    # Slightly more than half of the original 12-track area migrates to
-    # the 9-track die, shrinking total cell area by ~12-14% (Section IV-A2).
-    areas_fast = {
-        name: inst.area_um2 for name, inst in netlist.instances.items()
-    }
-    areas_slow = {
-        name: (
-            inst.area_um2
-            if inst.cell.is_macro
-            else slow_lib.equivalent_of(inst.cell).area_um2
+        # Balance with side-dependent areas: a cell moving to the top tier
+        # will shrink to its 9-track equivalent, so the partitioner measures
+        # each side in its own metric and both dies land at the same fill.
+        # Slightly more than half of the original 12-track area migrates to
+        # the 9-track die, shrinking total cell area by ~12-14%
+        # (Section IV-A2).
+        areas_fast = {
+            name: inst.area_um2 for name, inst in netlist.instances.items()
+        }
+        areas_slow = {
+            name: (
+                inst.area_um2
+                if inst.cell.is_macro
+                else slow_lib.equivalent_of(inst.cell).area_um2
+            )
+            for name, inst in netlist.instances.items()
+        }
+        assignment = bin_fm_partition(
+            netlist,
+            pseudo_fp.width_um,
+            pseudo_fp.height_um,
+            areas_fast,
+            areas_slow,
+            pinned=pinned,
+            seed=seed,
         )
-        for name, inst in netlist.instances.items()
-    }
-    assignment = bin_fm_partition(
-        netlist,
-        pseudo_fp.width_um,
-        pseudo_fp.height_um,
-        areas_fast,
-        areas_slow,
-        pinned=pinned,
-        seed=seed,
-    )
-    apply_partition(design, assignment)  # remaps top-tier cells to 9T
+        apply_partition(design, assignment)  # remaps top-tier cells to 9T
+        emit_metric("cut_nets", len(netlist.cut_nets()))
 
     # ---- footprint shrink to maintain utilization ----------------------
     # Per-tier demand now sizes the die: both tiers sit at the target
@@ -235,13 +244,14 @@ def run_flow_hetero_3d(
         # Reserve room for the level shifters (one per violating crossing
         # plus the ones later ECO moves will need).
         fp_util = fp_util * 0.85
-    new_fp = build_floorplan(
-        design.netlist,
-        design.tier_libs,
-        fp_util,
-    )
-    design.floorplan = new_fp
-    global_place(design.netlist, new_fp)
+    with span("placement", design=design_name, phase="3d"):
+        new_fp = build_floorplan(
+            design.netlist,
+            design.tier_libs,
+            fp_util,
+        )
+        design.floorplan = new_fp
+        global_place(design.netlist, new_fp)
     legalize_all_tiers(design)
 
     if not voltage_ok:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.flow.design import Design
 from repro.liberty.cells import CellFunction
+from repro.obs import emit_metric, span
 from repro.place.legalizer import row_capacity_um2
 from repro.timing.delaycalc import DelayCalculator
 from repro.timing.sta import TimingReport, run_sta, top_critical_paths
@@ -256,6 +257,20 @@ def optimize_timing(
     flow runs its pre-ECO optimization with a tighter bound so the
     repartitioning loop still has fast-die room to move cells into.
     """
+    with span("optimize", max_iterations=max_iterations):
+        stats = _optimize(design, calc, max_iterations, target_wns_fraction, max_fill)
+        emit_metric("opt_upsized", stats.upsized)
+        emit_metric("opt_buffers", stats.buffers_added)
+    return stats
+
+
+def _optimize(
+    design: Design,
+    calc: DelayCalculator,
+    max_iterations: int,
+    target_wns_fraction: float,
+    max_fill: float,
+) -> OptimizeStats:
     stats = OptimizeStats()
     period = design.target_period_ns
     latencies = design.clock_latencies()
@@ -340,6 +355,13 @@ def recover_area(
     two passes run (slacks are re-analyzed between passes), because the
     first wave of downsizing uncovers more recoverable slack.
     """
+    with span("area_recovery", max_cells=max_cells):
+        downsized = _recover(design, calc, max_cells)
+        emit_metric("opt_downsized", downsized)
+    return downsized
+
+
+def _recover(design: Design, calc: DelayCalculator, max_cells: int) -> int:
     period = design.target_period_ns
     latencies = design.clock_latencies()
     margin = RECOVERY_MARGIN * period

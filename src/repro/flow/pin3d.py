@@ -26,6 +26,7 @@ from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
 from repro.flow.synthesis import initial_sizing
 from repro.liberty.library import StdCellLibrary
 from repro.netlist.generators import generate_netlist
+from repro.obs import emit_metric, span
 from repro.partition.bins import bin_fm_partition
 from repro.place.floorplan import build_floorplan
 from repro.place.quadratic import global_place
@@ -52,16 +53,19 @@ def run_flow_pin3d(
     cost_model: CostModel | None = None,
 ) -> tuple[Design, FlowResult]:
     """Implement one netlist as a homogeneous two-tier M3D design."""
-    netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
-    design = Design(
-        name=design_name,
-        config=f"3D_{lib.tracks}T",
-        netlist=netlist,
-        tier_libs={0: lib, 1: lib},
-        target_period_ns=period_ns,
-        utilization_target=utilization,
-    )
-    initial_sizing(design)
+    with span("synthesis", design=design_name, library=lib.name):
+        netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
+        design = Design(
+            name=design_name,
+            config=f"3D_{lib.tracks}T",
+            netlist=netlist,
+            tier_libs={0: lib, 1: lib},
+            target_period_ns=period_ns,
+            utilization_target=utilization,
+        )
+        initial_sizing(design)
+        emit_metric("cells", len(netlist.instances))
+        emit_metric("cell_area_um2", netlist.cell_area_um2())
 
     # Memory macros alternate over the tiers so blockage stays balanced
     # (memory-over-logic stacking).
@@ -72,30 +76,33 @@ def run_flow_pin3d(
     # Pseudo-3-D stage: everything on one half-size footprint.
     place_with_congestion_control(design, demand_scale=0.5, area_scale=0.5)
     fp = design.floorplan
-    areas = {
-        name: inst.area_um2
-        for name, inst in netlist.instances.items()
-    }
-    assignment = bin_fm_partition(
-        netlist,
-        fp.width_um,
-        fp.height_um,
-        areas,
-        areas,
-        seed=seed,
-    )
-    apply_partition(design, assignment)
+    with span("partitioning", design=design_name):
+        areas = {
+            name: inst.area_um2
+            for name, inst in netlist.instances.items()
+        }
+        assignment = bin_fm_partition(
+            netlist,
+            fp.width_um,
+            fp.height_um,
+            areas,
+            areas,
+            seed=seed,
+        )
+        apply_partition(design, assignment)
+        emit_metric("cut_nets", len(netlist.cut_nets()))
 
     # Re-floorplan from real per-tier demand (the macro tier may need a
     # different outline than the pseudo-3-D estimate) and re-place on the
     # final outline before per-tier legalization.
-    fp3d = build_floorplan(
-        netlist,
-        design.tier_libs,
-        design.notes.get("utilization_used", utilization),
-    )
-    design.floorplan = fp3d
-    global_place(netlist, fp3d)
+    with span("placement", design=design_name, phase="3d"):
+        fp3d = build_floorplan(
+            netlist,
+            design.tier_libs,
+            design.notes.get("utilization_used", utilization),
+        )
+        design.floorplan = fp3d
+        global_place(netlist, fp3d)
     legalize_all_tiers(design)
 
     # 3-D stage: full-chip timing optimization across both tiers.

@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass
 from repro.cost.model import CostModel, performance_per_cost, power_delay_product_pj
 from repro.cts.tree import ClockReport
 from repro.flow.design import Design
+from repro.obs import emit_metric, span
 from repro.power.activity import propagate_activities
 from repro.power.analysis import PowerReport, analyze_power, net_switching_power_uw
 from repro.route.report import RoutingReport, route_design
@@ -180,6 +181,21 @@ def finalize_design(
     """Signoff a finished design and assemble its :class:`FlowResult`."""
     if design.floorplan is None:
         raise ValueError("design must be floorplanned before finalization")
+    with span("signoff", design=design.name, config=design.config):
+        result = _finalize(design, cost_model, timing)
+        emit_metric("wns_ns", result.wns_ns)
+        emit_metric("tns_ns", result.tns_ns)
+        emit_metric("total_power_mw", result.total_power_mw)
+        emit_metric("density_pct", result.density * 100.0)
+        emit_metric("die_cost_1e6", result.die_cost_1e6)
+    return result
+
+
+def _finalize(
+    design: Design,
+    cost_model: CostModel | None,
+    timing: TimingReport | None,
+) -> FlowResult:
     cost_model = cost_model or CostModel()
     calc = design.calculator(placed=True)
     if timing is None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from repro.errors import PlacementError
 from repro.flow.design import Design
+from repro.obs import emit_metric, span
+from repro.obs.metrics import hpwl_um
 from repro.place.floorplan import build_floorplan
 from repro.place.legalizer import LegalizeStats, legalize
 from repro.place.quadratic import global_place
@@ -44,26 +46,38 @@ def place_with_congestion_control(
     utilization = design.utilization_target
     lib = design.reference_library()
     last_peak = float("inf")
-    for attempt in range(MAX_RETRIES + 1):
-        fp = build_floorplan(
-            design.netlist,
-            design.tier_libs,
-            utilization,
-            demand_scale=demand_scale,
-        )
-        global_place(design.netlist, fp, area_scale=area_scale)
-        congestion = analyze_congestion(
-            design.netlist,
-            lib,
-            fp.width_um,
-            fp.height_um,
-            design.tiers,
-        )
-        last_peak = congestion.peak_demand
-        design.floorplan = fp
-        if last_peak <= CONGESTION_LIMIT or attempt == MAX_RETRIES:
-            break
-        utilization *= UTILIZATION_BACKOFF
+    with span("placement", design=design.name) as sp:
+        for attempt in range(MAX_RETRIES + 1):
+            with span("floorplan", attempt=attempt):
+                fp = build_floorplan(
+                    design.netlist,
+                    design.tier_libs,
+                    utilization,
+                    demand_scale=demand_scale,
+                )
+            with span("global_place", attempt=attempt):
+                global_place(design.netlist, fp, area_scale=area_scale)
+            congestion = analyze_congestion(
+                design.netlist,
+                lib,
+                fp.width_um,
+                fp.height_um,
+                design.tiers,
+            )
+            last_peak = congestion.peak_demand
+            design.floorplan = fp
+            if last_peak <= CONGESTION_LIMIT or attempt == MAX_RETRIES:
+                break
+            sp.add_event(
+                "congestion_retry",
+                attempt=attempt,
+                peak=round(last_peak, 4),
+                utilization=round(utilization, 4),
+            )
+            utilization *= UTILIZATION_BACKOFF
+        emit_metric("utilization", utilization)
+        emit_metric("peak_congestion", last_peak)
+        emit_metric("hpwl_mm", hpwl_um(design.netlist) / 1000.0)
     design.notes["peak_congestion_at_floorplan"] = last_peak
     design.notes["utilization_used"] = utilization
     return utilization
@@ -74,6 +88,18 @@ def legalize_all_tiers(design: Design) -> dict[int, LegalizeStats]:
     if design.floorplan is None:
         raise PlacementError("floorplan missing; place before legalizing")
     stats: dict[int, LegalizeStats] = {}
-    for tier, lib in design.tier_libs.items():
-        stats[tier] = legalize(design.netlist, design.floorplan, lib, tier)
+    with span("legalization", design=design.name):
+        for tier, lib in design.tier_libs.items():
+            stats[tier] = legalize(design.netlist, design.floorplan, lib, tier)
+            emit_metric("tier_cells", stats[tier].cells, tier=tier)
+            emit_metric(
+                "tier_area_um2",
+                design.netlist.tier_area_um2(tier),
+                tier=tier,
+            )
+            emit_metric(
+                "legal_displacement_um",
+                stats[tier].total_displacement_um,
+                tier=tier,
+            )
     return stats

@@ -29,6 +29,9 @@ _ROOT.addHandler(logging.NullHandler())
 #: Marker so repeated init_from_env calls never stack handlers.
 _CONSOLE_HANDLER: logging.Handler | None = None
 
+#: Whether the invalid-$REPRO_LOG warning already fired (warn once).
+_warned_bad_level = False
+
 _LEVELS = {
     "debug": logging.DEBUG,
     "info": logging.INFO,
@@ -47,12 +50,13 @@ def get_logger(name: str | None = None) -> logging.Logger:
 def init_from_env(default: str = "warning") -> logging.Logger:
     """Attach one console handler at the ``$REPRO_LOG`` level.
 
-    Idempotent: calling it again only adjusts the level.  Returns the
-    package logger.
+    Idempotent: calling it again only adjusts the level.  An invalid
+    ``$REPRO_LOG`` value is not accepted silently: it warns once and
+    falls back to ``warning`` explicitly.  Returns the package logger.
     """
-    global _CONSOLE_HANDLER
+    global _CONSOLE_HANDLER, _warned_bad_level
     raw = os.environ.get(ENV_LOG_LEVEL, default).strip().lower()
-    level = _LEVELS.get(raw, logging.WARNING)
+    level = _LEVELS.get(raw)
     if _CONSOLE_HANDLER is None:
         handler = logging.StreamHandler()
         handler.setFormatter(
@@ -60,6 +64,18 @@ def init_from_env(default: str = "warning") -> logging.Logger:
         )
         _ROOT.addHandler(handler)
         _CONSOLE_HANDLER = handler
+    if level is None:
+        level = logging.WARNING
+        _CONSOLE_HANDLER.setLevel(level)
+        _ROOT.setLevel(level)
+        if not _warned_bad_level:
+            _warned_bad_level = True
+            _ROOT.warning(
+                "%s=%r is not a recognized level (expected one of %s);"
+                " falling back to 'warning'",
+                ENV_LOG_LEVEL, raw, "/".join(sorted(_LEVELS)),
+            )
+        return _ROOT
     _CONSOLE_HANDLER.setLevel(level)
     _ROOT.setLevel(level)
     return _ROOT

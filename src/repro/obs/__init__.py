@@ -1,0 +1,61 @@
+"""Flow-wide observability: hierarchical tracing and QoR metrics.
+
+The flow between ``run_flow_*`` entry and :class:`FlowResult` exit used
+to be a black box; this package opens it up:
+
+- :mod:`repro.obs.trace` -- a hierarchical span tracer.  Stages open
+  ``span("stage", **attrs)`` blocks that record nested wall/CPU time;
+  worker processes serialize their subtrees and the parent stitches
+  them back under the dispatching matrix span.  Tracing defaults *off*
+  (``$REPRO_TRACE``) with a near-zero-overhead no-op fast path.
+- :mod:`repro.obs.metrics` -- typed :class:`MetricPoint` records that
+  stages emit at their boundaries (worst slack, HPWL, per-tier area,
+  MIV count, clock skew, ECO deltas, ...), each tied to the paper table
+  it reproduces.
+- :mod:`repro.obs.export` -- Chrome trace-event JSON (loadable in
+  ``chrome://tracing``/Perfetto), a JSONL span log, and the ASCII
+  tree/profile views behind ``repro trace`` and ``repro profile``.
+"""
+
+from repro.obs.metrics import METRIC_DEFS, MetricDef, MetricPoint, emit_metric
+from repro.obs.trace import (
+    ENV_TRACE,
+    Span,
+    add_span_event,
+    attach_subtree,
+    coverage_fraction,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    find_spans,
+    init_from_env,
+    reset_trace,
+    span,
+    trace_roots,
+    trace_snapshot,
+    tracing_enabled,
+    walk_spans,
+)
+
+__all__ = [
+    "ENV_TRACE",
+    "METRIC_DEFS",
+    "MetricDef",
+    "MetricPoint",
+    "Span",
+    "add_span_event",
+    "attach_subtree",
+    "coverage_fraction",
+    "current_span",
+    "disable_tracing",
+    "emit_metric",
+    "enable_tracing",
+    "find_spans",
+    "init_from_env",
+    "reset_trace",
+    "span",
+    "trace_roots",
+    "trace_snapshot",
+    "tracing_enabled",
+    "walk_spans",
+]

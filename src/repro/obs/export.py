@@ -1,0 +1,393 @@
+"""Trace exporters and viewers.
+
+Three output shapes for one span tree:
+
+- **Chrome trace-event JSON** (:func:`write_chrome_trace`): complete
+  ``"ph": "X"`` duration events plus ``"i"`` instant events for span
+  events, loadable directly in ``chrome://tracing`` or Perfetto
+  (https://ui.perfetto.dev).  Span attributes and QoR metrics travel in
+  each event's ``args``, so nothing is lost in the conversion.
+- **JSONL span log** (:func:`write_jsonl`): one span per line with
+  explicit ``id``/``parent`` links -- greppable, streamable, and the
+  highest-fidelity on-disk form.
+- **ASCII views** (:func:`tree_summary`, :func:`profile_summary`): the
+  ``repro trace`` tree and the ``repro profile --top N`` hot-stage
+  table.
+
+:func:`load_trace` reads either on-disk format back into
+:class:`~repro.obs.trace.Span` trees (sniffed by content), and
+:func:`validate_chrome_trace` is the schema check CI runs against every
+exported trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricPoint
+from repro.obs.trace import Span, walk_spans
+
+__all__ = [
+    "load_trace",
+    "profile_summary",
+    "to_chrome_trace",
+    "tree_summary",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _span_args(sp: Span) -> dict[str, Any]:
+    args: dict[str, Any] = dict(sp.attrs)
+    args["cpu_s"] = round(sp.cpu_s, 6)
+    args["status"] = sp.status
+    if sp.metrics:
+        args["metrics"] = [m.to_dict() for m in sp.metrics]
+    if sp.events:
+        args["events"] = [dict(e) for e in sp.events]
+    return args
+
+
+def _tid_of(sp: Span, inherited: int, tids: dict[str, int]) -> int:
+    """Stitched worker subtrees get their own Chrome 'thread' row."""
+    worker = sp.attrs.get("worker")
+    if worker is None:
+        return inherited
+    return tids.setdefault(str(worker), len(tids) + 2)
+
+
+def to_chrome_trace(roots: list[Span]) -> dict[str, Any]:
+    """Render a span forest as a Chrome trace-event object."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": "repro flow"},
+        }
+    ]
+    tids: dict[str, int] = {}
+    # One shared time origin so stitched worker spans (whose wall clocks
+    # are the same epoch) line up with the parent's spans.
+    origin = min(
+        (sp.start_wall_s for sp in walk_spans(roots) if sp.start_wall_s > 0),
+        default=0.0,
+    )
+
+    def emit(sp: Span, tid: int, anchor: float | None) -> None:
+        tid = _tid_of(sp, tid, tids)
+        # Durations are monotonic-clock measurements, so timestamps must
+        # come from the same clock or long spans drift out from under
+        # their parents.  Trust the wall clock only once per clock
+        # domain -- a root, or a stitched worker subtree -- to place the
+        # domain on the shared timeline; within a domain every ts is
+        # anchor + the span's own monotonic start.
+        perf = sp.start_perf_s
+        if anchor is None or "worker" in sp.attrs:
+            anchor = sp.start_wall_s - perf
+        ts_s = anchor + perf
+        if abs(ts_s - sp.start_wall_s) > 1.0:  # foreign clock domain
+            anchor = sp.start_wall_s - perf
+            ts_s = sp.start_wall_s
+        ts_us = max(0.0, (ts_s - origin) * 1e6)
+        events.append(
+            {
+                "name": sp.name,
+                "cat": "flow",
+                "ph": "X",
+                "ts": round(ts_us, 1),
+                "dur": round(sp.duration_s * 1e6, 1),
+                "pid": 1,
+                "tid": tid,
+                "args": _span_args(sp),
+            }
+        )
+        for ev in sp.events:
+            events.append(
+                {
+                    "name": ev.get("name", "event"),
+                    "cat": "flow",
+                    "ph": "i",
+                    "ts": round(ts_us, 1),
+                    "pid": 1,
+                    "tid": tid,
+                    "s": "t",
+                    "args": {k: v for k, v in ev.items() if k != "name"},
+                }
+            )
+        for child in sp.children:
+            emit(child, tid, anchor)
+
+    for root in roots:
+        emit(root, 1, None)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, roots: list[Span]) -> Path:
+    """Write the Chrome/Perfetto-loadable JSON trace."""
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(roots), indent=1))
+    return path
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Schema-check a Chrome trace object; returns a list of problems.
+
+    Checks what Perfetto needs to load the file: a ``traceEvents``
+    list, numeric ``ts``/``pid``/``tid`` everywhere, non-negative
+    ``dur`` on every complete ``X`` event, matched ``B``/``E`` pairs if
+    any are present, and properly nested (never partially overlapping)
+    ``X`` events within one thread row.
+    """
+    errors: list[str] = []
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        return ["trace is not an object with a traceEvents list"]
+    open_begins: dict[tuple[Any, Any], list[str]] = {}
+    by_tid: dict[tuple[Any, Any], list[tuple[float, float, str]]] = {}
+    for i, ev in enumerate(obj["traceEvents"]):
+        if not isinstance(ev, dict):
+            errors.append(f"event #{i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "i", "I", "M", "C"):
+            errors.append(f"event #{i} has unsupported ph={ph!r}")
+            continue
+        if ph == "M":
+            continue
+        name = ev.get("name", "?")
+        for field in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(field), (int, float)):
+                errors.append(f"event #{i} ({name}) has non-numeric {field}")
+        key = (ev.get("pid"), ev.get("tid"))
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event #{i} ({name}) has bad dur={dur!r}")
+            else:
+                by_tid.setdefault(key, []).append(
+                    (float(ev.get("ts", 0.0)), float(dur), str(name))
+                )
+        elif ph == "B":
+            open_begins.setdefault(key, []).append(str(name))
+        elif ph == "E":
+            stack = open_begins.get(key, [])
+            if not stack:
+                errors.append(f"event #{i} ({name}): E without matching B")
+            else:
+                stack.pop()
+    for key, stack in open_begins.items():
+        for name in stack:
+            errors.append(f"unclosed B event {name!r} on pid/tid {key}")
+    # X events on one thread row must nest, never partially overlap.
+    # Span starts use the wall clock but durations use the monotonic
+    # clock, so allow sub-millisecond skew before calling it an overlap.
+    tol_us = 500.0
+    for key, spans in by_tid.items():
+        spans.sort()
+        stack: list[tuple[float, float, str]] = []
+        for ts, dur, name in spans:
+            while stack and ts >= stack[-1][0] + stack[-1][1] - tol_us:
+                stack.pop()
+            if stack and ts + dur > stack[-1][0] + stack[-1][1] + tol_us:
+                errors.append(
+                    f"span {name!r} partially overlaps {stack[-1][2]!r}"
+                    f" on pid/tid {key}"
+                )
+            stack.append((ts, dur, name))
+    return errors
+
+
+# ----------------------------------------------------------------------
+# JSONL span log
+# ----------------------------------------------------------------------
+def write_jsonl(path: str | Path, roots: list[Span]) -> Path:
+    """One span per line with explicit id/parent links (preorder ids)."""
+    path = Path(path)
+    lines: list[str] = []
+    next_id = 0
+
+    def emit(sp: Span, parent: int | None) -> None:
+        nonlocal next_id
+        sid = next_id
+        next_id += 1
+        record = {
+            "id": sid,
+            "parent": parent,
+            "name": sp.name,
+            "start_wall_s": sp.start_wall_s,
+            "start_perf_s": sp.start_perf_s,
+            "duration_s": sp.duration_s,
+            "cpu_s": sp.cpu_s,
+            "status": sp.status,
+            "attrs": dict(sp.attrs),
+            "metrics": [m.to_dict() for m in sp.metrics],
+            "events": [dict(e) for e in sp.events],
+        }
+        lines.append(json.dumps(record, sort_keys=True))
+        for child in sp.children:
+            emit(child, sid)
+
+    for root in roots:
+        emit(root, None)
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+# ----------------------------------------------------------------------
+# loading (both formats)
+# ----------------------------------------------------------------------
+def _spans_from_jsonl(text: str) -> list[Span]:
+    spans: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        d = json.loads(line)
+        sp = Span(str(d.get("name", "?")), d.get("attrs") or {})
+        sp.start_wall_s = float(d.get("start_wall_s", 0.0))
+        sp._start_perf = float(d.get("start_perf_s", 0.0))
+        sp.duration_s = float(d.get("duration_s", 0.0))
+        sp.cpu_s = float(d.get("cpu_s", 0.0))
+        sp.status = str(d.get("status", "ok"))
+        sp.metrics = [MetricPoint.from_dict(m) for m in d.get("metrics", [])]
+        sp.events = [dict(e) for e in d.get("events", [])]
+        spans[int(d["id"])] = sp
+        parent = d.get("parent")
+        if parent is None:
+            roots.append(sp)
+        elif int(parent) in spans:
+            spans[int(parent)].children.append(sp)
+        else:
+            roots.append(sp)  # orphan from a truncated log: keep it visible
+    return roots
+
+
+def _spans_from_chrome(obj: dict[str, Any]) -> list[Span]:
+    """Rebuild the span forest from X events (nesting by containment)."""
+    per_tid: dict[tuple[Any, Any], list[dict[str, Any]]] = {}
+    for ev in obj.get("traceEvents", []):
+        if isinstance(ev, dict) and ev.get("ph") == "X":
+            per_tid.setdefault((ev.get("pid"), ev.get("tid")), []).append(ev)
+    roots: list[Span] = []
+    for _key, events in sorted(per_tid.items(), key=lambda kv: str(kv[0])):
+        events.sort(key=lambda e: (float(e.get("ts", 0)), -float(e.get("dur", 0))))
+        stack: list[tuple[float, Span]] = []  # (end_ts, span)
+        for ev in events:
+            ts = float(ev.get("ts", 0.0))
+            dur = float(ev.get("dur", 0.0))
+            args = dict(ev.get("args") or {})
+            metrics = [
+                MetricPoint.from_dict(m) for m in args.pop("metrics", [])
+            ]
+            events_list = [dict(e) for e in args.pop("events", [])]
+            cpu_s = float(args.pop("cpu_s", 0.0))
+            status = str(args.pop("status", "ok"))
+            sp = Span(str(ev.get("name", "?")), args)
+            sp.start_wall_s = ts / 1e6
+            sp.duration_s = dur / 1e6
+            sp.cpu_s = cpu_s
+            sp.status = status
+            sp.metrics = metrics
+            sp.events = events_list
+            while stack and ts >= stack[-1][0] - 0.5:
+                stack.pop()
+            if stack:
+                stack[-1][1].children.append(sp)
+            else:
+                roots.append(sp)
+            stack.append((ts + dur, sp))
+    return roots
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Read a trace file written by either exporter back into spans."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:2000]:
+        return _spans_from_chrome(json.loads(text))
+    return _spans_from_jsonl(text)
+
+
+# ----------------------------------------------------------------------
+# ASCII views
+# ----------------------------------------------------------------------
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:7.3f} s"
+    return f"{seconds * 1e3:7.2f} ms"
+
+
+def tree_summary(
+    roots: list[Span], *, max_depth: int | None = None, metrics: bool = True
+) -> str:
+    """The ``repro trace`` view: an indented tree with times and QoR."""
+    lines: list[str] = []
+
+    def emit(sp: Span, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        flag = "" if sp.status == "ok" else f" !{sp.status}"
+        attrs = ""
+        interesting = {
+            k: v for k, v in sp.attrs.items()
+            if k in ("design", "config", "phase", "worker", "policy")
+        }
+        if interesting:
+            attrs = " [" + ", ".join(
+                f"{k}={v}" for k, v in sorted(interesting.items())
+            ) + "]"
+        lines.append(
+            f"{_fmt_s(sp.duration_s)}  {'  ' * depth}{sp.name}{attrs}{flag}"
+        )
+        if metrics:
+            for point in sp.metrics:
+                lines.append(f"{'':10s}  {'  ' * (depth + 1)}* {point.label()}")
+        for ev in sp.events:
+            rendered = ", ".join(
+                f"{k}={v}" for k, v in sorted(ev.items()) if k != "name"
+            )
+            lines.append(
+                f"{'':10s}  {'  ' * (depth + 1)}! {ev.get('name', 'event')}"
+                + (f" ({rendered})" if rendered else "")
+            )
+        for child in sp.children:
+            emit(child, depth + 1)
+
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def profile_summary(roots: list[Span], *, top: int = 5) -> str:
+    """The ``repro profile`` view: hottest span names by self time.
+
+    *Self* time is a span's wall time minus its direct children -- the
+    flame-graph notion of where the milliseconds actually go, so a
+    parent stage does not hide the sub-stage that dominates it.
+    """
+    totals: dict[str, tuple[int, float, float]] = {}
+    grand_total = sum(sp.duration_s for sp in roots)
+    for sp in walk_spans(roots):
+        count, total_s, self_s = totals.get(sp.name, (0, 0.0, 0.0))
+        totals[sp.name] = (count + 1, total_s + sp.duration_s, self_s + sp.self_s)
+    ranked = sorted(totals.items(), key=lambda kv: kv[1][2], reverse=True)
+    lines = [
+        f"{'stage':22s} {'calls':>6s} {'self':>11s} {'total':>11s} {'self%':>6s}"
+    ]
+    for name, (count, total_s, self_s) in ranked[: max(1, top)]:
+        pct = 100.0 * self_s / grand_total if grand_total > 0 else 0.0
+        lines.append(
+            f"{name:22s} {count:6d} {_fmt_s(self_s):>11s}"
+            f" {_fmt_s(total_s):>11s} {pct:5.1f}%"
+        )
+    if grand_total > 0:
+        lines.append(f"{'(trace total)':22s} {'':6s} {'':11s} {_fmt_s(grand_total):>11s}")
+    return "\n".join(lines)

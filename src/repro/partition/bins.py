@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import PartitionError
 from repro.netlist.core import Netlist
+from repro.obs import span
 from repro.partition.fm import fm_bipartition
 
 __all__ = ["bin_fm_partition"]
@@ -62,6 +63,34 @@ def bin_fm_partition(
 
     Returns the assignment for every instance, including pinned ones.
     """
+    with span("fm_partition", grid=grid, sweeps=sweeps):
+        return _bin_fm_partition(
+            netlist,
+            width_um,
+            height_um,
+            area_side0,
+            area_side1,
+            pinned=pinned,
+            grid=grid,
+            sweeps=sweeps,
+            balance_tolerance=balance_tolerance,
+            seed=seed,
+        )
+
+
+def _bin_fm_partition(
+    netlist: Netlist,
+    width_um: float,
+    height_um: float,
+    area_side0: dict[str, float],
+    area_side1: dict[str, float],
+    *,
+    pinned: dict[str, int] | None = None,
+    grid: int = 4,
+    sweeps: int = 2,
+    balance_tolerance: float = 0.12,
+    seed: int = 0,
+) -> dict[str, int]:
     pinned = dict(pinned or {})
     area_side0 = dict(area_side0)
     area_side1 = dict(area_side1)

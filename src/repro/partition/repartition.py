@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import add_span_event, emit_metric, span
 from repro.timing.sta import CriticalPath
 
 __all__ = ["RepartitionConfig", "RepartitionResult", "repartition_eco"]
@@ -89,6 +90,28 @@ def repartition_eco(
     slow_tier:
         Tier index of the slow die (1/top in the paper's setup).
     """
+    with span("repartition_eco", slow_tier=slow_tier):
+        result = _repartition_eco(
+            analyze, move_to_fast, undo, tier_areas, slow_tier, config
+        )
+        emit_metric("eco_iterations", result.iterations)
+        emit_metric("eco_cells_moved", len(result.cells_moved))
+        emit_metric("eco_batches_accepted", result.batches_accepted)
+        emit_metric("eco_batches_rejected", result.batches_rejected)
+        emit_metric(
+            "eco_wns_gain_ns", result.wns_after_ns - result.wns_before_ns
+        )
+    return result
+
+
+def _repartition_eco(
+    analyze: Callable[[], tuple[float, float, list[CriticalPath]]],
+    move_to_fast: Callable[[list[str]], object],
+    undo: Callable[[object], None],
+    tier_areas: Callable[[], tuple[float, float]],
+    slow_tier: int,
+    config: RepartitionConfig,
+) -> RepartitionResult:
     result = RepartitionResult()
     d_k = config.d0
     wns, tns, paths = analyze()
@@ -148,9 +171,21 @@ def repartition_eco(
             result.wns_after_ns = new_wns
             result.tns_after_ns = new_tns
             paths = new_paths
+            add_span_event(
+                "eco_batch_accepted",
+                iteration=result.iterations,
+                moved=len(move_list),
+                wns_ns=round(new_wns, 6),
+            )
         else:
             undo(token)
             result.batches_rejected += 1
+            add_span_event(
+                "eco_batch_rejected",
+                iteration=result.iterations,
+                moved=len(move_list),
+                wns_ns=round(new_wns, 6),
+            )
             d_k *= config.alpha
             if d_k < config.min_dk:
                 result.stop_reason = "threshold collapsed"

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.errors import PartitionError
 from repro.netlist.core import Netlist
+from repro.obs import emit_metric, span
 
 __all__ = ["timing_based_pinning"]
 
@@ -52,31 +53,42 @@ def timing_based_pinning(
     if not 0.0 < area_cap_fraction <= 0.5:
         raise PartitionError("area cap must be in (0, 0.5]")
 
-    candidates = [
-        (slack, name)
-        for name, slack in cell_slack.items()
-        if name in netlist.instances
-        and not netlist.instances[name].cell.is_macro
-    ]
-    if not candidates:
-        return {}
-    candidates.sort()
+    with span("timing_pinning", fast_tier=fast_tier):
+        candidates = [
+            (slack, name)
+            for name, slack in cell_slack.items()
+            if name in netlist.instances
+            and not netlist.instances[name].cell.is_macro
+        ]
+        if not candidates:
+            return {}
+        candidates.sort()
 
-    if slack_threshold_ns is None:
-        slacks = sorted(s for s, _ in candidates)
-        slack_threshold_ns = slacks[int(0.4 * (len(slacks) - 1))]
+        if slack_threshold_ns is None:
+            slacks = sorted(s for s, _ in candidates)
+            slack_threshold_ns = slacks[int(0.4 * (len(slacks) - 1))]
 
-    total_area = netlist.cell_area_um2(lambda i: not i.cell.is_macro)
-    budget = area_cap_fraction * total_area
+        total_area = netlist.cell_area_um2(lambda i: not i.cell.is_macro)
+        budget = area_cap_fraction * total_area
 
-    pinned: dict[str, int] = {}
-    used = 0.0
-    for slack, name in candidates:
-        if slack > slack_threshold_ns:
-            break
-        area = netlist.instances[name].area_um2
-        if used + area > budget:
-            break
-        pinned[name] = fast_tier
-        used += area
+        pinned: dict[str, int] = {}
+        used = 0.0
+        for slack, name in candidates:
+            if slack > slack_threshold_ns:
+                break
+            area = netlist.instances[name].area_um2
+            if used + area > budget:
+                break
+            pinned[name] = fast_tier
+            used += area
+        emit_metric("pinned_cells", len(pinned), tier=fast_tier)
+        emit_metric(
+            "pinned_area_fraction",
+            used / total_area if total_area > 0 else 0.0,
+            tier=fast_tier,
+        )
+        emit_metric(
+            "critical_cell_fraction",
+            len(pinned) / len(candidates),
+        )
     return pinned

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.liberty.library import StdCellLibrary
 from repro.netlist.core import Netlist
+from repro.obs import emit_metric, span
 from repro.timing.delaycalc import steiner_correction
 
 __all__ = ["CongestionMap", "analyze_congestion"]
@@ -77,6 +78,21 @@ def analyze_congestion(
     bins: int = 16,
 ) -> CongestionMap:
     """Accumulate per-bin routing demand from placed-net bounding boxes."""
+    with span("congestion", bins=bins, tiers=tiers):
+        result = _analyze(netlist, lib, width_um, height_um, tiers, bins)
+        emit_metric("peak_congestion", result.peak_demand)
+        emit_metric("congestion_overflow", result.overflow_fraction)
+    return result
+
+
+def _analyze(
+    netlist: Netlist,
+    lib: StdCellLibrary,
+    width_um: float,
+    height_um: float,
+    tiers: int,
+    bins: int,
+) -> CongestionMap:
     demand = np.zeros((bins, bins))
     bin_w = width_um / bins
     bin_h = height_um / bins

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.liberty.library import StdCellLibrary
 from repro.netlist.core import Netlist
+from repro.obs import emit_metric, span
 from repro.route.congestion import CongestionMap, analyze_congestion
 from repro.timing.delaycalc import DelayCalculator
 
@@ -43,21 +44,26 @@ def route_design(
     tiers: int,
 ) -> RoutingReport:
     """Estimate routed wirelength and congestion for a placed design."""
-    congestion = analyze_congestion(netlist, lib, width_um, height_um, tiers)
-    steiner = 0.0
-    mivs = 0
-    for net in netlist.nets.values():
-        if net.is_clock:
-            continue
-        para = calc.net_parasitics(net)
-        steiner += para.length_um
-        mivs += para.miv_count
-    detour = congestion.detour_factor()
-    return RoutingReport(
-        steiner_wl_um=steiner,
-        routed_wl_um=steiner * detour,
-        miv_count=mivs,
-        cut_nets=len(netlist.cut_nets()),
-        peak_congestion=congestion.peak_demand,
-        overflow_fraction=congestion.overflow_fraction,
-    )
+    with span("routing", tiers=tiers):
+        congestion = analyze_congestion(netlist, lib, width_um, height_um, tiers)
+        steiner = 0.0
+        mivs = 0
+        for net in netlist.nets.values():
+            if net.is_clock:
+                continue
+            para = calc.net_parasitics(net)
+            steiner += para.length_um
+            mivs += para.miv_count
+        detour = congestion.detour_factor()
+        report = RoutingReport(
+            steiner_wl_um=steiner,
+            routed_wl_um=steiner * detour,
+            miv_count=mivs,
+            cut_nets=len(netlist.cut_nets()),
+            peak_congestion=congestion.peak_demand,
+            overflow_fraction=congestion.overflow_fraction,
+        )
+        emit_metric("routed_wl_mm", report.routed_wl_mm)
+        emit_metric("miv_count", report.miv_count)
+        emit_metric("cut_nets", report.cut_nets)
+    return report

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import TimingError
 from repro.netlist.core import Instance, Netlist
+from repro.obs import emit_metric, span
 from repro.timing.delaycalc import DelayCalculator
 
 __all__ = ["PathStep", "CriticalPath", "TimingReport", "run_sta"]
@@ -428,22 +429,25 @@ def run_sta(
     """
     if period_ns <= 0:
         raise TimingError(f"period must be positive, got {period_ns}")
-    engine = _StaEngine(netlist, calc, period_ns, clock_latencies)
-    engine.launch()
-    engine.propagate()
-    endpoint_slacks = engine.endpoint_slacks()
-    if endpoint_slacks:
-        wns = min(endpoint_slacks.values())
-        tns = sum((s for s in endpoint_slacks.values() if s < 0), 0.0)
-        worst = min(endpoint_slacks, key=endpoint_slacks.get)
-        critical = engine.backtrace(worst, endpoint_slacks[worst])
-    else:
-        wns, tns, critical = 0.0, 0.0, None
+    with span("sta", period_ns=period_ns, cell_slacks=with_cell_slacks):
+        engine = _StaEngine(netlist, calc, period_ns, clock_latencies)
+        engine.launch()
+        engine.propagate()
+        endpoint_slacks = engine.endpoint_slacks()
+        if endpoint_slacks:
+            wns = min(endpoint_slacks.values())
+            tns = sum((s for s in endpoint_slacks.values() if s < 0), 0.0)
+            worst = min(endpoint_slacks, key=endpoint_slacks.get)
+            critical = engine.backtrace(worst, endpoint_slacks[worst])
+        else:
+            wns, tns, critical = 0.0, 0.0, None
 
-    cell_slack: dict[str, float] = {}
-    if with_cell_slacks and endpoint_slacks:
-        engine.propagate_required(endpoint_slacks)
-        cell_slack = engine.cell_slacks()
+        cell_slack: dict[str, float] = {}
+        if with_cell_slacks and endpoint_slacks:
+            engine.propagate_required(endpoint_slacks)
+            cell_slack = engine.cell_slacks()
+        emit_metric("wns_ns", wns)
+        emit_metric("tns_ns", tns)
 
     return TimingReport(
         period_ns=period_ns,

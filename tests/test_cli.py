@@ -38,6 +38,29 @@ class TestParser:
         assert build_parser().parse_args(["cache"]).clear is False
         assert build_parser().parse_args(["cache", "--clear"]).clear is True
 
+    def test_trace_flag_on_run_commands(self):
+        for base in (["flow", "aes"], ["matrix", "aes"],
+                     ["sweep", "aes"], ["report"]):
+            assert build_parser().parse_args(base).trace is None
+            args = build_parser().parse_args(base + ["--trace", "t.json"])
+            assert args.trace == "t.json"
+
+    def test_trace_and_profile_subcommands(self):
+        args = build_parser().parse_args(["trace", "t.json"])
+        assert args.file == "t.json"
+        assert args.depth is None
+        assert args.validate is False
+        args = build_parser().parse_args(
+            ["trace", "t.json", "--depth", "2", "--no-metrics", "--validate"]
+        )
+        assert args.depth == 2
+        assert args.no_metrics is True
+        assert args.validate is True
+        assert build_parser().parse_args(["profile", "t.json"]).top == 5
+        assert build_parser().parse_args(
+            ["profile", "t.json", "--top", "3"]
+        ).top == 3
+
     def test_resilience_flags(self):
         for base in (["matrix", "aes"], ["report"]):
             args = build_parser().parse_args(base)
@@ -93,6 +116,46 @@ class TestCommands:
         assert main(["cache", "--clear"]) == 0
         assert "removed 1 entries" in capsys.readouterr().out
         assert not list(tmp_path.glob("*.json"))
+
+    def test_flow_trace_roundtrip(self, tmp_path, capsys, monkeypatch):
+        """--trace writes a valid file that trace/profile can read back."""
+        import json
+        import os
+
+        from repro.obs import trace
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "t.json"
+        try:
+            rc = main([
+                "flow", "aes", "--config", "2D_12T", "--period", "0.7",
+                "--scale", "0.2", "--seed", "7", "--trace", str(path),
+            ])
+        finally:
+            # main() exports REPRO_TRACE so pool workers would inherit
+            # it; undo that side effect for the rest of the suite.
+            os.environ.pop(trace.ENV_TRACE, None)
+            trace.reset_trace()
+            trace.disable_tracing()
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "wrote trace" in captured.err
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+        assert main(["trace", str(path), "--validate"]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "flow" in out and "synthesis" in out
+        assert main(["profile", str(path), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out and "self%" in out
+
+    def test_trace_rejects_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": [{"ph": "X", "name": "x"}]}')
+        assert main(["trace", str(path), "--validate"]) == 1
+        assert "invalid" in capsys.readouterr().err
 
     def test_matrix_stats(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -1,0 +1,50 @@
+"""Tests for repro.log: the $REPRO_LOG console-handler bootstrap."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro import log
+
+
+@pytest.fixture(autouse=True)
+def reset_warn_flag(monkeypatch):
+    """Each test sees a process that has not warned about $REPRO_LOG yet."""
+    monkeypatch.setattr(log, "_warned_bad_level", False)
+
+
+def test_valid_level_is_applied(monkeypatch):
+    monkeypatch.setenv(log.ENV_LOG_LEVEL, "debug")
+    logger = log.init_from_env()
+    assert logger.level == logging.DEBUG
+    monkeypatch.setenv(log.ENV_LOG_LEVEL, "error")
+    assert log.init_from_env().level == logging.ERROR
+
+
+def test_default_when_unset(monkeypatch):
+    monkeypatch.delenv(log.ENV_LOG_LEVEL, raising=False)
+    assert log.init_from_env().level == logging.WARNING
+
+
+def test_invalid_level_warns_once_and_falls_back(monkeypatch, caplog):
+    monkeypatch.setenv(log.ENV_LOG_LEVEL, "loud")
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        logger = log.init_from_env()
+        log.init_from_env()  # second call must not warn again
+    assert logger.level == logging.WARNING
+    warnings = [
+        r for r in caplog.records if "not a recognized level" in r.message
+    ]
+    assert len(warnings) == 1
+    assert "'loud'" in warnings[0].getMessage()
+    assert "falling back to 'warning'" in warnings[0].getMessage()
+
+
+def test_repeated_init_does_not_stack_handlers(monkeypatch):
+    monkeypatch.setenv(log.ENV_LOG_LEVEL, "info")
+    log.init_from_env()
+    before = list(log.get_logger().handlers)
+    log.init_from_env()
+    assert log.get_logger().handlers == before

@@ -343,6 +343,32 @@ class TestTelemetry:
         assert again.cell_source == a.cell_source
         assert again.stage_seconds == a.stage_seconds
 
+    def test_merge_warns_on_cell_collision(self, caplog):
+        import logging
+
+        a = Telemetry()
+        a.record_cell("aes", "3D_9T", 1.0, "flow")
+        b = Telemetry()
+        b.record_cell("aes", "3D_9T", 2.0, "flow")
+        b.record_cell("cpu", "3D_9T", 3.0, "disk")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            a.merge(b)
+        warnings = [r for r in caplog.records if "telemetry merge" in r.message]
+        assert len(warnings) == 1  # only the colliding cell, not cpu
+        assert "aes/3D_9T" in warnings[0].getMessage()
+        assert a.cell_seconds[("aes", "3D_9T")] == 2.0  # later report kept
+
+    def test_merge_disjoint_cells_is_silent(self, caplog):
+        import logging
+
+        a = Telemetry()
+        a.record_cell("aes", "2D_12T", 1.0, "flow")
+        b = Telemetry()
+        b.record_cell("aes", "3D_9T", 2.0, "flow")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            a.merge(b.snapshot())
+        assert not [r for r in caplog.records if "telemetry merge" in r.message]
+
     def test_timed_stage_accumulates(self):
         reset_telemetry()
         with timed_stage("x"):

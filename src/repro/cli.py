@@ -16,6 +16,7 @@ Commands
 ``cache``    show (or ``--clear``) the persistent on-disk result cache
 ``trace``    pretty-print (or ``--validate``) a recorded trace file
 ``profile``  rank the hottest flow stages of a recorded trace
+``check``    validate a saved checkpoint or FlowResult JSON file
 
 ``flow``/``matrix``/``sweep``/``report`` accept ``--trace PATH``: spans
 are recorded for the whole command (workers inherit ``$REPRO_TRACE``)
@@ -23,6 +24,14 @@ and written to PATH on exit -- Chrome trace-event JSON by default,
 JSONL when PATH ends in ``.jsonl``.  The file is written even when the
 run ends quarantined (exit 3), so a degraded run still leaves a
 truncated-but-valid trace behind.
+
+The same commands accept ``--check {off,warn,repair,strict}``: the flag
+sets ``$REPRO_CHECK`` for the whole command (workers inherit it), so
+every stage boundary of every flow run enforces the integrity contracts
+of :mod:`repro.integrity`.  ``flow`` additionally takes
+``--checkpoint-dir`` (write a checksummed design snapshot after each
+stage) and ``--from-stage`` (resume from the newest valid checkpoint
+before the named stage).
 """
 
 from __future__ import annotations
@@ -63,10 +72,15 @@ def _print_result(result) -> None:
 
 def _cmd_flow(args: argparse.Namespace) -> int:
     configs = configurations()
+    kwargs = {}
+    if args.checkpoint_dir:
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
+    if args.from_stage:
+        kwargs["from_stage"] = args.from_stage
     with timed_stage("flow", design=args.design, config=args.config):
         _design, result = configs[args.config].run(
             args.design, period_ns=args.period, scale=args.scale,
-            seed=args.seed,
+            seed=args.seed, **kwargs,
         )
     _print_result(result)
     return 0
@@ -253,6 +267,47 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import CheckpointError
+    from repro.integrity import check_design, check_result, load_checkpoint
+
+    path = Path(args.file)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    if isinstance(payload, dict) and "checksum" in payload:
+        # A stage checkpoint: verify the envelope, then the design.
+        try:
+            stage, design = load_checkpoint(path)
+        except CheckpointError as exc:
+            print(f"{path}: CORRUPT checkpoint: {exc}", file=sys.stderr)
+            return 1
+        violations = check_design(design)
+        what = (f"checkpoint stage={stage} design={design.name} "
+                f"config={design.config}")
+    elif isinstance(payload, dict) and "config" in payload:
+        violations = check_result(payload)
+        what = (f"FlowResult design={payload.get('design')} "
+                f"config={payload.get('config')}")
+    else:
+        print(f"error: {path} is neither a stage checkpoint nor a "
+              f"FlowResult", file=sys.stderr)
+        return 1
+
+    if not violations:
+        print(f"{path}: OK ({what}; checksum and all invariants pass)")
+        return 0
+    print(f"{path}: {len(violations)} violation(s) ({what})")
+    for v in violations:
+        print(f"  {v}")
+    return 1
+
+
 def _export_trace(path: str) -> None:
     """Write the recorded spans of this process to ``path``.
 
@@ -293,9 +348,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "them to PATH (Chrome trace-event JSON, or "
                             "JSONL when PATH ends in .jsonl)")
 
+    def add_check(p):
+        p.add_argument("--check", default=None,
+                       choices=("off", "warn", "repair", "strict"),
+                       help="stage-boundary integrity contract mode for "
+                            "the whole command (sets $REPRO_CHECK; "
+                            "workers inherit it)")
+
     p_flow = sub.add_parser("flow", help="run one configuration")
     add_common(p_flow)
     add_trace(p_flow)
+    add_check(p_flow)
+    p_flow.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="write a checksummed design checkpoint after "
+                             "each flow stage into DIR")
+    p_flow.add_argument("--from-stage", metavar="STAGE", default=None,
+                        help="resume from the newest valid checkpoint "
+                             "before STAGE (requires --checkpoint-dir)")
     p_flow.set_defaults(func=_cmd_flow)
 
     def add_resilience(p):
@@ -319,11 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print cache/flow telemetry after the run")
     add_resilience(p_matrix)
     add_trace(p_matrix)
+    add_check(p_matrix)
     p_matrix.set_defaults(func=_cmd_matrix)
 
     p_sweep = sub.add_parser("sweep", help="find the 12T 2-D max frequency")
     add_common(p_sweep, with_config=False, with_period=False)
     add_trace(p_sweep)
+    add_check(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_export = sub.add_parser("export", help="write Verilog/DEF/Liberty")
@@ -344,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes (default $REPRO_JOBS or 1)")
     add_resilience(p_report)
     add_trace(p_report)
+    add_check(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_cache = sub.add_parser(
@@ -373,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("--top", type=int, default=5,
                            help="number of stages to print (default 5)")
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_check = sub.add_parser(
+        "check", help="validate a saved checkpoint or FlowResult file"
+    )
+    p_check.add_argument("file", help="stage checkpoint or FlowResult JSON")
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 
@@ -387,6 +465,13 @@ def main(argv: list[str] | None = None) -> int:
         # pool workers inherit the tracing mode and ship subtrees back.
         os.environ[obs_trace.ENV_TRACE] = "1"
         obs_trace.reset_trace(from_env=True)
+    check_mode = getattr(args, "check", None)
+    if check_mode:
+        # Same pattern as --trace: the env var is what reaches the pool
+        # workers, and the flows read it at every stage boundary.
+        from repro.integrity import ENV_CHECK
+
+        os.environ[ENV_CHECK] = check_mode
     try:
         if getattr(args, "command", None) == "flow" and args.period is None:
             args.period = find_target_period(

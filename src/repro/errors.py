@@ -69,3 +69,20 @@ class FlowError(ReproError):
 
 class CostModelError(ReproError):
     """The cost model was given out-of-domain parameters."""
+
+
+class IntegrityError(ReproError):
+    """A stage-boundary invariant check failed (strict/repair mode).
+
+    Carries the surviving :class:`~repro.integrity.invariants.InvariantViolation`
+    records on :attr:`violations` so callers (and the ``repro check`` CLI)
+    can render them without re-running the checks.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()):  # noqa: D107
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
+class CheckpointError(IntegrityError):
+    """A flow checkpoint is missing, corrupt, or incompatible."""

@@ -27,8 +27,16 @@ Recognized fields:
     :class:`~repro.errors.ReproError`), ``raise_transient`` (a
     :class:`TransientFaultInjected`, an ``OSError``), ``exit`` (the
     process dies via ``os._exit`` -- a worker crash), ``hang`` (sleep
-    ``seconds`` before proceeding), or ``corrupt`` (overwrite the file
-    named by the site's ``path`` context after the block completes).
+    ``seconds`` before proceeding), ``corrupt`` (overwrite the file
+    named by the site's ``path`` context after the block completes), or
+    ``corrupt_design`` (mutate the live :class:`Design` at a flow-stage
+    boundary -- see :func:`maybe_corrupt_design`; the site is the stage
+    name and ``op=`` selects the corruption from :data:`CORRUPT_OPS`).
+``op`` (corrupt_design only, required)
+    Which invariant class to break: ``dangling_net``, ``undriven_net``,
+    ``floating_input``, ``stale_ref``, ``overlap``,
+    ``out_of_floorplan``, ``row_misalign``, ``bad_tier``,
+    ``wrong_library``, ``drop_shifter``, or ``comb_loop``.
 ``times`` (default 1)
     How many matching hits fire; ``0`` means every hit, forever.
 ``after`` (default 0)
@@ -65,6 +73,8 @@ from repro.errors import ReproError
 from repro.log import get_logger
 
 __all__ = [
+    "CORRUPT_OPS",
+    "CORRUPT_OP_CHECKS",
     "ENV_FAULTS",
     "ENV_FAULTS_STATE",
     "FaultInjected",
@@ -72,6 +82,7 @@ __all__ = [
     "FaultSpec",
     "active_faults",
     "inject",
+    "maybe_corrupt_design",
     "parse_spec",
     "reset_fault_state",
 ]
@@ -79,7 +90,9 @@ __all__ = [
 ENV_FAULTS = "REPRO_FAULTS"
 ENV_FAULTS_STATE = "REPRO_FAULTS_STATE"
 
-_KINDS = ("raise", "raise_transient", "exit", "hang", "corrupt")
+_KINDS = (
+    "raise", "raise_transient", "exit", "hang", "corrupt", "corrupt_design"
+)
 
 _log = get_logger("faults")
 
@@ -104,6 +117,7 @@ class FaultSpec:
     seconds: float = 30.0
     p: float = 1.0
     seed: int = 0
+    op: str = ""  # corruption operator (kind=corrupt_design only)
     match: dict = field(default_factory=dict)
 
 
@@ -129,6 +143,17 @@ def parse_spec(text: str) -> list[FaultSpec]:
                 f"fault entry {raw!r} has unknown kind {kind!r}"
                 f" (expected one of {', '.join(_KINDS)})"
             )
+        op = fields.pop("op", "")
+        if kind == "corrupt_design":
+            if op not in CORRUPT_OPS:
+                raise ValueError(
+                    f"fault entry {raw!r} needs op= one of "
+                    f"{', '.join(CORRUPT_OPS)}"
+                )
+        elif op:
+            raise ValueError(
+                f"fault entry {raw!r}: op= only applies to kind=corrupt_design"
+            )
         specs.append(
             FaultSpec(
                 site=site,
@@ -139,6 +164,7 @@ def parse_spec(text: str) -> list[FaultSpec]:
                 seconds=float(fields.pop("seconds", "30")),
                 p=float(fields.pop("p", "1")),
                 seed=int(fields.pop("seed", "0")),
+                op=op,
                 match=fields,
             )
         )
@@ -249,6 +275,8 @@ def inject(site: str, **context):
     """
     post_corrupt: list[FaultSpec] = []
     for spec in active_faults():
+        if spec.kind == "corrupt_design":
+            continue  # design corruption fires via maybe_corrupt_design
         if not _should_fire(spec, site, context):
             continue
         where = _describe(site, context)
@@ -274,3 +302,231 @@ def inject(site: str, **context):
                 "injected cache corruption at %s", _describe(site, context)
             )
             _corrupt_path(str(path))
+
+
+# ----------------------------------------------------------------------
+# design corruption (kind=corrupt_design)
+# ----------------------------------------------------------------------
+# Each operator mutates a live Design to break exactly one invariant
+# class, so CI can prove the matching checker catches it at the next
+# stage boundary.  Targets are chosen deterministically (first eligible
+# in sorted-name order); an operator with no eligible target is a no-op
+# returning None.
+
+
+def _movable_cells(design):
+    return sorted(
+        (
+            inst
+            for inst in design.netlist.instances.values()
+            if not inst.cell.is_macro and not inst.fixed and inst.is_placed
+        ),
+        key=lambda inst: inst.name,
+    )
+
+
+def _corrupt_dangling_net(design):
+    netlist = design.netlist
+    name = netlist.unique_name("corrupt_net")
+    netlist.add_net(name)
+    return f"added dangling net {name}"
+
+
+def _corrupt_undriven_net(design):
+    netlist = design.netlist
+    for name in sorted(netlist.nets):
+        net = netlist.nets[name]
+        if net.driver is None or not net.sinks or net.is_clock:
+            continue
+        inst_name, pin = net.driver
+        del netlist.instances[inst_name]._pin_nets[pin]
+        net.driver = None
+        return f"removed driver {inst_name}.{pin} from net {name}"
+    return None
+
+
+def _corrupt_floating_input(design):
+    netlist = design.netlist
+    for name in sorted(netlist.instances):
+        inst = netlist.instances[name]
+        if inst.cell.is_macro:
+            continue
+        for pin, _net in sorted(inst.connected_pins()):
+            if inst.cell.pins[pin].direction != "output":
+                netlist.disconnect(name, pin)
+                return f"disconnected input {name}.{pin}"
+    return None
+
+
+def _corrupt_stale_ref(design):
+    netlist = design.netlist
+    for name in sorted(netlist.nets):
+        net = netlist.nets[name]
+        if net.sinks:
+            net.sinks.append(("__corrupt_ghost__", "A"))
+            return f"appended ghost sink to net {name}"
+    return None
+
+
+def _corrupt_overlap(design):
+    by_tier: dict[int, object] = {}
+    for inst in _movable_cells(design):
+        prev = by_tier.get(inst.tier)
+        if prev is not None:
+            inst.x_um, inst.y_um = prev.x_um, prev.y_um
+            return f"stacked {inst.name} onto {prev.name} (tier {inst.tier})"
+        by_tier[inst.tier] = inst
+    return None
+
+
+def _corrupt_out_of_floorplan(design):
+    if design.floorplan is None:
+        return None
+    cells = _movable_cells(design)
+    if not cells:
+        return None
+    inst = cells[0]
+    inst.x_um = design.floorplan.width_um + 10.0
+    return f"moved {inst.name} outside the die"
+
+
+def _corrupt_row_misalign(design):
+    for inst in _movable_cells(design):
+        lib = design.tier_libs.get(inst.tier)
+        if lib is None:
+            continue
+        inst.y_um += 0.4 * lib.cell_height_um
+        return f"shifted {inst.name} off the row grid"
+    return None
+
+
+def _corrupt_bad_tier(design):
+    cells = _movable_cells(design)
+    if not cells:
+        return None
+    inst = cells[0]
+    inst.tier = 7
+    return f"assigned {inst.name} to nonexistent tier 7"
+
+
+def _corrupt_wrong_library(design):
+    libs = {lib.name: lib for lib in design.tier_libs.values()}
+    if len(libs) < 2:
+        return None
+    netlist = design.netlist
+    for name in sorted(netlist.instances):
+        inst = netlist.instances[name]
+        if inst.cell.is_macro:
+            continue
+        for lib in libs.values():
+            if lib.name != inst.cell.library_name:
+                netlist.rebind(name, lib.equivalent_of(inst.cell))
+                return f"rebound {name} to {lib.name} without moving tiers"
+    return None
+
+
+def _corrupt_drop_shifter(design):
+    from repro.liberty.cells import CellFunction
+
+    netlist = design.netlist
+    for name in sorted(netlist.instances):
+        inst = netlist.instances[name]
+        if inst.cell.function is not CellFunction.LEVEL_SHIFTER:
+            continue
+        in_net = inst.net_of("A")
+        out_net = inst.net_of("Y")
+        if in_net is None or out_net is None:
+            continue
+        for sink_name, pin in list(netlist.nets[out_net].sinks):
+            netlist.disconnect(sink_name, pin)
+            netlist.connect(in_net, sink_name, pin)
+        netlist.remove_instance(name)
+        netlist.remove_net(out_net)
+        return f"removed level shifter {name}, rewired {out_net} onto {in_net}"
+    return None
+
+
+def _corrupt_comb_loop(design):
+    netlist = design.netlist
+    for name in sorted(netlist.instances):
+        inst = netlist.instances[name]
+        if inst.cell.is_macro or inst.cell.is_sequential:
+            continue
+        out_net = None
+        for pin, net_name in inst.connected_pins():
+            if inst.cell.pins[pin].direction == "output":
+                out_net = net_name
+                break
+        if out_net is None:
+            continue
+        for pin, net_name in sorted(inst.connected_pins()):
+            spec = inst.cell.pins[pin]
+            if spec.direction == "output" or net_name == out_net:
+                continue
+            netlist.disconnect(name, pin)
+            netlist.connect(out_net, name, pin)
+            return f"looped {name}.{pin} back onto its own output {out_net}"
+    return None
+
+
+#: op name -> operator; keys are the values ``op=`` accepts.
+CORRUPT_OPS = {
+    "dangling_net": _corrupt_dangling_net,
+    "undriven_net": _corrupt_undriven_net,
+    "floating_input": _corrupt_floating_input,
+    "stale_ref": _corrupt_stale_ref,
+    "overlap": _corrupt_overlap,
+    "out_of_floorplan": _corrupt_out_of_floorplan,
+    "row_misalign": _corrupt_row_misalign,
+    "bad_tier": _corrupt_bad_tier,
+    "wrong_library": _corrupt_wrong_library,
+    "drop_shifter": _corrupt_drop_shifter,
+    "comb_loop": _corrupt_comb_loop,
+}
+
+#: op name -> the integrity check expected to catch it.
+CORRUPT_OP_CHECKS = {
+    "dangling_net": "connectivity",
+    "undriven_net": "connectivity",
+    "floating_input": "connectivity",
+    "stale_ref": "connectivity",
+    "overlap": "placement",
+    "out_of_floorplan": "placement",
+    "row_misalign": "placement",
+    "bad_tier": "tiers",
+    "wrong_library": "tiers",
+    "drop_shifter": "tiers",
+    "comb_loop": "timing",
+}
+
+
+def maybe_corrupt_design(design, *, site: str, **context) -> list[str]:
+    """Apply any matching ``corrupt_design`` faults to a live design.
+
+    The flow pipeline calls this after each stage body with
+    ``site=<stage name>``, so ``REPRO_FAULTS="site=legalization,
+    kind=corrupt_design,op=overlap"`` corrupts the design exactly once,
+    right where the legalization boundary checks must catch it.
+    Returns the ops actually applied.
+    """
+    applied: list[str] = []
+    context.setdefault("design", design.name)
+    context.setdefault("config", design.config)
+    for spec in active_faults():
+        if spec.kind != "corrupt_design":
+            continue
+        if not _should_fire(spec, site, context):
+            continue
+        where = _describe(site, context)
+        detail = CORRUPT_OPS[spec.op](design)
+        if detail is None:
+            _log.warning(
+                "corrupt_design op=%s found no target at %s", spec.op, where
+            )
+            continue
+        _log.warning(
+            "injected design corruption op=%s at %s: %s",
+            spec.op, where, detail,
+        )
+        applied.append(spec.op)
+    return applied

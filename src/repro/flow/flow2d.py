@@ -7,6 +7,12 @@ synthesis -> post-CTS cleanup -> signoff.
 
 Run once per library to produce the paper's 2-D 9-track and 2-D 12-track
 configurations (Fig. 1(a)/(b)).
+
+The flow is expressed as a list of :class:`~repro.flow.pipeline.Stage`
+objects run by :func:`~repro.flow.pipeline.execute_flow`, which gives
+every stage boundary an integrity contract (``--check``/``$REPRO_CHECK``)
+and an optional checksummed checkpoint (``--checkpoint-dir`` /
+``--from-stage``).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from repro.cost.model import CostModel
 from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
 from repro.flow.design import Design
 from repro.flow.opt import optimize_timing, recover_area
+from repro.flow.pipeline import FlowContext, Stage, execute_flow
 from repro.flow.report import FlowResult, finalize_design
 from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
 from repro.flow.synthesis import initial_sizing
@@ -36,49 +43,86 @@ def run_flow_2d(
     opt_iterations: int = 12,
     recover: bool = True,
     cost_model: CostModel | None = None,
+    check: str | None = None,
+    checkpoint_dir: str | None = None,
+    from_stage: str | None = None,
 ) -> tuple[Design, FlowResult]:
     """Implement one netlist in 2-D with one library at one frequency."""
-    with span("synthesis", design=design_name, library=lib.name):
-        netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
-        design = Design(
-            name=design_name,
-            config=f"2D_{lib.tracks}T",
-            netlist=netlist,
-            tier_libs={0: lib},
-            target_period_ns=period_ns,
-            utilization_target=utilization,
+
+    def synthesis(ctx: FlowContext) -> None:
+        with span("synthesis", design=design_name, library=lib.name):
+            netlist = generate_netlist(design_name, lib, scale=scale,
+                                       seed=seed)
+            ctx.design = Design(
+                name=design_name,
+                config=f"2D_{lib.tracks}T",
+                netlist=netlist,
+                tier_libs={0: lib},
+                target_period_ns=period_ns,
+                utilization_target=utilization,
+            )
+            initial_sizing(ctx.design)
+            emit_metric("cells", len(netlist.instances))
+            emit_metric("cell_area_um2", netlist.cell_area_um2())
+
+    def placement(ctx: FlowContext) -> None:
+        place_with_congestion_control(ctx.design)
+
+    def legalization(ctx: FlowContext) -> None:
+        legalize_all_tiers(ctx.design)
+
+    def optimize(ctx: FlowContext) -> None:
+        design = ctx.design
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc, max_iterations=opt_iterations)
+        if recover:
+            recover_area(design, calc)
+        # Sizing changed cell widths; restore row legality.
+        legalize_all_tiers(design)
+        calc.invalidate()
+
+    def cts(ctx: FlowContext) -> None:
+        design = ctx.design
+        synth = ClockTreeSynthesizer(
+            design.netlist,
+            design.tier_libs,
+            TierPolicy.SINGLE,
+            frequency_ghz=design.frequency_ghz,
         )
-        initial_sizing(design)
-        emit_metric("cells", len(netlist.instances))
-        emit_metric("cell_area_um2", netlist.cell_area_um2())
-    place_with_congestion_control(design)
-    legalize_all_tiers(design)
+        design.clock_report = synth.run()
 
-    calc = design.calculator(placed=True)
-    optimize_timing(design, calc, max_iterations=opt_iterations)
-    if recover:
-        recover_area(design, calc)
-    # Sizing changed cell widths; restore row legality.
-    legalize_all_tiers(design)
-    calc.invalidate()
+    def postcts(ctx: FlowContext) -> None:
+        # Post-CTS: one light cleanup round against propagated clocks,
+        # then a final power-driven area recovery ("the tool starts
+        # optimizing for power" once timing is met, Section IV-A2).
+        design = ctx.design
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc,
+                        max_iterations=max(2, opt_iterations // 4))
+        if recover:
+            recover_area(design, calc)
+        legalize_all_tiers(design)
+        calc.invalidate()
 
-    cts = ClockTreeSynthesizer(
-        design.netlist,
-        design.tier_libs,
-        TierPolicy.SINGLE,
-        frequency_ghz=design.frequency_ghz,
+    def signoff(ctx: FlowContext) -> None:
+        ctx.result = finalize_design(ctx.design, cost_model=cost_model)
+
+    stages = [
+        Stage("synthesis", synthesis, ("connectivity", "timing")),
+        Stage("placement", placement, ("connectivity",)),
+        Stage("legalization", legalization,
+              ("connectivity", "placement", "tiers")),
+        Stage("optimize", optimize, ("connectivity", "placement", "timing")),
+        Stage("cts", cts, ("connectivity", "timing")),
+        Stage("postcts", postcts, ("connectivity", "placement", "timing")),
+        Stage("signoff", signoff,
+              ("connectivity", "placement", "tiers", "timing")),
+    ]
+    ctx = execute_flow(
+        stages,
+        check=check,
+        checkpoint_dir=checkpoint_dir,
+        from_stage=from_stage,
+        tier_libs={0: lib},
     )
-    design.clock_report = cts.run()
-
-    # Post-CTS: one light cleanup round against propagated clocks, then a
-    # final power-driven area recovery ("the tool starts optimizing for
-    # power" once timing is met, Section IV-A2).
-    calc.invalidate()
-    optimize_timing(design, calc, max_iterations=max(2, opt_iterations // 4))
-    if recover:
-        recover_area(design, calc)
-    legalize_all_tiers(design)
-    calc.invalidate()
-
-    result = finalize_design(design, cost_model=cost_model)
-    return design, result
+    return ctx.design, ctx.result

@@ -20,6 +20,13 @@ Section III's enhancements over plain Pin-3D, all implemented here:
 Each enhancement can be disabled independently, which is how the Table V
 ablation (Pin-3D vs Hetero-Pin-3D on the same heterogeneous stack) is
 produced.
+
+The flow runs as :class:`~repro.flow.pipeline.Stage` objects under
+:func:`~repro.flow.pipeline.execute_flow`; the ``level_shift`` /
+``final_shifters`` stages only exist when the library pair needs
+shifters, and ``repartition`` only when the ECO loop is enabled, so the
+stage list (and the checkpoint sequence) is deterministic for a given
+set of flow arguments.
 """
 
 from __future__ import annotations
@@ -29,7 +36,8 @@ from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
 from repro.flow.design import Design
 from repro.flow.levelshift import insert_level_shifters
 from repro.flow.opt import optimize_timing, recover_area
-from repro.flow.pin3d import apply_partition
+from repro.flow.pin3d import FM_BALANCE_TOLERANCE, apply_partition
+from repro.flow.pipeline import FlowContext, Stage, execute_flow
 from repro.flow.report import FlowResult, finalize_design
 from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
 from repro.flow.synthesis import initial_sizing
@@ -139,6 +147,9 @@ def run_flow_hetero_3d(
     repartition_config: RepartitionConfig | None = None,
     cost_model: CostModel | None = None,
     allow_level_shifters: bool = False,
+    check: str | None = None,
+    checkpoint_dir: str | None = None,
+    from_stage: str | None = None,
 ) -> tuple[Design, FlowResult]:
     """Implement one netlist as a 9+12-track heterogeneous M3D design.
 
@@ -159,107 +170,7 @@ def run_flow_hetero_3d(
             "level shifters would be required (Section III-B); pass "
             "allow_level_shifters=True to insert them anyway"
         )
-    with span("synthesis", design=design_name, library=fast_lib.name):
-        netlist = generate_netlist(
-            design_name, fast_lib, scale=scale, seed=seed
-        )
-        design = Design(
-            name=design_name,
-            config="3D_HET",
-            netlist=netlist,
-            tier_libs={FAST_TIER: fast_lib, SLOW_TIER: slow_lib},
-            target_period_ns=period_ns,
-            utilization_target=utilization,
-        )
-        initial_sizing(design)
-        emit_metric("cells", len(netlist.instances))
-        emit_metric("cell_area_um2", netlist.cell_area_um2())
 
-    # Memory macros are corner-independent ("the same size in both
-    # technology variants"), so their tier is a free choice; alternating
-    # them over the two dies keeps the per-tier blockage balanced and
-    # leaves the fast die room for the critical logic that timing-based
-    # partitioning pins there.
-    for i, macro in enumerate(sorted(netlist.memory_macros(),
-                                     key=lambda m: m.name)):
-        macro.tier = (i + SLOW_TIER) % 2
-
-    # ---- pseudo-3-D stage (single technology: the fast library) -------
-    place_with_congestion_control(design, demand_scale=0.5, area_scale=0.5)
-    pseudo_fp = design.floorplan
-
-    with span("partitioning", design=design_name):
-        pinned: dict[str, int] = {}
-        if timing_partitioning:
-            calc = design.calculator(placed=True)
-            report = run_sta(
-                design.netlist, calc, period_ns, with_cell_slacks=True
-            )
-            pinned = timing_based_pinning(
-                design.netlist,
-                report.cell_slack,
-                fast_tier=FAST_TIER,
-                area_cap_fraction=pinning_area_cap,
-                # Cells within 30% of the period of criticality compete for
-                # the fast die; padding the fast tier with mid-slack cells
-                # would only waste the area the ECO loop later needs.
-                slack_threshold_ns=0.30 * period_ns,
-            )
-            design.notes["pinned_cells"] = float(len(pinned))
-
-        # Balance with side-dependent areas: a cell moving to the top tier
-        # will shrink to its 9-track equivalent, so the partitioner measures
-        # each side in its own metric and both dies land at the same fill.
-        # Slightly more than half of the original 12-track area migrates to
-        # the 9-track die, shrinking total cell area by ~12-14%
-        # (Section IV-A2).
-        areas_fast = {
-            name: inst.area_um2 for name, inst in netlist.instances.items()
-        }
-        areas_slow = {
-            name: (
-                inst.area_um2
-                if inst.cell.is_macro
-                else slow_lib.equivalent_of(inst.cell).area_um2
-            )
-            for name, inst in netlist.instances.items()
-        }
-        assignment = bin_fm_partition(
-            netlist,
-            pseudo_fp.width_um,
-            pseudo_fp.height_um,
-            areas_fast,
-            areas_slow,
-            pinned=pinned,
-            seed=seed,
-        )
-        apply_partition(design, assignment)  # remaps top-tier cells to 9T
-        emit_metric("cut_nets", len(netlist.cut_nets()))
-
-    # ---- footprint shrink to maintain utilization ----------------------
-    # Per-tier demand now sizes the die: both tiers sit at the target
-    # utilization, and the footprint shrinks relative to homogeneous 3-D.
-    fp_util = design.notes.get("utilization_used", utilization)
-    if not voltage_ok:
-        # Reserve room for the level shifters (one per violating crossing
-        # plus the ones later ECO moves will need).
-        fp_util = fp_util * 0.85
-    with span("placement", design=design_name, phase="3d"):
-        new_fp = build_floorplan(
-            design.netlist,
-            design.tier_libs,
-            fp_util,
-        )
-        design.floorplan = new_fp
-        global_place(design.netlist, new_fp)
-    legalize_all_tiers(design)
-
-    if not voltage_ok:
-        ls_report = insert_level_shifters(design)
-        design.notes["level_shifters"] = float(ls_report.shifters_inserted)
-        legalize_all_tiers(design)
-
-    # ---- 3-D optimization ----------------------------------------------
     # Pre-ECO optimization runs with a conservative fill bound: pushing a
     # 9-track-limited path with brute-force upsizing would fill the fast
     # die and leave the repartitioning loop nowhere to move cells.  When
@@ -269,38 +180,176 @@ def run_flow_hetero_3d(
     pre_eco_fill = min(0.86, flow_fill) if repartition else (
         None if voltage_ok else flow_fill
     )
-    calc = design.calculator(placed=True)
-    optimize_timing(
-        design,
-        calc,
-        max_iterations=opt_iterations,
-        **({"max_fill": pre_eco_fill} if pre_eco_fill else {}),
-    )
-    if recover:
-        recover_area(design, calc)
-    legalize_all_tiers(design)
-    calc.invalidate()
 
-    # ---- heterogeneous clock tree ---------------------------------------
-    policy = TierPolicy.PREFER_SLOW if hetero_cts else TierPolicy.MAJORITY
-    cts = ClockTreeSynthesizer(
-        design.netlist,
-        design.tier_libs,
-        policy,
-        frequency_ghz=design.frequency_ghz,
-        slow_tier=SLOW_TIER,
-    )
-    design.clock_report = cts.run()
-    calc.invalidate()
-    optimize_timing(
-        design,
-        calc,
-        max_iterations=max(2, opt_iterations // 4),
-        **({"max_fill": pre_eco_fill} if pre_eco_fill else {}),
-    )
+    def synthesis(ctx: FlowContext) -> None:
+        with span("synthesis", design=design_name, library=fast_lib.name):
+            netlist = generate_netlist(
+                design_name, fast_lib, scale=scale, seed=seed
+            )
+            ctx.design = Design(
+                name=design_name,
+                config="3D_HET",
+                netlist=netlist,
+                tier_libs={FAST_TIER: fast_lib, SLOW_TIER: slow_lib},
+                target_period_ns=period_ns,
+                utilization_target=utilization,
+            )
+            initial_sizing(ctx.design)
+            emit_metric("cells", len(netlist.instances))
+            emit_metric("cell_area_um2", netlist.cell_area_um2())
 
-    # ---- ECO repartitioning (Algorithm 1) -------------------------------
-    if repartition:
+        # Memory macros are corner-independent ("the same size in both
+        # technology variants"), so their tier is a free choice;
+        # alternating them over the two dies keeps the per-tier blockage
+        # balanced and leaves the fast die room for the critical logic
+        # that timing-based partitioning pins there.
+        for i, macro in enumerate(sorted(netlist.memory_macros(),
+                                         key=lambda m: m.name)):
+            macro.tier = (i + SLOW_TIER) % 2
+
+    def pseudo_place(ctx: FlowContext) -> None:
+        # ---- pseudo-3-D stage (single technology: the fast library) ----
+        place_with_congestion_control(
+            ctx.design, demand_scale=0.5, area_scale=0.5
+        )
+
+    def partitioning(ctx: FlowContext) -> None:
+        design = ctx.design
+        netlist = design.netlist
+        pseudo_fp = design.floorplan
+        with span("partitioning", design=design_name):
+            pinned: dict[str, int] = {}
+            if timing_partitioning:
+                calc = design.calculator(placed=True)
+                report = run_sta(
+                    netlist, calc, period_ns, with_cell_slacks=True
+                )
+                pinned = timing_based_pinning(
+                    netlist,
+                    report.cell_slack,
+                    fast_tier=FAST_TIER,
+                    area_cap_fraction=pinning_area_cap,
+                    # Cells within 30% of the period of criticality
+                    # compete for the fast die; padding the fast tier
+                    # with mid-slack cells would only waste the area the
+                    # ECO loop later needs.
+                    slack_threshold_ns=0.30 * period_ns,
+                )
+                design.notes["pinned_cells"] = float(len(pinned))
+                std_area = netlist.cell_area_um2(
+                    lambda i: not i.cell.is_macro
+                )
+                pinned_area = sum(
+                    netlist.instances[n].area_um2 for n in pinned
+                )
+                design.notes["pinned_area_fraction"] = (
+                    pinned_area / std_area if std_area > 0 else 0.0
+                )
+                design.notes["pinned_area_cap"] = pinning_area_cap
+
+            # Balance with side-dependent areas: a cell moving to the top
+            # tier will shrink to its 9-track equivalent, so the
+            # partitioner measures each side in its own metric and both
+            # dies land at the same fill.  Slightly more than half of the
+            # original 12-track area migrates to the 9-track die,
+            # shrinking total cell area by ~12-14% (Section IV-A2).
+            areas_fast = {
+                name: inst.area_um2
+                for name, inst in netlist.instances.items()
+            }
+            areas_slow = {
+                name: (
+                    inst.area_um2
+                    if inst.cell.is_macro
+                    else slow_lib.equivalent_of(inst.cell).area_um2
+                )
+                for name, inst in netlist.instances.items()
+            }
+            assignment = bin_fm_partition(
+                netlist,
+                pseudo_fp.width_um,
+                pseudo_fp.height_um,
+                areas_fast,
+                areas_slow,
+                pinned=pinned,
+                balance_tolerance=FM_BALANCE_TOLERANCE,
+                seed=seed,
+            )
+            apply_partition(design, assignment)  # remaps top tier to 9T
+            design.notes["fm_balance_tolerance"] = FM_BALANCE_TOLERANCE
+            emit_metric("cut_nets", len(netlist.cut_nets()))
+
+    def placement_3d(ctx: FlowContext) -> None:
+        # ---- footprint shrink to maintain utilization ------------------
+        # Per-tier demand now sizes the die: both tiers sit at the target
+        # utilization, and the footprint shrinks relative to homogeneous
+        # 3-D.
+        design = ctx.design
+        fp_util = design.notes.get("utilization_used", utilization)
+        if not voltage_ok:
+            # Reserve room for the level shifters (one per violating
+            # crossing plus the ones later ECO moves will need).
+            fp_util = fp_util * 0.85
+        with span("placement", design=design_name, phase="3d"):
+            new_fp = build_floorplan(
+                design.netlist,
+                design.tier_libs,
+                fp_util,
+            )
+            design.floorplan = new_fp
+            global_place(design.netlist, new_fp)
+
+    def legalization(ctx: FlowContext) -> None:
+        legalize_all_tiers(ctx.design)
+
+    def level_shift(ctx: FlowContext) -> None:
+        design = ctx.design
+        ls_report = insert_level_shifters(design)
+        design.notes["level_shifters"] = float(ls_report.shifters_inserted)
+        legalize_all_tiers(design)
+
+    def optimize(ctx: FlowContext) -> None:
+        # ---- 3-D optimization ------------------------------------------
+        design = ctx.design
+        calc = design.calculator(placed=True)
+        optimize_timing(
+            design,
+            calc,
+            max_iterations=opt_iterations,
+            **({"max_fill": pre_eco_fill} if pre_eco_fill else {}),
+        )
+        if recover:
+            recover_area(design, calc)
+        legalize_all_tiers(design)
+        calc.invalidate()
+
+    def cts(ctx: FlowContext) -> None:
+        # ---- heterogeneous clock tree ----------------------------------
+        design = ctx.design
+        policy = TierPolicy.PREFER_SLOW if hetero_cts else TierPolicy.MAJORITY
+        synth = ClockTreeSynthesizer(
+            design.netlist,
+            design.tier_libs,
+            policy,
+            frequency_ghz=design.frequency_ghz,
+            slow_tier=SLOW_TIER,
+        )
+        design.clock_report = synth.run()
+
+    def postcts(ctx: FlowContext) -> None:
+        design = ctx.design
+        calc = design.calculator(placed=True)
+        optimize_timing(
+            design,
+            calc,
+            max_iterations=max(2, opt_iterations // 4),
+            **({"max_fill": pre_eco_fill} if pre_eco_fill else {}),
+        )
+        calc.invalidate()
+
+    def repartition_stage(ctx: FlowContext) -> None:
+        # ---- ECO repartitioning (Algorithm 1) --------------------------
+        design = ctx.design
         config = repartition_config or RepartitionConfig(
             wns_target_ns=-0.02 * period_ns
         )
@@ -313,7 +362,7 @@ def run_flow_hetero_3d(
             # The moved cells disturbed row legality; restore it before
             # the final sizing pass so it optimizes real parasitics.
             legalize_all_tiers(design)
-            calc.invalidate()
+            calc = design.calculator(placed=True)
             if recover:
                 recover_area(design, calc)
             optimize_timing(
@@ -322,17 +371,63 @@ def run_flow_hetero_3d(
                 max_iterations=max(4, opt_iterations // 3),
                 max_fill=flow_fill,
             )
+            calc.invalidate()
 
-    if not voltage_ok:
+    def final_shifters(ctx: FlowContext) -> None:
         # Optimization and ECO moves may have created fresh low-to-high
         # crossings; shift them too before signoff.
+        design = ctx.design
         extra = insert_level_shifters(design)
         design.notes["level_shifters"] = (
             design.notes.get("level_shifters", 0.0) + extra.shifters_inserted
         )
 
-    legalize_all_tiers(design)
-    calc.invalidate()
+    def final_legalize(ctx: FlowContext) -> None:
+        legalize_all_tiers(ctx.design)
 
-    result = finalize_design(design, cost_model=cost_model)
-    return design, result
+    def signoff(ctx: FlowContext) -> None:
+        ctx.result = finalize_design(ctx.design, cost_model=cost_model)
+
+    # The shifter rule is only enforced where shifters are guaranteed
+    # present: optimization/CTS/ECO may legitimately create unshifted
+    # crossings that ``final_shifters`` cleans up, so "tiers" stays out
+    # of those boundaries in the shifter flow.
+    stages = [
+        Stage("synthesis", synthesis, ("connectivity", "timing")),
+        Stage("pseudo_place", pseudo_place, ("connectivity",)),
+        Stage("partitioning", partitioning,
+              ("connectivity", "tiers", "tier_balance")),
+        Stage("placement_3d", placement_3d, ("connectivity", "tiers")),
+        Stage("legalization", legalization,
+              ("connectivity", "placement", "tiers")),
+    ]
+    if not voltage_ok:
+        stages.append(Stage("level_shift", level_shift,
+                            ("connectivity", "placement", "tiers")))
+    stages += [
+        Stage("optimize", optimize, ("connectivity", "placement", "timing")),
+        Stage("cts", cts, ("connectivity", "timing")),
+        # No legalization after the post-CTS sizing pass (ECO runs next),
+        # so placement legality is not a contract here.
+        Stage("postcts", postcts, ("connectivity", "timing")),
+    ]
+    if repartition:
+        stages.append(Stage("repartition", repartition_stage,
+                            ("connectivity", "timing")))
+    if not voltage_ok:
+        stages.append(Stage("final_shifters", final_shifters,
+                            ("connectivity",)))
+    stages += [
+        Stage("final_legalize", final_legalize,
+              ("connectivity", "placement", "tiers")),
+        Stage("signoff", signoff,
+              ("connectivity", "placement", "tiers", "timing")),
+    ]
+    ctx = execute_flow(
+        stages,
+        check=check,
+        checkpoint_dir=checkpoint_dir,
+        from_stage=from_stage,
+        tier_libs={FAST_TIER: fast_lib, SLOW_TIER: slow_lib},
+    )
+    return ctx.design, ctx.result

@@ -110,6 +110,27 @@ def insert_level_shifters(design: Design) -> LevelShifterReport:
 
         first_sink = netlist.instances[needy[0][0]]
         target_lib = libs[first_sink.cell.library_name]
+
+        # Idempotency: a repeated pass (the post-ECO cleanup, or a repair
+        # hook re-running insertion) must not double-insert.  If this net
+        # already feeds a shifter producing the needed rail, route the new
+        # sinks through that shifter's output instead of adding another.
+        existing = None
+        for sink_name, pin in net.sinks:
+            cand = netlist.instances[sink_name]
+            if (pin == "A"
+                    and cand.cell.function is CellFunction.LEVEL_SHIFTER
+                    and cand.cell.library_name == target_lib.name
+                    and cand.net_of("Y") is not None):
+                existing = cand
+                break
+        if existing is not None:
+            out_net = existing.net_of("Y")
+            for sink_name, pin in needy:
+                netlist.disconnect(sink_name, pin)
+                netlist.connect(out_net, sink_name, pin)
+            continue
+
         ls_cell = target_lib.get(CellFunction.LEVEL_SHIFTER, 1)
         ls_name = netlist.unique_name("ls")
         ls = netlist.add_instance(ls_name, ls_cell, block=driver.block)

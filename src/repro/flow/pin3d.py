@@ -13,6 +13,11 @@ The published Pin-3D has no 3-D clock stage; ``run_flow_pin3d`` therefore
 defaults to the MAJORITY-tier clock policy without the heterogeneous
 enhancements, and the hetero flow (:mod:`repro.flow.hetero`) adds the
 paper's Section III improvements on top.
+
+Like the other flows, the sequence is a list of
+:class:`~repro.flow.pipeline.Stage` objects run by
+:func:`~repro.flow.pipeline.execute_flow` (stage-boundary integrity
+contracts, checksummed checkpoints, ``--from-stage`` resume).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.cost.model import CostModel
 from repro.cts.tree import ClockTreeSynthesizer, TierPolicy
 from repro.flow.design import Design
 from repro.flow.opt import optimize_timing, recover_area
+from repro.flow.pipeline import FlowContext, Stage, execute_flow
 from repro.flow.report import FlowResult, finalize_design
 from repro.flow.stages import legalize_all_tiers, place_with_congestion_control
 from repro.flow.synthesis import initial_sizing
@@ -32,6 +38,11 @@ from repro.place.floorplan import build_floorplan
 from repro.place.quadratic import global_place
 
 __all__ = ["run_flow_pin3d", "apply_partition"]
+
+#: Balance tolerance handed to :func:`bin_fm_partition`; recorded in
+#: ``design.notes`` so the tier-balance integrity check knows the bound
+#: the partitioner was asked to honor.
+FM_BALANCE_TOLERANCE = 0.12
 
 
 def apply_partition(design: Design, assignment: dict[str, int]) -> None:
@@ -51,82 +62,132 @@ def run_flow_pin3d(
     opt_iterations: int = 12,
     recover: bool = True,
     cost_model: CostModel | None = None,
+    check: str | None = None,
+    checkpoint_dir: str | None = None,
+    from_stage: str | None = None,
 ) -> tuple[Design, FlowResult]:
     """Implement one netlist as a homogeneous two-tier M3D design."""
-    with span("synthesis", design=design_name, library=lib.name):
-        netlist = generate_netlist(design_name, lib, scale=scale, seed=seed)
-        design = Design(
-            name=design_name,
-            config=f"3D_{lib.tracks}T",
-            netlist=netlist,
-            tier_libs={0: lib, 1: lib},
-            target_period_ns=period_ns,
-            utilization_target=utilization,
+
+    def synthesis(ctx: FlowContext) -> None:
+        with span("synthesis", design=design_name, library=lib.name):
+            netlist = generate_netlist(design_name, lib, scale=scale,
+                                       seed=seed)
+            ctx.design = Design(
+                name=design_name,
+                config=f"3D_{lib.tracks}T",
+                netlist=netlist,
+                tier_libs={0: lib, 1: lib},
+                target_period_ns=period_ns,
+                utilization_target=utilization,
+            )
+            initial_sizing(ctx.design)
+            emit_metric("cells", len(netlist.instances))
+            emit_metric("cell_area_um2", netlist.cell_area_um2())
+
+        # Memory macros alternate over the tiers so blockage stays
+        # balanced (memory-over-logic stacking).
+        for i, macro in enumerate(sorted(netlist.memory_macros(),
+                                         key=lambda m: m.name)):
+            macro.tier = i % 2
+
+    def pseudo_place(ctx: FlowContext) -> None:
+        # Pseudo-3-D stage: everything on one half-size footprint.
+        place_with_congestion_control(
+            ctx.design, demand_scale=0.5, area_scale=0.5
         )
-        initial_sizing(design)
-        emit_metric("cells", len(netlist.instances))
-        emit_metric("cell_area_um2", netlist.cell_area_um2())
 
-    # Memory macros alternate over the tiers so blockage stays balanced
-    # (memory-over-logic stacking).
-    for i, macro in enumerate(sorted(netlist.memory_macros(),
-                                     key=lambda m: m.name)):
-        macro.tier = i % 2
+    def partitioning(ctx: FlowContext) -> None:
+        design = ctx.design
+        netlist = design.netlist
+        fp = design.floorplan
+        with span("partitioning", design=design_name):
+            areas = {
+                name: inst.area_um2
+                for name, inst in netlist.instances.items()
+            }
+            assignment = bin_fm_partition(
+                netlist,
+                fp.width_um,
+                fp.height_um,
+                areas,
+                areas,
+                balance_tolerance=FM_BALANCE_TOLERANCE,
+                seed=seed,
+            )
+            apply_partition(design, assignment)
+            design.notes["fm_balance_tolerance"] = FM_BALANCE_TOLERANCE
+            emit_metric("cut_nets", len(netlist.cut_nets()))
 
-    # Pseudo-3-D stage: everything on one half-size footprint.
-    place_with_congestion_control(design, demand_scale=0.5, area_scale=0.5)
-    fp = design.floorplan
-    with span("partitioning", design=design_name):
-        areas = {
-            name: inst.area_um2
-            for name, inst in netlist.instances.items()
-        }
-        assignment = bin_fm_partition(
-            netlist,
-            fp.width_um,
-            fp.height_um,
-            areas,
-            areas,
-            seed=seed,
-        )
-        apply_partition(design, assignment)
-        emit_metric("cut_nets", len(netlist.cut_nets()))
+    def placement_3d(ctx: FlowContext) -> None:
+        # Re-floorplan from real per-tier demand (the macro tier may need
+        # a different outline than the pseudo-3-D estimate) and re-place
+        # on the final outline before per-tier legalization.
+        design = ctx.design
+        with span("placement", design=design_name, phase="3d"):
+            fp3d = build_floorplan(
+                design.netlist,
+                design.tier_libs,
+                design.notes.get("utilization_used", utilization),
+            )
+            design.floorplan = fp3d
+            global_place(design.netlist, fp3d)
 
-    # Re-floorplan from real per-tier demand (the macro tier may need a
-    # different outline than the pseudo-3-D estimate) and re-place on the
-    # final outline before per-tier legalization.
-    with span("placement", design=design_name, phase="3d"):
-        fp3d = build_floorplan(
-            netlist,
+    def legalization(ctx: FlowContext) -> None:
+        legalize_all_tiers(ctx.design)
+
+    def optimize(ctx: FlowContext) -> None:
+        # 3-D stage: full-chip timing optimization across both tiers.
+        design = ctx.design
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc, max_iterations=opt_iterations)
+        if recover:
+            recover_area(design, calc)
+        legalize_all_tiers(design)
+        calc.invalidate()
+
+    def cts(ctx: FlowContext) -> None:
+        design = ctx.design
+        synth = ClockTreeSynthesizer(
+            design.netlist,
             design.tier_libs,
-            design.notes.get("utilization_used", utilization),
+            TierPolicy.MAJORITY,
+            frequency_ghz=design.frequency_ghz,
+            slow_tier=1,
         )
-        design.floorplan = fp3d
-        global_place(netlist, fp3d)
-    legalize_all_tiers(design)
+        design.clock_report = synth.run()
 
-    # 3-D stage: full-chip timing optimization across both tiers.
-    calc = design.calculator(placed=True)
-    optimize_timing(design, calc, max_iterations=opt_iterations)
-    if recover:
-        recover_area(design, calc)
-    legalize_all_tiers(design)
-    calc.invalidate()
+    def postcts(ctx: FlowContext) -> None:
+        design = ctx.design
+        calc = design.calculator(placed=True)
+        optimize_timing(design, calc,
+                        max_iterations=max(2, opt_iterations // 4))
+        if recover:
+            recover_area(design, calc)
+        legalize_all_tiers(design)
+        calc.invalidate()
 
-    cts = ClockTreeSynthesizer(
-        design.netlist,
-        design.tier_libs,
-        TierPolicy.MAJORITY,
-        frequency_ghz=design.frequency_ghz,
-        slow_tier=1,
+    def signoff(ctx: FlowContext) -> None:
+        ctx.result = finalize_design(ctx.design, cost_model=cost_model)
+
+    stages = [
+        Stage("synthesis", synthesis, ("connectivity", "timing")),
+        Stage("pseudo_place", pseudo_place, ("connectivity",)),
+        Stage("partitioning", partitioning,
+              ("connectivity", "tiers", "tier_balance")),
+        Stage("placement_3d", placement_3d, ("connectivity", "tiers")),
+        Stage("legalization", legalization,
+              ("connectivity", "placement", "tiers")),
+        Stage("optimize", optimize, ("connectivity", "placement", "timing")),
+        Stage("cts", cts, ("connectivity", "timing")),
+        Stage("postcts", postcts, ("connectivity", "placement", "timing")),
+        Stage("signoff", signoff,
+              ("connectivity", "placement", "tiers", "timing")),
+    ]
+    ctx = execute_flow(
+        stages,
+        check=check,
+        checkpoint_dir=checkpoint_dir,
+        from_stage=from_stage,
+        tier_libs={0: lib, 1: lib},
     )
-    design.clock_report = cts.run()
-    calc.invalidate()
-    optimize_timing(design, calc, max_iterations=max(2, opt_iterations // 4))
-    if recover:
-        recover_area(design, calc)
-    legalize_all_tiers(design)
-    calc.invalidate()
-
-    result = finalize_design(design, cost_model=cost_model)
-    return design, result
+    return ctx.design, ctx.result

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.errors import PlacementError
 from repro.flow.design import Design
+from repro.log import get_logger
 from repro.obs import emit_metric, span
 from repro.obs.metrics import hpwl_um
 from repro.place.floorplan import build_floorplan
@@ -29,6 +30,8 @@ UTILIZATION_BACKOFF = 0.82
 
 #: Maximum congestion-driven retries.
 MAX_RETRIES = 3
+
+_log = get_logger("stages")
 
 
 def place_with_congestion_control(
@@ -75,6 +78,23 @@ def place_with_congestion_control(
                 utilization=round(utilization, 4),
             )
             utilization *= UTILIZATION_BACKOFF
+        if last_peak > CONGESTION_LIMIT:
+            # Out of retries but still congested: the flow ships this
+            # floorplan anyway (the paper's LDPC scenario), so leave a
+            # loud record instead of returning silently.
+            _log.warning(
+                "%s: still congested after %d retries "
+                "(peak %.3f > %.2f at utilization %.3f); "
+                "shipping the congested floorplan",
+                design.name, MAX_RETRIES, last_peak, CONGESTION_LIMIT,
+                utilization,
+            )
+            sp.add_event(
+                "congestion_retries_exhausted",
+                retries=MAX_RETRIES,
+                peak=round(last_peak, 4),
+                utilization=round(utilization, 4),
+            )
         emit_metric("utilization", utilization)
         emit_metric("peak_congestion", last_peak)
         emit_metric("hpwl_mm", hpwl_um(design.netlist) / 1000.0)

@@ -97,6 +97,12 @@ METRIC_DEFS: dict[str, MetricDef] = {
     "opt_downsized": MetricDef(
         "count", "Sec IV-A2", "cells downsized by area/power recovery"
     ),
+    "integrity_violations": MetricDef(
+        "count", "QoR gate", "invariant violations found at a stage boundary"
+    ),
+    "integrity_repairs": MetricDef(
+        "count", "QoR gate", "auto-repairs applied at a stage boundary"
+    ),
 }
 
 

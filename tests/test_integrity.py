@@ -1,0 +1,192 @@
+"""Unit tests for repro.integrity: invariants, contract modes, stats."""
+
+import math
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.flow import run_flow_2d
+from repro.integrity import (
+    CHECKS,
+    CheckMode,
+    check_connectivity,
+    check_design,
+    check_placement,
+    check_result,
+    check_tiers,
+    check_timing,
+    current_mode,
+    enforce,
+    get_integrity_stats,
+    parse_mode,
+    reset_integrity_stats,
+)
+from repro.liberty.presets import make_twelve_track_library
+
+
+@pytest.fixture(scope="module")
+def finished():
+    design, result = run_flow_2d(
+        "aes", make_twelve_track_library(), period_ns=1.0, scale=0.12, seed=4
+    )
+    return design, result
+
+
+class TestModes:
+    def test_parse_all_modes(self):
+        for mode in CheckMode:
+            assert parse_mode(mode.value) is mode
+        assert parse_mode(" STRICT ") is CheckMode.STRICT
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown check mode"):
+            parse_mode("paranoid")
+
+    def test_current_mode_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECK", "warn")
+        assert current_mode() is CheckMode.WARN
+        assert current_mode("strict") is CheckMode.STRICT
+        assert current_mode(CheckMode.REPAIR) is CheckMode.REPAIR
+        monkeypatch.delenv("REPRO_CHECK")
+        assert current_mode() is CheckMode.OFF
+
+
+class TestInvariants:
+    def test_healthy_design_is_clean(self, finished):
+        design, _ = finished
+        assert check_design(design) == []
+
+    def test_unknown_check_name_rejected(self, finished):
+        design, _ = finished
+        with pytest.raises(ValueError, match="unknown"):
+            check_design(design, checks=["connectivity", "bogus"])
+
+    def test_dangling_net_flagged(self, finished):
+        design, _ = finished
+        net = design.netlist.add_net("__dangling__")
+        try:
+            found = check_connectivity(design)
+            assert any(v.code == "dangling-net" and v.repairable
+                       for v in found)
+        finally:
+            design.netlist.remove_net("__dangling__")
+
+    def test_overlap_flagged(self, finished):
+        design, _ = finished
+        movable = sorted(
+            (i for i in design.netlist.instances.values()
+             if not i.cell.is_macro and not i.fixed and i.is_placed
+             and i.tier == 0),
+            key=lambda i: i.name,
+        )
+        a, b = movable[0], movable[1]
+        old = (b.x_um, b.y_um)
+        b.x_um, b.y_um = a.x_um, a.y_um
+        try:
+            found = check_placement(design)
+            assert any(v.code == "overlap" for v in found)
+        finally:
+            b.x_um, b.y_um = old
+
+    def test_bad_tier_flagged(self, finished):
+        design, _ = finished
+        inst = next(
+            i for i in design.netlist.instances.values()
+            if not i.cell.is_macro
+        )
+        inst.tier, old = 9, inst.tier
+        try:
+            found = check_tiers(design)
+            assert any(v.code == "bad-tier" for v in found)
+        finally:
+            inst.tier = old
+
+    def test_comb_loop_flagged(self, finished):
+        design, _ = finished
+        from repro.liberty.cells import CellFunction
+
+        inst = next(
+            i for i in sorted(design.netlist.instances.values(),
+                              key=lambda i: i.name)
+            if not i.cell.is_macro and not i.cell.is_sequential
+            and i.net_of("Y") is not None and i.net_of("A") is not None
+            and i.net_of("A") != i.net_of("Y")
+        )
+        old_net = inst.net_of("A")
+        design.netlist.disconnect(inst.name, "A")
+        design.netlist.connect(inst.net_of("Y"), inst.name, "A")
+        try:
+            found = check_timing(design)
+            assert any(v.code == "comb-loop" for v in found)
+        finally:
+            design.netlist.disconnect(inst.name, "A")
+            design.netlist.connect(old_net, inst.name, "A")
+
+    def test_check_result_clean_and_poisoned(self, finished):
+        _, result = finished
+        assert check_result(result) == []
+        poisoned = dict(result.to_dict())
+        poisoned["wns_ns"] = math.nan
+        poisoned["si_area_mm2"] = -1.0
+        found = check_result(poisoned)
+        assert any(v.code == "non-finite" for v in found)
+        assert any(v.subject == "si_area_mm2" for v in found)
+
+
+class TestEnforce:
+    def test_off_mode_skips_everything(self, finished):
+        design, _ = finished
+        net = design.netlist.add_net("__dangling__")
+        try:
+            out = enforce(design, stage="t", checks=("connectivity",),
+                          mode=CheckMode.OFF)
+            assert out == []
+        finally:
+            design.netlist.remove_net("__dangling__")
+
+    def test_warn_returns_violations(self, finished):
+        design, _ = finished
+        net = design.netlist.add_net("__dangling__")
+        try:
+            out = enforce(design, stage="t", checks=("connectivity",),
+                          mode=CheckMode.WARN)
+            assert any(v.code == "dangling-net" for v in out)
+        finally:
+            design.netlist.remove_net("__dangling__")
+
+    def test_strict_raises_with_context(self, finished):
+        design, _ = finished
+        design.netlist.add_net("__dangling__")
+        try:
+            with pytest.raises(IntegrityError) as excinfo:
+                enforce(design, stage="t", checks=("connectivity",),
+                        mode=CheckMode.STRICT)
+            err = excinfo.value
+            assert err.context["stage"] == "t"
+            assert err.violations
+        finally:
+            design.netlist.remove_net("__dangling__")
+
+    def test_repair_strips_dangling_net(self, finished):
+        design, _ = finished
+        design.netlist.add_net("__dangling__")
+        out = enforce(design, stage="t", checks=("connectivity",),
+                      mode=CheckMode.REPAIR)
+        # enforce returns the pre-repair violations; the repair hook
+        # must have stripped the net so the re-check passed (no raise).
+        assert any(v.code == "dangling-net" for v in out)
+        assert "__dangling__" not in design.netlist.nets
+
+    def test_stats_accumulate(self, finished):
+        design, _ = finished
+        reset_integrity_stats()
+        enforce(design, stage="t", checks=("connectivity",),
+                mode=CheckMode.WARN)
+        stats = get_integrity_stats()
+        assert stats.boundaries_checked == 1
+        reset_integrity_stats()
+
+    def test_checks_registry_names(self):
+        assert set(CHECKS) == {
+            "connectivity", "placement", "tiers", "tier_balance", "timing"
+        }

@@ -1,0 +1,121 @@
+"""Every ``corrupt_design`` op is caught at the next stage boundary.
+
+For each op in ``CORRUPT_OP_CHECKS`` the fault is injected at a stage
+whose postcondition contract includes the op's checker class, the flow
+runs in strict mode, and the resulting ``IntegrityError`` must name
+that stage and carry a violation from the expected checker -- no silent
+propagation into results.
+"""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.experiments import faults
+from repro.experiments.faults import CORRUPT_OP_CHECKS
+from repro.flow import run_flow_2d, run_flow_hetero_3d
+from repro.liberty.presets import (
+    make_library_pair,
+    make_track_variant,
+    make_twelve_track_library,
+)
+
+SCALE = 0.15
+
+
+@pytest.fixture
+def fault_env(monkeypatch):
+    def set_faults(spec: str) -> None:
+        monkeypatch.setenv("REPRO_FAULTS", spec)
+        monkeypatch.delenv("REPRO_FAULTS_STATE", raising=False)
+        faults.reset_fault_state()
+
+    yield set_faults
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reset_fault_state()
+
+
+def _run_2d(check="strict"):
+    return run_flow_2d(
+        "aes", make_twelve_track_library(), period_ns=1.0,
+        scale=SCALE, seed=2, check=check,
+    )
+
+
+#: op -> stage whose contract covers the op's checker class (2-D flow).
+SITES_2D = {
+    "dangling_net": "legalization",
+    "undriven_net": "legalization",
+    "floating_input": "legalization",
+    "stale_ref": "legalization",
+    "overlap": "legalization",
+    "out_of_floorplan": "legalization",
+    "row_misalign": "legalization",
+    "bad_tier": "legalization",
+    "comb_loop": "optimize",
+}
+
+
+@pytest.mark.parametrize("op", sorted(SITES_2D))
+def test_corruption_caught_at_next_boundary_2d(op, fault_env):
+    site = SITES_2D[op]
+    fault_env(f"site={site},kind=corrupt_design,op={op}")
+    with pytest.raises(IntegrityError) as excinfo:
+        _run_2d()
+    err = excinfo.value
+    assert err.context.get("stage") == site
+    expected = CORRUPT_OP_CHECKS[op]
+    assert any(v.check == expected for v in err.violations), (
+        f"op {op} not flagged by the {expected} check: "
+        f"{[str(v) for v in err.violations]}"
+    )
+
+
+def test_wrong_library_caught_in_hetero(fault_env):
+    fault_env("site=legalization,kind=corrupt_design,op=wrong_library")
+    lib12, lib9 = make_library_pair()
+    with pytest.raises(IntegrityError) as excinfo:
+        run_flow_hetero_3d(
+            "aes", lib12, lib9, period_ns=1.0, scale=SCALE, seed=2,
+            repartition=False, check="strict",
+        )
+    err = excinfo.value
+    assert err.context.get("stage") == "legalization"
+    assert any(v.check == "tiers" for v in err.violations)
+
+
+def test_drop_shifter_caught_in_shifter_flow(fault_env):
+    fault_env("site=level_shift,kind=corrupt_design,op=drop_shifter")
+    lib12, _ = make_library_pair()
+    low = make_track_variant(9, vdd_v=0.55)
+    with pytest.raises(IntegrityError) as excinfo:
+        run_flow_hetero_3d(
+            "aes", lib12, low, period_ns=1.0, scale=SCALE, seed=2,
+            repartition=False, allow_level_shifters=True, check="strict",
+        )
+    err = excinfo.value
+    assert err.context.get("stage") == "level_shift"
+    assert any(
+        v.check == "tiers" and v.code == "missing-level-shifter"
+        for v in err.violations
+    )
+
+
+def test_every_op_has_a_detection_test():
+    """Adding a new corrupt op without wiring a detection test fails."""
+    covered = set(SITES_2D) | {"wrong_library", "drop_shifter"}
+    assert covered == set(CORRUPT_OP_CHECKS)
+
+
+def test_repair_mode_fixes_overlap_and_completes(fault_env):
+    fault_env("site=legalization,kind=corrupt_design,op=overlap")
+    design, result = _run_2d(check="repair")
+    from repro.integrity import check_design
+
+    assert result is not None
+    assert check_design(design) == []
+
+
+def test_warn_mode_does_not_abort(fault_env):
+    fault_env("site=legalization,kind=corrupt_design,op=overlap")
+    design, result = _run_2d(check="warn")
+    assert result is not None

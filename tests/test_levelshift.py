@@ -90,6 +90,32 @@ class TestInsertion:
         second = insert_level_shifters(design)
         assert second.shifters_inserted == 0
 
+    def test_reinsertion_reuses_existing_shifter(self, pair, low_lib):
+        """A net that gains a fresh high-rail sink after insertion must
+        route it through the existing shifter, not grow a second one."""
+        lib12, _ = pair
+        design = make_crossing_design(pair, low_lib)
+        insert_level_shifters(design)
+        nl = design.netlist
+        late = nl.add_instance("late_sink", lib12.get(CellFunction.INV, 1))
+        late.x_um, late.y_um = 20.0, 0.0
+        nl.add_net("out2")
+        nl.connect("mid", "late_sink", "A")
+        nl.connect("out2", "late_sink", "Y")
+        assert boundary_violations(design) == ["mid"]
+
+        report = insert_level_shifters(design)
+        assert report.shifters_inserted == 0
+        shifters = [
+            i for i in nl.instances.values()
+            if i.cell.function is CellFunction.LEVEL_SHIFTER
+        ]
+        assert len(shifters) == 1
+        assert boundary_violations(design) == []
+        nl.validate()
+        assert (nl.instances["sink"].net_of("A")
+                == nl.instances["late_sink"].net_of("A"))
+
     def test_compatible_pair_needs_nothing(self, pair):
         lib12, lib9 = pair
         design = make_crossing_design(pair, lib9)

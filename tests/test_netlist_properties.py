@@ -1,0 +1,215 @@
+"""Property-based tests for Netlist mutation round-trips.
+
+Hypothesis drives arbitrary (but precondition-respecting) sequences of
+``connect`` / ``disconnect`` / ``rebind`` / ``remove_instance`` /
+``remove_net`` edits against a small netlist and asserts, after every
+step, the two invariants every flow stage relies on:
+
+- **one driver**: a net never acquires a second driver, and an output
+  pin never lands in a sink list;
+- **pin/net bidirectionality**: every bound pin appears exactly once on
+  its net's side (driver or sinks), and every net connection points back
+  at a pin bound to that net.
+
+This is deliberately weaker than ``Netlist.validate()``: arbitrary edit
+sequences legitimately leave floating inputs and undriven nets behind,
+so only the structural cross-reference invariants are asserted here.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.liberty.presets import make_twelve_track_library
+from repro.netlist.core import Netlist
+
+LIB = make_twelve_track_library()
+
+#: Cells grouped by their pin signature so rebind always stays legal.
+_BY_PINS: dict[tuple[str, ...], list] = {}
+for _cell in LIB.cells:
+    if _cell.is_macro:
+        continue
+    _BY_PINS.setdefault(tuple(sorted(_cell.pins)), []).append(_cell)
+CELLS = [c for group in _BY_PINS.values() for c in group]
+
+
+def assert_consistent(netlist: Netlist) -> None:
+    """One-driver + bidirectionality, tolerant of floating/undriven."""
+    # pin -> net direction
+    for inst in netlist.instances.values():
+        for pin, net_name in inst.connected_pins():
+            assert net_name in netlist.nets, (
+                f"{inst.name}.{pin} points at missing net {net_name}"
+            )
+            net = netlist.nets[net_name]
+            ref = (inst.name, pin)
+            if inst.cell.pins[pin].direction == "output":
+                assert net.driver == ref, f"driver mismatch on {net_name}"
+                assert ref not in net.sinks, (
+                    f"output pin {ref} appears as a sink of {net_name}"
+                )
+            else:
+                assert net.sinks.count(ref) == 1, (
+                    f"sink {ref} appears {net.sinks.count(ref)}x on "
+                    f"{net_name}"
+                )
+    # net -> pin direction
+    for net in netlist.nets.values():
+        if net.driver is not None:
+            iname, pin = net.driver
+            assert iname in netlist.instances, f"stale driver on {net.name}"
+            inst = netlist.instances[iname]
+            assert inst.cell.pins[pin].direction == "output"
+            assert inst.net_of(pin) == net.name
+        for iname, pin in net.sinks:
+            assert iname in netlist.instances, f"stale sink on {net.name}"
+            inst = netlist.instances[iname]
+            assert inst.cell.pins[pin].direction != "output"
+            assert inst.net_of(pin) == net.name
+
+
+def _fresh_netlist(n_insts: int, n_nets: int) -> Netlist:
+    netlist = Netlist("prop")
+    for i in range(n_insts):
+        netlist.add_instance(f"u{i}", CELLS[i % len(CELLS)])
+    for i in range(n_nets):
+        netlist.add_net(f"n{i}")
+    return netlist
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_mutation_sequences_preserve_invariants(data):
+    netlist = _fresh_netlist(
+        data.draw(st.integers(3, 8), label="instances"),
+        data.draw(st.integers(2, 6), label="nets"),
+    )
+    n_ops = data.draw(st.integers(1, 40), label="ops")
+    for _ in range(n_ops):
+        op = data.draw(
+            st.sampled_from(
+                ["connect", "disconnect", "rebind", "remove_instance",
+                 "remove_net", "add_instance", "add_net"]
+            ),
+            label="op",
+        )
+        if op == "connect":
+            unbound = [
+                (inst.name, pin)
+                for inst in netlist.instances.values()
+                for pin in inst.cell.pins
+                if inst.net_of(pin) is None
+            ]
+            if not unbound or not netlist.nets:
+                continue
+            iname, pin = data.draw(st.sampled_from(sorted(unbound)))
+            net_name = data.draw(st.sampled_from(sorted(netlist.nets)))
+            inst = netlist.instances[iname]
+            is_output = inst.cell.pins[pin].direction == "output"
+            if is_output and netlist.nets[net_name].driver is not None:
+                # The one-driver invariant: the second driver must be
+                # refused and the netlist left untouched.
+                with pytest.raises(NetlistError):
+                    netlist.connect(net_name, iname, pin)
+                assert inst.net_of(pin) is None
+            else:
+                netlist.connect(net_name, iname, pin)
+                assert inst.net_of(pin) == net_name
+        elif op == "disconnect":
+            bound = [
+                (inst.name, pin)
+                for inst in netlist.instances.values()
+                for pin, _net in inst.connected_pins()
+            ]
+            if not bound:
+                continue
+            iname, pin = data.draw(st.sampled_from(sorted(bound)))
+            netlist.disconnect(iname, pin)
+            assert netlist.instances[iname].net_of(pin) is None
+        elif op == "rebind":
+            if not netlist.instances:
+                continue
+            iname = data.draw(st.sampled_from(sorted(netlist.instances)))
+            inst = netlist.instances[iname]
+            group = _BY_PINS[tuple(sorted(inst.cell.pins))]
+            netlist.rebind(iname, data.draw(st.sampled_from(group)))
+        elif op == "remove_instance":
+            if not netlist.instances:
+                continue
+            iname = data.draw(st.sampled_from(sorted(netlist.instances)))
+            netlist.remove_instance(iname)
+            assert iname not in netlist.instances
+        elif op == "remove_net":
+            if not netlist.nets:
+                continue
+            net_name = data.draw(st.sampled_from(sorted(netlist.nets)))
+            net = netlist.nets[net_name]
+            if net.driver is not None or net.sinks:
+                with pytest.raises(NetlistError):
+                    netlist.remove_net(net_name)
+                assert net_name in netlist.nets
+            else:
+                netlist.remove_net(net_name)
+                assert net_name not in netlist.nets
+        elif op == "add_instance":
+            cell = data.draw(st.sampled_from(CELLS))
+            netlist.add_instance(netlist.unique_name("u"), cell)
+        elif op == "add_net":
+            netlist.add_net(netlist.unique_name("n"))
+        assert_consistent(netlist)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_connect_disconnect_roundtrip_is_identity(seed):
+    """connect -> disconnect restores the exact pre-edit structure."""
+    import random
+
+    rng = random.Random(seed)
+    netlist = _fresh_netlist(5, 4)
+    # Bind a few pins first so the snapshot is non-trivial.
+    for inst in netlist.instances.values():
+        for pin in inst.cell.pins:
+            if rng.random() < 0.5:
+                continue
+            net_name = rng.choice(sorted(netlist.nets))
+            is_output = inst.cell.pins[pin].direction == "output"
+            if is_output and netlist.nets[net_name].driver is not None:
+                continue
+            netlist.connect(net_name, inst.name, pin)
+
+    def snapshot(nl: Netlist):
+        return (
+            {i.name: dict(i._pin_nets) for i in nl.instances.values()},
+            {n.name: (n.driver, list(n.sinks)) for n in nl.nets.values()},
+        )
+
+    before = snapshot(netlist)
+    unbound = [
+        (inst.name, pin)
+        for inst in netlist.instances.values()
+        for pin in inst.cell.pins
+        if inst.net_of(pin) is None
+    ]
+    for iname, pin in unbound:
+        inst = netlist.instances[iname]
+        is_output = inst.cell.pins[pin].direction == "output"
+        candidates = [
+            n for n in sorted(netlist.nets)
+            if not (is_output and netlist.nets[n].driver is not None)
+        ]
+        if not candidates:
+            continue
+        net_name = rng.choice(candidates)
+        netlist.connect(net_name, iname, pin)
+        netlist.disconnect(iname, pin)
+        assert snapshot(netlist) == before
+        assert_consistent(netlist)

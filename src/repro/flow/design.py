@@ -37,6 +37,10 @@ class Design:
     target_period_ns: float = 1.0
     utilization_target: float = 0.82
     notes: dict[str, object] = field(default_factory=dict)
+    #: latency snapshot cache: (report it was taken from, snapshot)
+    _clock_latency_cache: tuple[ClockReport, dict[str, float]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def tiers(self) -> int:
@@ -75,10 +79,24 @@ class Design:
         return DelayCalculator(self.netlist, model, self.libraries_by_name())
 
     def clock_latencies(self) -> dict[str, float] | None:
-        """Per-sink clock insertion delays, or None before CTS."""
-        if self.clock_report is None:
+        """Per-sink clock insertion delays, or None before CTS.
+
+        The snapshot is cached against the current :attr:`clock_report`,
+        so repeated calls return the *same* dict object until CTS (or an
+        edit that rebuilds the tree) installs a new report.  The stable
+        identity lets timing sessions detect latency changes with an
+        ``is`` check instead of comparing per-sink values.
+        """
+        report = self.clock_report
+        if report is None:
+            self._clock_latency_cache = None
             return None
-        return self.clock_report.latencies
+        cached = self._clock_latency_cache
+        if cached is not None and cached[0] is report:
+            return cached[1]
+        snapshot = dict(report.latencies)
+        self._clock_latency_cache = (report, snapshot)
+        return snapshot
 
     def slow_tier(self) -> int:
         """The tier with the slower library (heterogeneous designs).

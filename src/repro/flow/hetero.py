@@ -54,7 +54,7 @@ from repro.partition.timing_driven import timing_based_pinning
 from repro.place.floorplan import build_floorplan
 from repro.place.quadratic import global_place
 from repro.place.legalizer import row_capacity_um2
-from repro.timing.sta import run_sta, top_critical_paths
+from repro.timing.incremental import TimingSession
 
 __all__ = ["run_flow_hetero_3d"]
 
@@ -70,18 +70,16 @@ def _run_repartition(
     """Wire Algorithm 1 to real STA, remap, and undo callbacks."""
     calc = design.calculator(placed=True)
     latencies = design.clock_latencies()
+    # One incremental session spans the whole ECO loop: each batch of
+    # tier moves invalidates only the touched nets, so every analyze()
+    # call re-propagates just the moved cells' fanout cones.
+    session = TimingSession(design.netlist, calc, latencies)
 
     def analyze():
-        report = run_sta(
-            design.netlist,
-            calc,
-            design.target_period_ns,
-            latencies,
-            with_cell_slacks=False,
+        report = session.report(
+            design.target_period_ns, with_cell_slacks=False
         )
-        paths = top_critical_paths(
-            design.netlist, calc, report, config.n_paths, latencies
-        )
+        paths = session.top_paths(report, config.n_paths)
         return report.wns_ns, report.tns_ns, paths
 
     fast_capacity = (
@@ -221,12 +219,11 @@ def run_flow_hetero_3d(
             pinned: dict[str, int] = {}
             if timing_partitioning:
                 calc = design.calculator(placed=True)
-                report = run_sta(
-                    netlist, calc, period_ns, with_cell_slacks=True
-                )
+                session = TimingSession(netlist, calc)
                 pinned = timing_based_pinning(
                     netlist,
-                    report.cell_slack,
+                    session=session,
+                    period_ns=period_ns,
                     fast_tier=FAST_TIER,
                     area_cap_fraction=pinning_area_cap,
                     # Cells within 30% of the period of criticality

@@ -27,7 +27,7 @@ from repro.liberty.cells import CellFunction
 from repro.obs import emit_metric, span
 from repro.place.legalizer import row_capacity_um2
 from repro.timing.delaycalc import DelayCalculator
-from repro.timing.sta import TimingReport, run_sta, top_critical_paths
+from repro.timing.incremental import TimingSession
 
 __all__ = ["AreaBudget", "OptimizeStats", "optimize_timing", "recover_area"]
 
@@ -277,7 +277,8 @@ def _optimize(
     target = target_wns_fraction * period
     budget = AreaBudget(design, max_fill)
 
-    report = run_sta(design.netlist, calc, period, latencies, with_cell_slacks=True)
+    session = TimingSession(design.netlist, calc, latencies)
+    report = session.report(period, with_cell_slacks=True)
     stats.wns_before_ns = report.wns_ns
     stats.wns_after_ns = report.wns_ns
 
@@ -313,9 +314,7 @@ def _optimize(
                 stats.cloned += 1
 
         # Wire-dominated segments on the worst paths get buffers.
-        paths = top_critical_paths(
-            design.netlist, calc, report, PATHS_PER_ROUND, latencies
-        )
+        paths = session.top_paths(report, PATHS_PER_ROUND)
         for path in paths:
             prev_inst: str | None = None
             for step in path.steps:
@@ -332,9 +331,7 @@ def _optimize(
 
         if changed == 0:
             break
-        report = run_sta(
-            design.netlist, calc, period, latencies, with_cell_slacks=True
-        )
+        report = session.report(period, with_cell_slacks=True)
         stats.wns_after_ns = report.wns_ns
 
     stats.wns_after_ns = report.wns_ns
@@ -367,10 +364,9 @@ def _recover(design: Design, calc: DelayCalculator, max_cells: int) -> int:
     margin = RECOVERY_MARGIN * period
     libs = design.libraries_by_name()
     downsized = 0
+    session = TimingSession(design.netlist, calc, latencies)
     for _pass in range(2):
-        report = run_sta(
-            design.netlist, calc, period, latencies, with_cell_slacks=True
-        )
+        report = session.report(period, with_cell_slacks=True)
         candidates = sorted(
             (
                 (slack, name)

@@ -18,7 +18,8 @@ from repro.obs import emit_metric, span
 from repro.power.activity import propagate_activities
 from repro.power.analysis import PowerReport, analyze_power, net_switching_power_uw
 from repro.route.report import RoutingReport, route_design
-from repro.timing.sta import CriticalPath, PathStep, TimingReport, run_sta
+from repro.timing.incremental import TimingSession
+from repro.timing.sta import CriticalPath, PathStep, TimingReport
 from repro.units import um2_to_mm2
 
 __all__ = ["MemoryNetStats", "FlowResult", "finalize_design"]
@@ -199,12 +200,9 @@ def _finalize(
     cost_model = cost_model or CostModel()
     calc = design.calculator(placed=True)
     if timing is None:
-        timing = run_sta(
-            design.netlist,
-            calc,
-            design.target_period_ns,
-            design.clock_latencies(),
-            with_cell_slacks=False,
+        session = TimingSession(design.netlist, calc, design.clock_latencies())
+        timing = session.report(
+            design.target_period_ns, with_cell_slacks=False
         )
 
     activities = propagate_activities(design.netlist)

@@ -21,7 +21,7 @@ from repro.flow.opt import optimize_timing
 from repro.liberty.library import StdCellLibrary
 from repro.netlist.core import Netlist
 from repro.timing.delaycalc import DelayCalculator, FanoutWireModel
-from repro.timing.sta import run_sta
+from repro.timing.incremental import TimingSession
 
 __all__ = ["initial_sizing", "fix_drv_violations", "find_max_frequency"]
 
@@ -182,13 +182,17 @@ def quick_max_frequency(
     Used to seed the full sweep: re-running only STA at each candidate
     period gives a lower bound on the closable period without repeating
     placement and optimization.
+
+    Arrivals are period-independent, so the session propagates the graph
+    once and each probe below re-derives endpoint slacks in O(endpoints).
     """
     latencies = design.clock_latencies()
+    session = TimingSession(netlist, calc, latencies)
     lo, hi = lo_period_ns, hi_period_ns
     best = hi
     for _ in range(iterations):
         mid = 0.5 * (lo + hi)
-        report = run_sta(netlist, calc, mid, latencies, with_cell_slacks=False)
+        report = session.report(mid, with_cell_slacks=False)
         if report.wns_ns >= -wns_tolerance * mid:
             best = mid
             hi = mid

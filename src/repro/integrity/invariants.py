@@ -302,7 +302,7 @@ def check_tier_balance(design: Design) -> list[InvariantViolation]:
 def check_timing(design: Design) -> list[InvariantViolation]:
     """Timing-graph sanity: acyclic combinational core, finite STA."""
     from repro.errors import ReproError
-    from repro.timing.sta import run_sta
+    from repro.timing.incremental import TimingSession
 
     out: list[InvariantViolation] = []
     try:
@@ -315,12 +315,13 @@ def check_timing(design: Design) -> list[InvariantViolation]:
 
     placed = all(i.is_placed for i in design.netlist.instances.values())
     try:
-        report = run_sta(
+        session = TimingSession(
             design.netlist,
             design.calculator(placed=placed and design.floorplan is not None),
-            design.target_period_ns,
             design.clock_latencies(),
-            with_cell_slacks=False,
+        )
+        report = session.report(
+            design.target_period_ns, with_cell_slacks=False
         )
     except ReproError as exc:
         out.append(

@@ -13,6 +13,7 @@ the rest of the package knows that: the STA engine only ever sees tables.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -83,21 +84,37 @@ class TimingTable:
         Queries outside the characterized window are extrapolated from the
         nearest edge segment, which matches signoff-tool behaviour for
         mildly out-of-range slews.
-        """
-        slews = np.asarray(self.slew_axis)
-        loads = np.asarray(self.load_axis)
-        grid = np.asarray(self.values)
 
-        i = int(np.clip(np.searchsorted(slews, slew_ns) - 1, 0, slews.size - 2))
-        j = int(np.clip(np.searchsorted(loads, load_ff) - 1, 0, loads.size - 2))
+        The interpolation runs on the stored tuples with :mod:`bisect`
+        rather than numpy: the tables are tiny (a few breakpoints per
+        axis) and this is the hottest leaf of the STA engine, where the
+        per-call ``np.asarray`` conversions dominated.  The arithmetic is
+        the same IEEE-double sequence as the numpy formulation, so results
+        are bit-identical.
+        """
+        slews = self.slew_axis
+        loads = self.load_axis
+
+        i = bisect_left(slews, slew_ns) - 1
+        if i < 0:
+            i = 0
+        elif i > len(slews) - 2:
+            i = len(slews) - 2
+        j = bisect_left(loads, load_ff) - 1
+        if j < 0:
+            j = 0
+        elif j > len(loads) - 2:
+            j = len(loads) - 2
 
         s0, s1 = slews[i], slews[i + 1]
         l0, l1 = loads[j], loads[j + 1]
         ts = (slew_ns - s0) / (s1 - s0)
         tl = (load_ff - l0) / (l1 - l0)
 
-        v00, v01 = grid[i, j], grid[i, j + 1]
-        v10, v11 = grid[i + 1, j], grid[i + 1, j + 1]
+        row0 = self.values[i]
+        row1 = self.values[i + 1]
+        v00, v01 = row0[j], row0[j + 1]
+        v10, v11 = row1[j], row1[j + 1]
         return float(
             v00 * (1 - ts) * (1 - tl)
             + v01 * (1 - ts) * tl

@@ -132,6 +132,25 @@ class Netlist:
         self.nets: dict[str, Net] = {}
         self.ports: dict[str, PortDirection] = {}
         self.clock_port: str | None = None
+        self._topology_version = 0
+        self._topo_cache: list[Instance] | None = None
+        self._topo_cache_version = -1
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped by every structural edit.
+
+        Rebinding a cell (resize/remap) does not change connectivity and
+        does not bump the version; connect/disconnect and adding/removing
+        instances, nets, or ports do.  Consumers (the cached
+        :meth:`topological_order`, the incremental timing session) compare
+        versions instead of re-walking the graph.
+        """
+        return self._topology_version
+
+    def _bump_topology(self) -> None:
+        self._topology_version += 1
+        self._topo_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -143,6 +162,7 @@ class Netlist:
         if name in self.ports:
             raise NetlistError(f"duplicate port {name!r}")
         self.ports[name] = direction
+        self._bump_topology()
         if direction is PortDirection.INPUT:
             if name in self.nets:
                 raise NetlistError(f"net {name!r} already exists for port")
@@ -168,6 +188,7 @@ class Netlist:
             raise NetlistError(f"duplicate instance {name!r}")
         inst = Instance(name=name, cell=cell, tier=tier, block=block, fixed=fixed)
         self.instances[name] = inst
+        self._bump_topology()
         return inst
 
     def add_net(self, name: str, *, is_clock: bool = False) -> Net:
@@ -176,6 +197,7 @@ class Netlist:
             raise NetlistError(f"duplicate net {name!r}")
         net = Net(name=name, is_clock=is_clock)
         self.nets[name] = net
+        self._bump_topology()
         return net
 
     def connect(self, net_name: str, inst_name: str, pin: str) -> None:
@@ -194,6 +216,7 @@ class Netlist:
         else:
             net.sinks.append((inst_name, pin))
         inst._pin_nets[pin] = net_name
+        self._bump_topology()
 
     def disconnect(self, inst_name: str, pin: str) -> None:
         """Unbind an instance pin from its net."""
@@ -207,6 +230,7 @@ class Netlist:
         else:
             net.sinks.remove((inst_name, pin))
         del inst._pin_nets[pin]
+        self._bump_topology()
 
     def remove_instance(self, inst_name: str) -> None:
         """Delete an instance, unbinding all its pins first."""
@@ -214,6 +238,7 @@ class Netlist:
         for pin, _net in list(inst.connected_pins()):
             self.disconnect(inst_name, pin)
         del self.instances[inst_name]
+        self._bump_topology()
 
     def remove_net(self, net_name: str) -> None:
         """Delete a net; it must have no connections left."""
@@ -223,6 +248,7 @@ class Netlist:
         if net_name in self.ports:
             raise NetlistError(f"net {net_name!r} belongs to a port")
         del self.nets[net_name]
+        self._bump_topology()
 
     def rebind(self, inst_name: str, new_cell: CellType) -> None:
         """Swap an instance's cell type (resize or tech remap).
@@ -296,7 +322,14 @@ class Netlist:
         Sequential cells act as graph sources/sinks (their Q output launches,
         their D input captures), so a legal sequential design yields a
         complete order; a combinational loop raises :class:`NetlistError`.
+
+        The order is cached against :attr:`topology_version`, so repeated
+        calls between structural edits are O(1).  Callers must treat the
+        returned list as read-only.
         """
+        if (self._topo_cache is not None
+                and self._topo_cache_version == self._topology_version):
+            return self._topo_cache
         indegree: dict[str, int] = {}
         for inst in self.instances.values():
             if inst.cell.is_sequential:
@@ -328,6 +361,8 @@ class Netlist:
             raise NetlistError(
                 f"combinational loop: ordered {len(order)} of {len(indegree)}"
             )
+        self._topo_cache = order
+        self._topo_cache_version = self._topology_version
         return order
 
     # ------------------------------------------------------------------

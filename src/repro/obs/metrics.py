@@ -103,6 +103,15 @@ METRIC_DEFS: dict[str, MetricDef] = {
     "integrity_repairs": MetricDef(
         "count", "QoR gate", "auto-repairs applied at a stage boundary"
     ),
+    "sta_full_runs": MetricDef(
+        "count", "perf", "timing reports served by a full graph rebuild"
+    ),
+    "sta_incremental_runs": MetricDef(
+        "count", "perf", "timing reports served incrementally (cone or reuse)"
+    ),
+    "sta_propagated_fraction": MetricDef(
+        "frac", "perf", "share of combinational instances re-propagated"
+    ),
 }
 
 

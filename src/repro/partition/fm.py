@@ -39,6 +39,8 @@ class FMResult:
 
 
 def _cut_size(nets: list[list[str]], side: dict[str, int]) -> int:
+    """Reference O(pins) cut count; the FM loop itself tracks the cut
+    incrementally and only uses this to seed the very first value."""
     cut = 0
     for net in nets:
         sides = {side[c] for c in net}
@@ -137,16 +139,33 @@ def fm_bipartition(
                 g -= 1
         return g
 
+    # Per-net side counts, built once; every move (and rollback) updates
+    # them in O(pins(cell)), carrying the cut size along so no pass ever
+    # rescans the whole net list.
+    counts = [
+        [sum(1 for c in net if side[c] == 0), sum(1 for c in net if side[c] == 1)]
+        for net in pruned_nets
+    ]
+    cut = sum(1 for c0, c1 in counts if c0 and c1)
+
+    def move(cell: str) -> None:
+        nonlocal cut
+        s = side[cell]
+        for ni in nets_of[cell]:
+            c = counts[ni]
+            was_cut = c[0] > 0 and c[1] > 0
+            c[s] -= 1
+            c[1 - s] += 1
+            c_cut = c[0] > 0 and c[1] > 0
+            cut += c_cut - was_cut
+        side[cell] = 1 - s
+
     best_assign = dict(side)
-    best_cut = _cut_size(pruned_nets, side)
+    best_cut = cut
     passes_done = 0
 
     for _pass in range(max_passes):
         passes_done += 1
-        counts = [
-            [sum(1 for c in net if side[c] == 0), sum(1 for c in net if side[c] == 1)]
-            for net in pruned_nets
-        ]
         a0, a1 = side_areas(side)
         locked: set[str] = set(fixed)
         heap: list[tuple[int, str]] = []
@@ -182,10 +201,7 @@ def fm_bipartition(
             # commit tentative move
             locked.add(cell)
             cum += current_gain[cell]
-            for ni in nets_of[cell]:
-                counts[ni][s] -= 1
-                counts[ni][1 - s] += 1
-            side[cell] = 1 - s
+            move(cell)
             a0, a1 = new_a0, new_a1
             sequence.append((cell, cum))
             if cum > best_prefix_gain:
@@ -203,11 +219,10 @@ def fm_bipartition(
                     current_gain[other] = g
                     heapq.heappush(heap, (-g, other))
 
-        # roll back moves beyond the best prefix
+        # roll back moves beyond the best prefix (counts/cut follow along)
         for cell, _g in sequence[best_prefix:]:
-            side[cell] = 1 - side[cell]
+            move(cell)
 
-        cut = _cut_size(pruned_nets, side)
         if cut < best_cut:
             best_cut = cut
             best_assign = dict(side)

@@ -6,6 +6,7 @@ from repro.timing.delaycalc import (
     NetParasitics,
     PlacementWireModel,
 )
+from repro.timing.incremental import SessionStats, TimingSession, full_sta_forced
 from repro.timing.sta import CriticalPath, PathStep, TimingReport, run_sta
 
 __all__ = [
@@ -15,6 +16,9 @@ __all__ = [
     "PlacementWireModel",
     "CriticalPath",
     "PathStep",
+    "SessionStats",
     "TimingReport",
+    "TimingSession",
+    "full_sta_forced",
     "run_sta",
 ]

@@ -21,7 +21,10 @@ sink pin capacitances.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
 
 from repro.liberty.cells import CellType, TimingArc
 from repro.liberty.library import StdCellLibrary
@@ -182,6 +185,24 @@ class PlacementWireModel:
         return max(1, (foreign + 1) // 2)
 
 
+@lru_cache(maxsize=None)
+def _voltage_factors(vdd_v: float, vth_v: float, vg_v: float) -> tuple[float, float]:
+    """Memoized (delay, slew) derate pair for one supply combination.
+
+    Only a handful of (vdd, vth, vg) triples ever occur per design (one
+    per heterogeneous library pair), so an unbounded cache is safe.
+    """
+    return (
+        input_voltage_delay_factor(vdd_v, vth_v, vg_v),
+        input_voltage_slew_factor(vdd_v, vth_v, vg_v),
+    )
+
+
+#: Cap on the arc-delay memo; cleared wholesale on overflow.  Entries are
+#: pure function results, so dropping them only costs recomputation.
+_ARC_MEMO_MAX = 200_000
+
+
 class DelayCalculator:
     """Combines a wire model with NLDM tables and boundary derates."""
 
@@ -195,6 +216,29 @@ class DelayCalculator:
         self._wire_model = wire_model
         self._libraries = libraries
         self._cache: dict[str, NetParasitics] = {}
+        self._listeners: list[Callable[[str | None], None]] = []
+        # NLDM lookups are pure functions of (arc, input slew, load), so
+        # repeated evaluations -- the common case inside optimization
+        # loops, period sweeps, and backward propagation -- are memoized.
+        # Keys use id(arc); the arc objects are pinned in _arc_refs so an
+        # id can never be recycled while its memo entries live.
+        self._arc_memo: dict[tuple[int, float, float], tuple[float, float]] = {}
+        self._arc_refs: dict[int, TimingArc] = {}
+        # Optional slew quantization for the memo key (ns).  Defaults to
+        # exact keys: quantizing perturbs the lookup input and would break
+        # bit-identity with the unmemoized engine.
+        self._slew_quantum = float(os.environ.get("REPRO_STA_SLEW_Q", "0") or 0.0)
+
+    def add_invalidation_listener(
+        self, listener: Callable[[str | None], None]
+    ) -> None:
+        """Register a callback invoked on every :meth:`invalidate`.
+
+        The incremental timing session uses this to learn which nets went
+        stale; the callback receives the net name, or None for a
+        full-cache invalidation.
+        """
+        self._listeners.append(listener)
 
     def invalidate(self, net_name: str | None = None) -> None:
         """Drop cached parasitics (all nets, or one) after an edit."""
@@ -202,6 +246,8 @@ class DelayCalculator:
             self._cache.clear()
         else:
             self._cache.pop(net_name, None)
+        for listener in self._listeners:
+            listener(net_name)
 
     def net_parasitics(self, net: Net) -> NetParasitics:
         """Extract (and cache) parasitics for one net."""
@@ -240,10 +286,7 @@ class DelayCalculator:
             # shifters are characterized for foreign-rail inputs
             return 1.0, 1.0
         lib = self._libraries[inst.cell.library_name]
-        return (
-            input_voltage_delay_factor(lib.vdd_v, lib.vth_v, vg),
-            input_voltage_slew_factor(lib.vdd_v, lib.vth_v, vg),
-        )
+        return _voltage_factors(lib.vdd_v, lib.vth_v, vg)
 
     def arc_delay_slew(
         self,
@@ -252,11 +295,30 @@ class DelayCalculator:
         input_slew_ns: float,
         load_ff: float,
     ) -> tuple[float, float]:
-        """Arc delay and output slew with the input-boundary derate applied."""
+        """Arc delay and output slew with the input-boundary derate applied.
+
+        The raw (pre-derate) table lookups are memoized per arc; the
+        derate depends on the driving instance's rail and is applied per
+        call.  Memo hits are exact-key by default, so the result is
+        bit-identical to the unmemoized computation regardless of call
+        order.
+        """
+        if self._slew_quantum > 0.0:
+            input_slew_ns = round(input_slew_ns / self._slew_quantum) * self._slew_quantum
+        key = (id(arc), input_slew_ns, load_ff)
+        hit = self._arc_memo.get(key)
+        if hit is None:
+            if len(self._arc_memo) >= _ARC_MEMO_MAX:
+                self._arc_memo.clear()
+                self._arc_refs.clear()
+            hit = (
+                arc.delay.lookup(input_slew_ns, load_ff),
+                arc.output_slew.lookup(input_slew_ns, load_ff),
+            )
+            self._arc_memo[key] = hit
+            self._arc_refs.setdefault(key[0], arc)
         derate_d, derate_s = self.input_derates(inst, arc.from_pin)
-        delay = arc.delay.lookup(input_slew_ns, load_ff) * derate_d
-        slew = arc.output_slew.lookup(input_slew_ns, load_ff) * derate_s
-        return delay, slew
+        return hit[0] * derate_d, hit[1] * derate_s
 
     def setup_time(self, cell: CellType, data_slew_ns: float) -> float:
         """Setup requirement of a sequential cell at the given data slew."""

@@ -147,8 +147,15 @@ class TimingReport:
         return ranked[:count]
 
 
-class _StaEngine:
-    """Internal state of one STA run (arrivals, slews, requireds)."""
+class StaEngine:
+    """State of one STA computation (arrivals, slews, requireds).
+
+    :func:`run_sta` builds one per call; the incremental
+    :class:`~repro.timing.incremental.TimingSession` keeps one alive
+    across edits and re-evaluates only dirty cones through the exact
+    same per-instance methods, which is what makes the incremental
+    results bit-identical to a from-scratch run.
+    """
 
     def __init__(
         self,
@@ -209,35 +216,55 @@ class _StaEngine:
         wire = self.calc.net_parasitics(net).sink_delay_ns.get((inst.name, pin), 0.0)
         return base + wire, self.slew.get(net_name, DEFAULT_INPUT_SLEW_NS)
 
+    def eval_instance(self, inst: Instance) -> None:
+        """(Re)compute one combinational instance's output arrival/slew.
+
+        Shared by the full forward pass and the incremental dirty-cone
+        update; on an unreached output any stale entries are deleted so a
+        re-evaluation converges to exactly the state a fresh propagation
+        would produce.
+        """
+        out_pin = inst.cell.output_pin
+        out_net = inst.net_of(out_pin)
+        if out_net is None:
+            return
+        load = self.calc.output_load_ff(inst, out_pin)
+        best_arr = -_INF
+        best_slew = DEFAULT_INPUT_SLEW_NS
+        best_pin = ""
+        for pin in inst.cell.input_pins:
+            arc = inst.cell.arc_to(out_pin, pin)
+            if arc is None:
+                continue
+            arr_in, slew_in = self.input_arrival_slew(inst, pin)
+            delay, out_slew = self.calc.arc_delay_slew(inst, arc, slew_in, load)
+            if arr_in + delay > best_arr:
+                best_arr = arr_in + delay
+                best_slew = out_slew
+                best_pin = pin
+        if best_arr == -_INF:
+            self.arrival.pop(out_net, None)
+            self.slew.pop(out_net, None)
+            self.worst_input.pop(inst.name, None)
+            return
+        self.arrival[out_net] = best_arr
+        self.slew[out_net] = best_slew
+        self.worst_input[inst.name] = best_pin
+
     def propagate(self) -> None:
         for inst in self.netlist.topological_order():
-            out_pin = inst.cell.output_pin
-            out_net = inst.net_of(out_pin)
-            if out_net is None:
-                continue
-            load = self.calc.output_load_ff(inst, out_pin)
-            best_arr = -_INF
-            best_slew = DEFAULT_INPUT_SLEW_NS
-            best_pin = ""
-            for pin in inst.cell.input_pins:
-                arc = inst.cell.arc_to(out_pin, pin)
-                if arc is None:
-                    continue
-                arr_in, slew_in = self.input_arrival_slew(inst, pin)
-                delay, out_slew = self.calc.arc_delay_slew(inst, arc, slew_in, load)
-                if arr_in + delay > best_arr:
-                    best_arr = arr_in + delay
-                    best_slew = out_slew
-                    best_pin = pin
-            if best_arr == -_INF:
-                continue
-            self.arrival[out_net] = best_arr
-            self.slew[out_net] = best_slew
-            self.worst_input[inst.name] = best_pin
+            self.eval_instance(inst)
 
     # -- capture ---------------------------------------------------------
-    def endpoint_slacks(self) -> dict[tuple[str, str], float]:
-        slacks: dict[tuple[str, str], float] = {}
+    def endpoint_base(self) -> list[tuple[tuple[str, str], float, float, float]]:
+        """Period-independent endpoint terms: (key, arrival, setup, latency).
+
+        Arrivals, slews (hence setup times), and clock latencies do not
+        depend on the clock period; only the required time does.  The
+        incremental session caches this list across period probes and
+        re-derives the slack dict per candidate period in O(endpoints).
+        """
+        base: list[tuple[tuple[str, str], float, float, float]] = []
         for inst in self.netlist.sequential_instances():
             latency = self.latencies.get(inst.name, 0.0)
             for pin in inst.cell.input_pins:
@@ -246,14 +273,30 @@ class _StaEngine:
                 if net_name is None or self.arrival.get(net_name) is None:
                     continue
                 setup = self.calc.setup_time(inst.cell, slew_in)
-                required = self.period_ns + latency - setup
-                slacks[(inst.name, pin)] = required - arr
+                base.append(((inst.name, pin), arr, setup, latency))
+        return base
+
+    @staticmethod
+    def slacks_at(
+        period_ns: float,
+        base: list[tuple[tuple[str, str], float, float, float]],
+    ) -> dict[tuple[str, str], float]:
+        """Endpoint slacks at one period from the period-independent base."""
+        slacks: dict[tuple[str, str], float] = {}
+        for key, arr, setup, latency in base:
+            required = period_ns + latency - setup
+            slacks[key] = required - arr
         return slacks
 
+    def endpoint_slacks(self) -> dict[tuple[str, str], float]:
+        return self.slacks_at(self.period_ns, self.endpoint_base())
+
     # -- backward ---------------------------------------------------------
-    def propagate_required(self, endpoints: dict[tuple[str, str], float]) -> None:
-        """Backward pass: required time at every net's driver output."""
-        # Seed required times at endpoint input pins, mapped back to nets.
+    def seed_required_map(
+        self, endpoints: dict[tuple[str, str], float]
+    ) -> dict[str, float]:
+        """Required time each endpoint imposes at its net's driver output."""
+        seeds: dict[str, float] = {}
         for (inst_name, pin), slack in endpoints.items():
             inst = self.netlist.instances[inst_name]
             net_name = inst.net_of(pin)
@@ -266,6 +309,15 @@ class _StaEngine:
             arr, _ = self.input_arrival_slew(inst, pin)
             req_at_pin = arr + slack
             req_at_driver = req_at_pin - wire
+            prev = seeds.get(net_name, _INF)
+            if req_at_driver < prev:
+                seeds[net_name] = req_at_driver
+        return seeds
+
+    def propagate_required(self, endpoints: dict[tuple[str, str], float]) -> None:
+        """Backward pass: required time at every net's driver output."""
+        # Seed required times at endpoint input pins, mapped back to nets.
+        for net_name, req_at_driver in self.seed_required_map(endpoints).items():
             prev = self.required.get(net_name, _INF)
             self.required[net_name] = min(prev, req_at_driver)
 
@@ -430,7 +482,7 @@ def run_sta(
     if period_ns <= 0:
         raise TimingError(f"period must be positive, got {period_ns}")
     with span("sta", period_ns=period_ns, cell_slacks=with_cell_slacks):
-        engine = _StaEngine(netlist, calc, period_ns, clock_latencies)
+        engine = StaEngine(netlist, calc, period_ns, clock_latencies)
         engine.launch()
         engine.propagate()
         endpoint_slacks = engine.endpoint_slacks()
@@ -471,7 +523,7 @@ def top_critical_paths(
     Used by the repartitioning ECO (Algorithm 1) and the Table VIII
     top-100-paths skew analysis.
     """
-    engine = _StaEngine(netlist, calc, report.period_ns, clock_latencies)
+    engine = StaEngine(netlist, calc, report.period_ns, clock_latencies)
     engine.launch()
     engine.propagate()
     paths = []

@@ -180,8 +180,11 @@ class ClockTreeSynthesizer:
             if fast_count > 0.7 * len(sink_tiers):
                 return fast_tier
             return self._slow_tier
-        # MAJORITY
-        return fast_tier if fast_count * 2 > len(sink_tiers) else self._slow_tier
+        # MAJORITY: a balanced subtree has no majority; break the tie
+        # toward the fast tier so the policy stays distinct from
+        # PREFER_SLOW (for homogeneous 3-D both tiers hold the same
+        # library, so the tie-break carries no area/power meaning).
+        return fast_tier if fast_count * 2 >= len(sink_tiers) else self._slow_tier
 
     def _buffer_cell(self, tier: int, load_ff: float) -> CellType:
         lib = self._tier_libs.get(tier) or next(iter(self._tier_libs.values()))

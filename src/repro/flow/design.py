@@ -41,6 +41,10 @@ class Design:
     _clock_latency_cache: tuple[ClockReport, dict[str, float]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: lazy placement session bound to the current floorplan
+    _place_session: object | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def tiers(self) -> int:
@@ -122,3 +126,41 @@ class Design:
             return
         if inst.cell.library_name != target_lib.name:
             self.netlist.rebind(inst_name, target_lib.equivalent_of(inst.cell))
+        self.touch_placement(inst_name)
+
+    def place_session(self):
+        """The placement session bound to the current floorplan.
+
+        Created lazily and replaced whenever the floorplan object changes
+        (utilization backoff re-places the whole design, so stale caches
+        must not survive).  A fresh session recomputes everything on its
+        first query, which is what makes checkpoint-resumed designs
+        byte-identical to uninterrupted runs.
+        """
+        from repro.place.incremental import PlacementSession
+
+        if self.floorplan is None:
+            raise FlowError("design has no floorplan; place before querying")
+        session = self._place_session
+        if (
+            session is None
+            or session.floorplan is not self.floorplan
+            or session.netlist is not self.netlist
+        ):
+            session = PlacementSession(
+                self.netlist, self.floorplan, self.tier_libs
+            )
+            self._place_session = session
+        return session
+
+    def touch_placement(self, inst_name: str) -> None:
+        """Report a placement-relevant edit (move/resize/clone/tier move).
+
+        A no-op before the session exists: a cold session recomputes from
+        scratch anyway.  Every flow edit that changes an instance's
+        position, width, or tier must call this (the placement analogue
+        of ``calc.invalidate``).
+        """
+        session = self._place_session
+        if session is not None and session.floorplan is self.floorplan:
+            session.dirty_cell(inst_name)

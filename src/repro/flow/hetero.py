@@ -114,6 +114,7 @@ def _run_repartition(
             inst = design.netlist.instances[name]
             inst.tier = tier
             design.netlist.rebind(name, cell)
+            design.touch_placement(name)
             for _pin, net in inst.connected_pins():
                 calc.invalidate(net)
 
@@ -122,8 +123,27 @@ def _run_repartition(
         fast = design.netlist.tier_area_um2(FAST_TIER)
         return slow, fast
 
+    def settle() -> None:
+        # Re-legalize after each accepted batch so later analyze() calls
+        # see real (legal) positions for the moved cells.  The placement
+        # session re-packs only the rows the batch disturbed; timing is
+        # then re-derived for the nets of every cell that actually moved.
+        place = design.place_session()
+        place.legalize_all()
+        moved = place.last_moved
+        if moved is None:
+            calc.invalidate()
+            return
+        for name in moved:
+            inst = design.netlist.instances.get(name)
+            if inst is None:
+                continue
+            for _pin, net in inst.connected_pins():
+                calc.invalidate(net)
+
     return repartition_eco(
-        analyze, move_to_fast, undo, tier_areas, SLOW_TIER, config
+        analyze, move_to_fast, undo, tier_areas, SLOW_TIER, config,
+        settle=settle,
     )
 
 

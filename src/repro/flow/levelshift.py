@@ -129,6 +129,9 @@ def insert_level_shifters(design: Design) -> LevelShifterReport:
             for sink_name, pin in needy:
                 netlist.disconnect(sink_name, pin)
                 netlist.connect(out_net, sink_name, pin)
+            # Both rerouted nets are pins of the existing shifter, so one
+            # touch refreshes their HPWL/congestion entries.
+            design.touch_placement(existing.name)
             continue
 
         ls_cell = target_lib.get(CellFunction.LEVEL_SHIFTER, 1)
@@ -149,6 +152,7 @@ def insert_level_shifters(design: Design) -> LevelShifterReport:
         for sink_name, pin in needy:
             netlist.disconnect(sink_name, pin)
             netlist.connect(new_net.name, sink_name, pin)
+        design.touch_placement(ls_name)
         inserted += 1
         area += ls_cell.area_um2
 

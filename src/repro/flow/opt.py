@@ -133,6 +133,7 @@ def _invalidate_around(design: Design, calc: DelayCalculator, inst_name: str) ->
     inst = design.netlist.instances[inst_name]
     for _pin, net_name in inst.connected_pins():
         calc.invalidate(net_name)
+    design.touch_placement(inst_name)
 
 
 def _try_clone(
@@ -187,6 +188,9 @@ def _try_clone(
         netlist.connect(new_net.name, s, p)
     calc.invalidate(out_net_name)
     calc.invalidate(new_net.name)
+    # The clone's pins don't cover out_net, so touch both cells.
+    design.touch_placement(inst_name)
+    design.touch_placement(clone_name)
     return True
 
 
@@ -237,6 +241,7 @@ def _insert_buffer(
         netlist.connect(new_net.name, s, p)
     calc.invalidate(out_net_name)
     calc.invalidate(new_net.name)
+    design.touch_placement(buf_name)
     return True
 
 

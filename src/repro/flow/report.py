@@ -222,6 +222,7 @@ def _finalize(
         design.floorplan.width_um,
         design.floorplan.height_um,
         design.tiers,
+        congestion=design.place_session().congestion(),
     )
     footprint_mm2 = um2_to_mm2(design.floorplan.area_um2)
     cost = cost_model.die_cost(footprint_mm2, design.tiers)

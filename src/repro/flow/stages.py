@@ -16,7 +16,7 @@ from repro.log import get_logger
 from repro.obs import emit_metric, span
 from repro.obs.metrics import hpwl_um
 from repro.place.floorplan import build_floorplan
-from repro.place.legalizer import LegalizeStats, legalize
+from repro.place.legalizer import LegalizeStats
 from repro.place.quadratic import global_place
 from repro.route.congestion import analyze_congestion
 
@@ -104,13 +104,17 @@ def place_with_congestion_control(
 
 
 def legalize_all_tiers(design: Design) -> dict[int, LegalizeStats]:
-    """Legalize every tier against its own library's rows."""
+    """Legalize every tier against its own library's rows.
+
+    Routed through the design's :class:`PlacementSession`, so calls after
+    small edit batches re-pack only the disturbed rows (byte-identical to
+    a full pass -- ``REPRO_PLACE=full`` forces the old behavior).
+    """
     if design.floorplan is None:
         raise PlacementError("floorplan missing; place before legalizing")
-    stats: dict[int, LegalizeStats] = {}
     with span("legalization", design=design.name):
-        for tier, lib in design.tier_libs.items():
-            stats[tier] = legalize(design.netlist, design.floorplan, lib, tier)
+        stats = design.place_session().legalize_all()
+        for tier in design.tier_libs:
             emit_metric("tier_cells", stats[tier].cells, tier=tier)
             emit_metric(
                 "tier_area_um2",

@@ -144,9 +144,16 @@ def _repair_connectivity(design: Design) -> str:
 
 
 def _repair_placement(design: Design) -> str:
-    """Re-legalize every tier (fixes overlaps and row misalignment)."""
+    """Re-legalize every tier (fixes overlaps and row misalignment).
+
+    The violation arrived outside the normal edit contract (nothing
+    called ``touch_placement``), so the placement session's caches can't
+    be trusted: drop them and force a full pass.
+    """
     from repro.flow.stages import legalize_all_tiers
 
+    if design.floorplan is not None:
+        design.place_session().invalidate_all()
     stats = legalize_all_tiers(design)
     moved = sum(s.cells for s in stats.values())
     return f"re-legalized {moved} cells across {len(stats)} tiers"

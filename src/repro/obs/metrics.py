@@ -24,6 +24,7 @@ __all__ = [
     "MetricPoint",
     "emit_metric",
     "hpwl_um",
+    "net_hpwl_um",
 ]
 
 
@@ -112,6 +113,15 @@ METRIC_DEFS: dict[str, MetricDef] = {
     "sta_propagated_fraction": MetricDef(
         "frac", "perf", "share of combinational instances re-propagated"
     ),
+    "place_full_runs": MetricDef(
+        "count", "perf", "placement queries served by a full recompute"
+    ),
+    "place_incremental_runs": MetricDef(
+        "count", "perf", "placement queries served by row/net-level reuse"
+    ),
+    "place_disturbed_fraction": MetricDef(
+        "frac", "perf", "share of movable cells dirty at the last legalize"
+    ),
 }
 
 
@@ -189,6 +199,24 @@ def emit_metric(
     return point
 
 
+def net_hpwl_um(net, instances) -> float:
+    """Half-perimeter wirelength of one net (um); 0.0 when degenerate."""
+    xs: list[float] = []
+    ys: list[float] = []
+    pins = list(net.sinks)
+    if net.driver is not None:
+        pins.append(net.driver)
+    for inst_name, _pin in pins:
+        inst = instances.get(inst_name)
+        if inst is None or inst.x_um is None or inst.y_um is None:
+            continue
+        xs.append(inst.x_um)
+        ys.append(inst.y_um)
+    if len(xs) < 2:
+        return 0.0
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
 def hpwl_um(netlist) -> float:
     """Half-perimeter wirelength over all placed nets (um).
 
@@ -198,17 +226,5 @@ def hpwl_um(netlist) -> float:
     total = 0.0
     instances = netlist.instances
     for net in netlist.nets.values():
-        xs: list[float] = []
-        ys: list[float] = []
-        pins = list(net.sinks)
-        if net.driver is not None:
-            pins.append(net.driver)
-        for inst_name, _pin in pins:
-            inst = instances.get(inst_name)
-            if inst is None or inst.x_um is None or inst.y_um is None:
-                continue
-            xs.append(inst.x_um)
-            ys.append(inst.y_um)
-        if len(xs) >= 2:
-            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        total += net_hpwl_um(net, instances)
     return total

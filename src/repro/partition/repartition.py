@@ -72,6 +72,7 @@ def repartition_eco(
     tier_areas: Callable[[], tuple[float, float]],
     slow_tier: int,
     config: RepartitionConfig = RepartitionConfig(),
+    settle: Callable[[], None] | None = None,
 ) -> RepartitionResult:
     """Run Algorithm 1.
 
@@ -89,10 +90,16 @@ def repartition_eco(
         Returns ``(slow_area, fast_area)`` for the unbalance check.
     slow_tier:
         Tier index of the slow die (1/top in the paper's setup).
+    settle:
+        Optional callback invoked after each *accepted* batch, once the
+        moves are final -- the flow uses it to incrementally re-legalize
+        the moved cells and refresh their timing, so later iterations
+        analyze real positions instead of the pre-move ones.
     """
     with span("repartition_eco", slow_tier=slow_tier):
         result = _repartition_eco(
-            analyze, move_to_fast, undo, tier_areas, slow_tier, config
+            analyze, move_to_fast, undo, tier_areas, slow_tier, config,
+            settle,
         )
         emit_metric("eco_iterations", result.iterations)
         emit_metric("eco_cells_moved", len(result.cells_moved))
@@ -111,6 +118,7 @@ def _repartition_eco(
     tier_areas: Callable[[], tuple[float, float]],
     slow_tier: int,
     config: RepartitionConfig,
+    settle: Callable[[], None] | None = None,
 ) -> RepartitionResult:
     result = RepartitionResult()
     d_k = config.d0
@@ -171,6 +179,8 @@ def _repartition_eco(
             result.wns_after_ns = new_wns
             result.tns_after_ns = new_tns
             paths = new_paths
+            if settle is not None:
+                settle()
             add_span_event(
                 "eco_batch_accepted",
                 iteration=result.iterations,

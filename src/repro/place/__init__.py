@@ -1,6 +1,12 @@
-"""Placement: floorplanning, analytic global placement, legalization."""
+"""Placement: floorplanning, global placement, legalization, sessions."""
 
-from repro.place.floorplan import Floorplan, build_floorplan, port_positions
+from repro.place.floorplan import (
+    Floorplan,
+    build_floorplan,
+    port_positions,
+    port_ring,
+)
+from repro.place.incremental import PlacementSession, PlaceSessionStats
 from repro.place.legalizer import LegalizeStats, legalize
 from repro.place.quadratic import global_place
 
@@ -8,6 +14,9 @@ __all__ = [
     "Floorplan",
     "build_floorplan",
     "port_positions",
+    "port_ring",
+    "PlacementSession",
+    "PlaceSessionStats",
     "LegalizeStats",
     "legalize",
     "global_place",

@@ -213,12 +213,15 @@ def build_floorplan(
     return fp
 
 
-def port_positions(netlist: Netlist, floorplan: Floorplan) -> dict[str, tuple[float, float]]:
+def port_ring(
+    netlist: Netlist, width_um: float, height_um: float
+) -> dict[str, tuple[float, float]]:
     """Deterministic pad ring: ports spread evenly around the die boundary.
 
     Inputs occupy the left and bottom edges, outputs the right and top,
     in sorted-name order, so every run of every configuration sees the
-    same external pin geometry.
+    same external pin geometry.  Takes raw die dimensions so congestion
+    analysis can reuse it without a full :class:`Floorplan`.
     """
     inputs = sorted(
         name for name, d in netlist.ports.items() if d is PortDirection.INPUT
@@ -226,7 +229,7 @@ def port_positions(netlist: Netlist, floorplan: Floorplan) -> dict[str, tuple[fl
     outputs = sorted(
         name for name, d in netlist.ports.items() if d is PortDirection.OUTPUT
     )
-    w, h = floorplan.width_um, floorplan.height_um
+    w, h = width_um, height_um
     positions: dict[str, tuple[float, float]] = {}
 
     def ring(names: list[str], edges: list[tuple[tuple[float, float], tuple[float, float]]]):
@@ -246,3 +249,10 @@ def port_positions(netlist: Netlist, floorplan: Floorplan) -> dict[str, tuple[fl
     ring(inputs, [((0, 0), (0, h)), ((0, 0), (w, 0))])
     ring(outputs, [((w, 0), (w, h)), ((0, h), (w, h))])
     return positions
+
+
+def port_positions(
+    netlist: Netlist, floorplan: Floorplan
+) -> dict[str, tuple[float, float]]:
+    """Pad ring of a floorplan (see :func:`port_ring`)."""
+    return port_ring(netlist, floorplan.width_um, floorplan.height_um)

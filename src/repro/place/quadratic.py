@@ -84,9 +84,15 @@ def _assemble(
     rows: list[int] = []
     cols: list[int] = []
     vals: list[float] = []
-    diag = np.zeros(n)
-    bx = np.zeros(n)
-    by = np.zeros(n)
+    # Edge contributions are collected as flat (index, value) streams and
+    # applied in one unbuffered np.add.at pass per array below -- the bulk
+    # kernel processes indices in append order, so the accumulation order
+    # (and hence every float) is identical to scalar `+=` in a loop.
+    d_idx: list[int] = []
+    d_val: list[float] = []
+    a_idx: list[int] = []
+    a_x: list[float] = []
+    a_y: list[float] = []
 
     def add_edge(a: str, b: str, w: float) -> None:
         ia = problem.index.get(a)
@@ -94,21 +100,25 @@ def _assemble(
         if ia is None and ib is None:
             return
         if ia is not None and ib is not None:
-            diag[ia] += w
-            diag[ib] += w
+            d_idx.extend((ia, ib))
+            d_val.extend((w, w))
             rows.extend((ia, ib))
             cols.extend((ib, ia))
             vals.extend((-w, -w))
         elif ia is not None:
             px, py = problem.fixed_pos[b]
-            diag[ia] += w
-            bx[ia] += w * px
-            by[ia] += w * py
+            d_idx.append(ia)
+            d_val.append(w)
+            a_idx.append(ia)
+            a_x.append(w * px)
+            a_y.append(w * py)
         else:
             px, py = problem.fixed_pos[a]
-            diag[ib] += w
-            bx[ib] += w * px
-            by[ib] += w * py
+            d_idx.append(ib)
+            d_val.append(w)
+            a_idx.append(ib)
+            a_x.append(w * px)
+            a_y.append(w * py)
 
     for net_name, net in netlist.nets.items():
         if net.is_clock:
@@ -128,6 +138,16 @@ def _assemble(
             w = 2.0 / p
             for i in range(p - 1):
                 add_edge(unique[i], unique[i + 1], w)
+
+    diag = np.zeros(n)
+    bx = np.zeros(n)
+    by = np.zeros(n)
+    if d_idx:
+        np.add.at(diag, np.asarray(d_idx), np.asarray(d_val))
+    if a_idx:
+        anchor_idx = np.asarray(a_idx)
+        np.add.at(bx, anchor_idx, np.asarray(a_x))
+        np.add.at(by, anchor_idx, np.asarray(a_y))
 
     # Weak anchor to the die center keeps isolated components well-posed.
     diag += 1e-4
@@ -193,11 +213,19 @@ def _spread(
     if len(order) == 0:
         return
     if len(order) <= _LEAF_CELLS:
-        # Spread leaves evenly along the longer axis of the region.
-        for k, idx in enumerate(order):
-            t = (k + 1) / (len(order) + 1)
-            out_x[idx] = x0 + t * (x1 - x0)
-            out_y[idx] = y0 + 0.5 * (y1 - y0)
+        # Spread leaves evenly along the longer axis of the region,
+        # preserving their relative order along that axis.
+        along_x = (x1 - x0) >= (y1 - y0)
+        axis = xs if along_x else ys
+        leaf = order[np.argsort(axis[order], kind="stable")]
+        for k, idx in enumerate(leaf):
+            t = (k + 1) / (len(leaf) + 1)
+            if along_x:
+                out_x[idx] = x0 + t * (x1 - x0)
+                out_y[idx] = y0 + 0.5 * (y1 - y0)
+            else:
+                out_x[idx] = x0 + 0.5 * (x1 - x0)
+                out_y[idx] = y0 + t * (y1 - y0)
         return
     coord = ys if vertical else xs
     ranked = order[np.argsort(coord[order], kind="stable")]

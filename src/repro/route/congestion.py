@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.liberty.library import StdCellLibrary
-from repro.netlist.core import Netlist
+from repro.netlist.core import Instance, Net, Netlist
 from repro.obs import emit_metric, span
 from repro.timing.delaycalc import steiner_correction
 
@@ -85,6 +85,88 @@ def analyze_congestion(
     return result
 
 
+def _net_strips(
+    net: Net,
+    instances: dict[str, Instance],
+    pads: dict[str, tuple[float, float]],
+    bins: int,
+    bin_w: float,
+    bin_h: float,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """One net's L-route demand as (flat bin indices, demand values).
+
+    Model each net as an L-route: the horizontal span runs along the
+    driver's row of bins, the vertical span along the far column.
+    Spreading demand over the whole bbox *area* would dilute exactly
+    the long global nets that create congestion (LDPC's defining
+    feature); an L concentrates it the way a global router does.
+    Driverless (port-driven) nets anchor at the pad-ring coordinate of
+    the port, so edge demand is not folded onto the first sink.
+    Returns ``None`` for nets that place no demand (clock, degenerate).
+    """
+    if net.is_clock:
+        return None
+    points = []
+    if net.driver is not None:
+        points.append(instances[net.driver[0]].center())
+    else:
+        pad = pads.get(net.name)
+        if pad is not None:
+            points.append(pad)
+    for sink, _pin in net.sinks:
+        points.append(instances[sink].center())
+    if len(points) < 2:
+        return None
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+    length = hpwl * steiner_correction(len(net.sinks))
+    if length <= 0:
+        return None
+    last = bins - 1
+    bx0 = int(min(max(min(xs) / bin_w, 0), last))
+    bx1 = int(min(max(max(xs) / bin_w, 0), last))
+    by0 = int(min(max(min(ys) / bin_h, 0), last))
+    by1 = int(min(max(max(ys) / bin_h, 0), last))
+    nx = bx1 - bx0 + 1
+    ny = by1 - by0 + 1
+    correction = length / max(hpwl, 1e-9)
+    dy0 = int(min(max(points[0][1] / bin_h, by0), by1))
+    h_len = (max(xs) - min(xs)) * correction
+    v_len = (max(ys) - min(ys)) * correction
+    idx = np.concatenate(
+        (
+            dy0 * bins + np.arange(bx0, bx1 + 1),
+            np.arange(by0, by1 + 1) * bins + bx1,
+        )
+    )
+    val = np.concatenate(
+        (np.full(nx, h_len / nx), np.full(ny, v_len / ny))
+    )
+    return idx, val
+
+
+def _accumulate(strips, bins: int) -> np.ndarray:
+    """Replay per-net strips into a (bins, bins) demand grid.
+
+    One unbuffered ``np.add.at`` over the concatenated index/value
+    streams accumulates each bin's addends in net order -- bitwise
+    identical to adding every net's strips with scalar ``+=`` in a loop.
+    """
+    items = [s for s in strips if s is not None]
+    demand = np.zeros(bins * bins)
+    if items:
+        idx = np.concatenate([i for i, _v in items])
+        val = np.concatenate([v for _i, v in items])
+        np.add.at(demand, idx, val)
+    return demand.reshape(bins, bins)
+
+
+def _bin_capacity(bin_w: float, bin_h: float, tiers: int) -> float:
+    tracks = (bin_w / TRACK_PITCH_UM) * SIGNAL_LAYERS_PER_TIER * tiers
+    return tracks * bin_h * CAPACITY_DERATE
+
+
 def _analyze(
     netlist: Netlist,
     lib: StdCellLibrary,
@@ -93,44 +175,21 @@ def _analyze(
     tiers: int,
     bins: int,
 ) -> CongestionMap:
-    demand = np.zeros((bins, bins))
+    # Imported lazily: repro.place pulls in the session module, which in
+    # turn imports this one -- a top-level import would be circular.
+    from repro.place.floorplan import port_ring
+
     bin_w = width_um / bins
     bin_h = height_um / bins
-
-    for net in netlist.nets.values():
-        if net.is_clock:
-            continue
-        points = []
-        if net.driver is not None:
-            points.append(netlist.instances[net.driver[0]].center())
-        for sink, _pin in net.sinks:
-            points.append(netlist.instances[sink].center())
-        if len(points) < 2:
-            continue
-        xs = [p[0] for p in points]
-        ys = [p[1] for p in points]
-        hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
-        length = hpwl * steiner_correction(len(net.sinks))
-        if length <= 0:
-            continue
-        bx0 = int(np.clip(min(xs) / bin_w, 0, bins - 1))
-        bx1 = int(np.clip(max(xs) / bin_w, 0, bins - 1))
-        by0 = int(np.clip(min(ys) / bin_h, 0, bins - 1))
-        by1 = int(np.clip(max(ys) / bin_h, 0, bins - 1))
-        nx = bx1 - bx0 + 1
-        ny = by1 - by0 + 1
-        # Model each net as an L-route: the horizontal span runs along the
-        # driver's row of bins, the vertical span along the far column.
-        # Spreading demand over the whole bbox *area* would dilute exactly
-        # the long global nets that create congestion (LDPC's defining
-        # feature); an L concentrates it the way a global router does.
-        correction = length / max(hpwl, 1e-9)
-        dy0 = int(np.clip(points[0][1] / bin_h, by0, by1))
-        h_len = (max(xs) - min(xs)) * correction
-        v_len = (max(ys) - min(ys)) * correction
-        demand[dy0, bx0 : bx1 + 1] += h_len / nx
-        demand[by0 : by1 + 1, bx1] += v_len / ny
-
-    tracks = (bin_w / TRACK_PITCH_UM) * SIGNAL_LAYERS_PER_TIER * tiers
-    capacity = tracks * bin_h * CAPACITY_DERATE
-    return CongestionMap(bins=bins, demand=demand, capacity_um=capacity)
+    pads = port_ring(netlist, width_um, height_um)
+    instances = netlist.instances
+    demand = _accumulate(
+        (
+            _net_strips(net, instances, pads, bins, bin_w, bin_h)
+            for net in netlist.nets.values()
+        ),
+        bins,
+    )
+    return CongestionMap(
+        bins=bins, demand=demand, capacity_um=_bin_capacity(bin_w, bin_h, tiers)
+    )

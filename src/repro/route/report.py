@@ -42,10 +42,19 @@ def route_design(
     width_um: float,
     height_um: float,
     tiers: int,
+    *,
+    congestion: CongestionMap | None = None,
 ) -> RoutingReport:
-    """Estimate routed wirelength and congestion for a placed design."""
+    """Estimate routed wirelength and congestion for a placed design.
+
+    ``congestion`` lets callers that already maintain a current map (the
+    flow's placement session) pass it in instead of re-analyzing.
+    """
     with span("routing", tiers=tiers):
-        congestion = analyze_congestion(netlist, lib, width_um, height_um, tiers)
+        if congestion is None:
+            congestion = analyze_congestion(
+                netlist, lib, width_um, height_um, tiers
+            )
         steiner = 0.0
         mivs = 0
         for net in netlist.nets.values():

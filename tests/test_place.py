@@ -1,13 +1,28 @@
 """Tests for global placement and legalization (repro.place)."""
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import PlacementError
+from repro.liberty.cells import CellFunction
 from repro.liberty.presets import make_library_pair
+from repro.netlist.core import Netlist
 from repro.netlist.generators import generate_netlist
-from repro.place.floorplan import MACRO_HALO, build_floorplan
-from repro.place.legalizer import legalize
+from repro.place.floorplan import (
+    MACRO_HALO,
+    Floorplan,
+    MacroSlot,
+    build_floorplan,
+)
+from repro.place.legalizer import (
+    ROW_FILL_LIMIT,
+    _build_rows,
+    _split_row,
+    legalize,
+    row_capacity_um2,
+)
 from repro.place.quadratic import global_place
 
 
@@ -154,6 +169,30 @@ class TestLegalizer:
             row = round(inst.y_um / pitch)
             assert inst.y_um == pytest.approx(row * pitch, abs=1e-6)
 
+    def test_displacement_equals_per_cell_moves(self, pair):
+        """`LegalizeStats` reports exactly the sum of |dx|+|dy| applied."""
+        lib12, _ = pair
+        nl = generate_netlist("aes", lib12, scale=0.3, seed=5)
+        fp = build_floorplan(nl, {0: lib12}, utilization=0.7)
+        global_place(nl, fp)
+        movable = [
+            i for i in nl.instances.values()
+            if not i.fixed and not i.cell.is_macro
+        ]
+        before = {i.name: (i.x_um, i.y_um) for i in movable}
+        stats = legalize(nl, fp, lib12, tier=0)
+        moves = {
+            i.name: (abs(i.x_um - before[i.name][0]),
+                     abs(i.y_um - before[i.name][1]))
+            for i in movable
+        }
+        assert stats.total_displacement_um == pytest.approx(
+            sum(dx + dy for dx, dy in moves.values())
+        )
+        assert stats.max_displacement_um == pytest.approx(
+            max(max(dx, dy) for dx, dy in moves.values())
+        )
+
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=1000))
     def test_legalization_preserves_cell_count_property(self, pair, seed):
@@ -169,3 +208,171 @@ class TestLegalizer:
         assert stats.cells == len(movable)
         assert stats.total_displacement_um >= 0
         assert stats.max_displacement_um <= fp.width_um + fp.height_um
+
+
+class _StubCell:
+    is_macro = False
+
+    def __init__(self, width):
+        self.width_um = width
+        self.height_um = 1.2
+
+
+class _StubInst:
+    def __init__(self, name, width, x, y=0.0):
+        self.name = name
+        self.cell = _StubCell(width)
+        self.x_um = x
+        self.y_um = y
+
+
+def _assert_legal(nl, fp, lib, tier):
+    """Every cell on a row y, inside a free segment, no overlaps."""
+    pitch = lib.cell_height_um
+    rows = _build_rows(fp, lib, tier)
+    by_row: dict[int, list] = {}
+    for inst in nl.instances.values():
+        if inst.cell.is_macro or inst.fixed or inst.tier != tier:
+            continue
+        r = round(inst.y_um / pitch)
+        assert inst.y_um == pytest.approx(r * pitch, abs=1e-6)
+        _y, segs = rows[r]
+        assert any(
+            s0 - 1e-6 <= inst.x_um
+            and inst.x_um + inst.cell.width_um <= s1 + 1e-6
+            for s0, s1 in segs
+        ), f"{inst.name} outside free segments of row {r}"
+        by_row.setdefault(r, []).append(inst)
+    for members in by_row.values():
+        members.sort(key=lambda i: i.x_um)
+        for a, b in zip(members, members[1:]):
+            assert b.x_um >= a.x_um + a.cell.width_um - 1e-6
+
+
+class TestSegmentSplit:
+    def test_capacity_aware_rescue_of_stranded_cell(self):
+        """The x-order greedy strands a cell at a nearly-full segment even
+        though another segment has room; the capacity-aware re-split must
+        find the feasible assignment instead of raising."""
+        segs = [(0.0, 6.0), (20.0, 24.0)]
+        a = _StubInst("a", 4.0, 0.0)
+        b = _StubInst("b", 4.0, 4.5)
+        c = _StubInst("c", 2.0, 8.0)
+        chunks = _split_row([a, b, c], segs, y=0.0, tier=0)
+        widths = [sum(i.cell.width_um for i in ch) for ch in chunks]
+        assert widths[0] <= 6.0 and widths[1] <= 4.0
+        assert sorted(i.name for ch in chunks for i in ch) == ["a", "b", "c"]
+
+    def test_genuinely_oversubscribed_row_raises(self):
+        segs = [(0.0, 6.0), (20.0, 24.0)]
+        group = [_StubInst(f"g{i}", 4.0, 2.0 * i) for i in range(3)]
+        with pytest.raises(PlacementError, match="over-subscribed"):
+            _split_row(group, segs, y=0.0, tier=0)
+
+    def test_macro_blocked_row_near_fill_limit(self, pair):
+        """Regression: a macro-split row packed near `ROW_FILL_LIMIT` used
+        to raise a spurious over-subscription error because the greedy
+        dumped every leftover cell into the last segment."""
+        lib12, _ = pair
+        fp = Floorplan(
+            width_um=30.0, height_um=1.3, tiers=1, utilization=0.9,
+            macros=[MacroSlot("m", 12.0, 0.0, 6.0, 1.0)],
+        )
+        # Free segments: [0, 12] and [18.6, 30] (caps 12 / 11.4).  The
+        # x-ordered greedy fills [9.12], then [5.28, 5.28], stranding the
+        # trailing 2.4 even though segment 0 still has 2.88 spare.
+        nl = Netlist("blocked")
+        for name, drive, x in (
+            ("w8", 8, 0.0), ("w4a", 4, 9.0), ("w4b", 4, 14.0), ("w1", 1, 20.0),
+        ):
+            inst = nl.add_instance(name, lib12.get(CellFunction.DFF, drive))
+            inst.x_um = x
+            inst.y_um = 0.3
+        stats = legalize(nl, fp, lib12, tier=0)
+        assert stats.cells == 4
+        _assert_legal(nl, fp, lib12, tier=0)
+
+
+class TestSpreadLeaf:
+    def test_tall_region_spreads_along_y(self):
+        """Leaves in a tall thin region must fan out vertically (they used
+        to stack along x regardless of the region shape)."""
+        import numpy as np
+
+        from repro.place.quadratic import _spread
+
+        xs = np.array([0.5, 0.5, 0.5])
+        ys = np.array([3.0, 1.0, 2.0])
+        out_x = np.zeros(3)
+        out_y = np.zeros(3)
+        _spread(
+            ["a", "b", "c"], xs, ys, np.ones(3), (0.0, 0.0, 1.0, 10.0),
+            False, out_x, out_y, np.arange(3), [],
+        )
+        assert np.allclose(out_x, 0.5)
+        assert len(set(out_y.tolist())) == 3
+        # relative y order is preserved: b (y=1) < c (y=2) < a (y=3)
+        assert out_y[1] < out_y[2] < out_y[0]
+
+    def test_wide_region_spreads_along_x(self):
+        import numpy as np
+
+        from repro.place.quadratic import _spread
+
+        xs = np.array([1.0, 5.0])
+        ys = np.array([0.5, 0.5])
+        out_x = np.zeros(2)
+        out_y = np.zeros(2)
+        _spread(
+            ["a", "b"], xs, ys, np.ones(2), (0.0, 0.0, 10.0, 1.0),
+            False, out_x, out_y, np.arange(2), [],
+        )
+        assert np.allclose(out_y, 0.5)
+        assert out_x[0] < out_x[1]
+
+
+class TestFillLegalityProperty:
+    POOL = None
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        fill=st.floats(0.85, 0.97),
+        overfill=st.booleans(),
+    )
+    def test_high_fill_with_macros(self, pair, seed, fill, overfill):
+        """Random placements at 85-97% fill legalize into legal rows;
+        PlacementError is raised iff cell width genuinely exceeds the
+        row-capacity fill limit."""
+        lib12, _ = pair
+        fp = Floorplan(
+            width_um=30.0, height_um=12.0, tiers=1, utilization=0.9,
+            macros=[MacroSlot("m", 8.0, 3.0, 6.0, 4.0)],
+        )
+        capacity_w = row_capacity_um2(fp, lib12, 0) / lib12.cell_height_um
+        target = (fill + (0.1 if overfill else 0.0)) * capacity_w
+        pool = [
+            lib12.get(fn, d)
+            for fn in (CellFunction.INV, CellFunction.NAND2, CellFunction.BUF)
+            for d in lib12.drives_for(fn)
+        ]
+        rng = random.Random(seed)
+        nl = Netlist("fill")
+        total = 0.0
+        i = 0
+        while True:
+            cell = rng.choice(pool)
+            if total + cell.width_um > target:
+                break
+            inst = nl.add_instance(f"c{i}", cell)
+            inst.x_um = rng.uniform(0.0, fp.width_um - cell.width_um)
+            inst.y_um = rng.uniform(0.0, fp.height_um - cell.height_um)
+            total += cell.width_um
+            i += 1
+        if total > capacity_w * ROW_FILL_LIMIT:
+            with pytest.raises(PlacementError):
+                legalize(nl, fp, lib12, tier=0)
+        else:
+            stats = legalize(nl, fp, lib12, tier=0)
+            assert stats.cells == i
+            _assert_legal(nl, fp, lib12, tier=0)

@@ -54,6 +54,32 @@ class TestCongestion:
             peaks[name] = cmap.peak_demand
         assert peaks["ldpc"] > peaks["aes"]
 
+    def test_driverless_port_net_demands_at_pad(self, pair):
+        """A primary-input net must anchor its L-route at the pad-ring
+        coordinate, not at its first sink: demand has to reach the die
+        edge where the pad sits."""
+        from repro.liberty.cells import CellFunction
+        from repro.netlist.core import Netlist, PortDirection
+        from repro.place.floorplan import port_ring
+
+        lib12, _ = pair
+        w = h = 64.0
+        nl = Netlist("pads")
+        nl.add_port("din", PortDirection.INPUT)
+        for i in range(2):  # two sinks so the net is non-degenerate
+            inst = nl.add_instance(f"g{i}", lib12.get(CellFunction.INV, 1))
+            nl.connect("din", f"g{i}", "A")
+            inst.x_um = 31.0 + i
+            inst.y_um = 31.0
+        cmap = analyze_congestion(nl, lib12, w, h, 1, bins=8)
+        px, py = port_ring(nl, w, h)["din"]
+        pad_bin = cmap.demand[
+            min(int(py / (h / 8)), 7), min(int(px / (w / 8)), 7)
+        ]
+        assert pad_bin > 0.0
+        # the span from pad to sinks is covered, not just the sink bin
+        assert (cmap.demand > 0).sum() > 1
+
     def test_detour_factor_ramp(self):
         import numpy as np
 

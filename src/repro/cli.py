@@ -17,6 +17,11 @@ Commands
 ``trace``    pretty-print (or ``--validate``) a recorded trace file
 ``profile``  rank the hottest flow stages of a recorded trace
 ``check``    validate a saved checkpoint or FlowResult JSON file
+``serve``    run the crash-safe evaluation daemon (journaled job queue,
+             supervised worker pool, Unix-socket intake; SIGTERM drains)
+``submit``   send a flow/matrix/sweep/probe job to a running daemon
+``status``   show one job (or, without a job id, the daemon's stats)
+``result``   fetch a job's result (``--wait`` polls until terminal)
 
 ``flow``/``matrix``/``sweep``/``report`` accept ``--trace PATH``: spans
 are recorded for the whole command (workers inherit ``$REPRO_TRACE``)
@@ -308,6 +313,136 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def _default_socket() -> str:
+    """The socket path a bare ``repro serve`` would bind (env-aware)."""
+    from repro.serve.daemon import ServeConfig
+
+    return str(ServeConfig.from_env().socket_path)
+
+
+def _serve_client(args: argparse.Namespace):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(args.socket or _default_socket())
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.daemon import ServeConfig, serve
+
+    config = ServeConfig.from_env(
+        state_dir=Path(args.state_dir) if args.state_dir else None,
+        socket_path=Path(args.socket) if args.socket else None,
+        workers=args.workers,
+        queue_max=args.queue_max,
+        job_timeout_s=args.job_timeout,
+        drain_s=args.drain_timeout,
+    )
+    return serve(config)
+
+
+def _build_job_spec(args: argparse.Namespace) -> dict:
+    if args.probe:
+        return {
+            "kind": "probe",
+            "seconds": args.probe_seconds,
+            "payload": {"note": args.probe},
+            "nonce": args.probe,
+        }
+    if args.design is None:
+        raise ReproError("submit needs a design (or --probe NONCE)")
+    if args.matrix:
+        spec: dict = {
+            "kind": "matrix",
+            "designs": [args.design],
+            "scale": args.scale,
+            "seed": args.seed,
+        }
+        if args.period is not None:
+            spec["periods"] = {args.design: args.period}
+        return spec
+    if args.sweep:
+        return {
+            "kind": "sweep",
+            "design": args.design,
+            "scale": args.scale,
+            "seed": args.seed,
+        }
+    return {
+        "kind": "flow",
+        "design": args.design,
+        "config": args.config,
+        "period_ns": args.period,
+        "scale": args.scale,
+        "seed": args.seed,
+    }
+
+
+def _print_job_view(view: dict) -> None:
+    import json
+
+    print(json.dumps(view, indent=2, sort_keys=True))
+
+
+def _job_exit(view: dict) -> int:
+    if view.get("state") == "failed":
+        return EXIT_QUARANTINED
+    if view.get("state") == "done":
+        payload = view.get("result") or {}
+        # A kept-going matrix can complete with quarantined cells.
+        if payload.get("ok") is False or payload.get("failed"):
+            return EXIT_QUARANTINED
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    response = client.submit(_build_job_spec(args), priority=args.priority)
+    if not response.get("ok"):
+        code = response.get("code", "error")
+        print(f"error ({code}): {response.get('error')}", file=sys.stderr)
+        if code == "busy" and response.get("retry_after"):
+            print(f"retry after {response['retry_after']:.1f}s", file=sys.stderr)
+        return 1
+    job_id = response["job_id"]
+    dedup = " (deduplicated onto an existing job)" if response.get("deduped") else ""
+    print(f"submitted {job_id} [{response.get('state')}]{dedup}")
+    if not args.wait:
+        return 0
+    view = client.wait(job_id, timeout_s=args.wait_timeout)
+    _print_job_view(view)
+    return _job_exit(view)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    if args.job_id:
+        view = client.status(args.job_id)
+    else:
+        view = client.stats()
+    if not view.get("ok"):
+        print(f"error ({view.get('code', 'error')}): {view.get('error')}",
+              file=sys.stderr)
+        return 1
+    view.pop("ok", None)
+    _print_job_view(view)
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    if args.wait:
+        view = client.wait(args.job_id, timeout_s=args.wait_timeout)
+    else:
+        view = client.result(args.job_id)
+        if not view.get("ok"):
+            print(f"error ({view.get('code', 'error')}): {view.get('error')}",
+                  file=sys.stderr)
+            return 1
+    view.pop("ok", None)
+    _print_job_view(view)
+    return _job_exit(view)
+
+
 def _export_trace(path: str) -> None:
     """Write the recorded spans of this process to ``path``.
 
@@ -451,6 +586,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument("file", help="stage checkpoint or FlowResult JSON")
     p_check.set_defaults(func=_cmd_check)
+
+    def add_socket(p):
+        p.add_argument("--socket", default=None,
+                       help="daemon Unix socket (default: "
+                            "$REPRO_SERVE_DIR/serve.sock)")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the crash-safe evaluation daemon"
+    )
+    add_socket(p_serve)
+    p_serve.add_argument("--state-dir", default=None,
+                         help="journal/socket/pidfile directory "
+                              "(default $REPRO_SERVE_DIR or <cache>/serve)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default $REPRO_SERVE_WORKERS"
+                              " or 2)")
+    p_serve.add_argument("--queue-max", type=int, default=None,
+                         help="pending-job high-water mark before submits "
+                              "are rejected busy (default 64)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         help="per-job hang timeout in seconds; 0 disables "
+                              "(default 600)")
+    p_serve.add_argument("--drain-timeout", type=float, default=None,
+                         help="seconds in-flight jobs get to finish on "
+                              "SIGTERM/SIGINT (default 30)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser("submit", help="send a job to the daemon")
+    p_submit.add_argument("design", nargs="?", default=None,
+                          choices=DESIGN_NAMES)
+    p_submit.add_argument("--config", default="3D_HET", choices=CONFIG_NAMES)
+    p_submit.add_argument("--matrix", action="store_true",
+                          help="submit the full five-configuration matrix "
+                               "of DESIGN instead of one flow")
+    p_submit.add_argument("--sweep", action="store_true",
+                          help="submit a max-frequency period sweep")
+    p_submit.add_argument("--probe", metavar="NONCE", default=None,
+                          help="submit a cheap health-check probe instead "
+                               "of real work")
+    p_submit.add_argument("--probe-seconds", type=float, default=0.0,
+                          help="probe sleep time (default 0)")
+    p_submit.add_argument("--period", type=float, default=None,
+                          help="clock period in ns (flow: the cell's "
+                               "period; matrix: pins the design period)")
+    p_submit.add_argument("--scale", type=float, default=0.4)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="lower runs sooner (default 0)")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="poll until the job finishes and print its "
+                               "result (exit 3 when it failed)")
+    p_submit.add_argument("--wait-timeout", type=float, default=3600.0,
+                          help="--wait deadline in seconds (default 3600)")
+    add_socket(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="show one job, or the daemon stats"
+    )
+    p_status.add_argument("job_id", nargs="?", default=None)
+    add_socket(p_status)
+    p_status.set_defaults(func=_cmd_status)
+
+    p_result = sub.add_parser("result", help="fetch a job's result")
+    p_result.add_argument("job_id")
+    p_result.add_argument("--wait", action="store_true",
+                          help="poll until the job reaches done/failed")
+    p_result.add_argument("--wait-timeout", type=float, default=3600.0,
+                          help="--wait deadline in seconds (default 3600)")
+    add_socket(p_result)
+    p_result.set_defaults(func=_cmd_result)
     return parser
 
 

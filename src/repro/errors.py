@@ -86,3 +86,11 @@ class IntegrityError(ReproError):
 
 class CheckpointError(IntegrityError):
     """A flow checkpoint is missing, corrupt, or incompatible."""
+
+
+class ServeError(ReproError):
+    """The evaluation daemon, its journal, or a client request failed."""
+
+
+class LockError(ReproError):
+    """An advisory file lock could not be acquired in time."""

@@ -27,16 +27,23 @@ Environment knobs
 ``REPRO_CACHE``
     Kill switch: set to ``0``, ``off``, ``false`` or ``no`` to disable
     all reads and writes (every lookup misses, nothing is stored).
+``REPRO_LOCK_TIMEOUT_S``
+    How long :func:`manifest_lock` waits for another process to release
+    a run-manifest before raising :class:`~repro.errors.LockError`
+    (default 10; ``0`` fails immediately).
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 from repro import __version__
+from repro.errors import LockError
 from repro.experiments.faults import inject
 from repro.flow.report import FlowResult
 from repro.log import get_logger
@@ -51,6 +58,7 @@ __all__ = [
     "load_period",
     "load_result",
     "manifest_key",
+    "manifest_lock",
     "store_manifest",
     "store_payload",
     "store_period",
@@ -240,6 +248,58 @@ def load_manifest(key: str) -> dict | None:
 def store_manifest(key: str, manifest: dict) -> None:
     """Persist one run-manifest (rewritten as the run progresses)."""
     store_payload(key, manifest, entry_kind="manifest")
+
+
+@contextlib.contextmanager
+def manifest_lock(key: str, *, timeout_s: float | None = None):
+    """Exclusive advisory lock on one run-manifest (``flock`` based).
+
+    Two processes resuming the same matrix shape would interleave
+    manifest rewrites and clobber each other's progress records; the
+    serving daemon makes that a real concurrency, not a user error.
+    The lock is a kernel ``flock`` on ``<key>.lock`` next to the
+    manifest entry, so it evaporates when the holder dies -- including
+    ``kill -9`` -- and can never go stale the way pidfiles do.
+
+    Waits ``timeout_s`` (default ``$REPRO_LOCK_TIMEOUT_S`` or 10s) then
+    raises :class:`~repro.errors.LockError` naming the lock file.  With
+    the cache disabled there is no shared manifest to protect, so the
+    lock degrades to a no-op.
+    """
+    if not cache_enabled():
+        yield
+        return
+    import fcntl
+
+    if timeout_s is None:
+        try:
+            timeout_s = float(os.environ.get("REPRO_LOCK_TIMEOUT_S", "") or 10.0)
+        except ValueError:
+            timeout_s = 10.0
+    path = cache_dir() / f"{key}.lock"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_CREAT | os.O_RDWR)
+    deadline = time.monotonic() + max(0.0, timeout_s)
+    try:
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise LockError(
+                        f"another run holds the manifest lock {path.name}"
+                        f" (waited {timeout_s:.1f}s; is a second matrix of"
+                        f" the same shape already running?)"
+                    ) from None
+                time.sleep(0.05)
+        yield
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        os.close(fd)
 
 
 def clear_cache() -> int:

@@ -21,7 +21,16 @@ Recognized fields:
     Name of the injection point.  The engine defines ``cell`` (around
     each flow execution), ``period_search`` (around each target-period
     search), ``worker`` (at worker-process task entry) and
-    ``cache_write`` (around each on-disk cache store).
+    ``cache_write`` (around each on-disk cache store).  The serving
+    daemon (:mod:`repro.serve`) adds ``journal_write`` (around each
+    write-ahead journal append; context ``type``/``path``),
+    ``heartbeat`` (each worker heartbeat tick; ``kind=hang`` wedges the
+    worker so the watchdog sees a stale heartbeat; context ``worker``),
+    ``job_claim`` (around journaling a job claim, before dispatch;
+    context ``job``/``kind``/``worker``) and ``client_disconnect``
+    (around sending a response; firing drops the connection without
+    replying, like a client crash; context ``request``, since ``op=``
+    is reserved by the spec syntax).
 ``kind`` (required)
     ``raise`` (a deterministic :class:`FaultInjected`, a
     :class:`~repro.errors.ReproError`), ``raise_transient`` (a

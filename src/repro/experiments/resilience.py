@@ -357,122 +357,131 @@ def run_jobs_with_retry(
     round_no = 0
     pool = None  # reused across rounds unless it broke or timed out
 
-    while pending:
-        round_keys = sorted(pending)
-        if round_no > 0:
-            delay = policy.backoff(round_no - 1)
-            if delay:
-                time.sleep(delay)
-        if pool is None and round_no > 0:
-            telemetry.pool_rebuilds += 1
-            _log.warning(
-                "rebuilding worker pool (round %d) for %d job(s)",
-                round_no + 1, len(round_keys),
-            )
-        if pool is None:
-            try:
-                pool = pool_factory(min(jobs, len(round_keys)))
-            except Exception as exc:  # noqa: BLE001 -- spawn/OS failures
-                if round_no == 0:
-                    raise PoolUnavailable(str(exc)) from exc
-                for key in round_keys:
-                    stage, design, config = describe(key)
-                    failures[key] = _failed_cell(
-                        exc, stage="pool", design=design, config=config,
-                        attempts=attempts[key] + 1, keep_exception=False,
-                    )
-                break
-
-        futures = {}
-        submit_failed: list = []
-        try:
-            for key in round_keys:
-                futures[pool.submit(worker, *tasks[key])] = key
-        except Exception as exc:  # noqa: BLE001 -- broken at submit time
-            if round_no == 0 and not futures:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise PoolUnavailable(str(exc)) from exc
-            submitted = set(futures.values())
-            submit_failed = [
-                (key, exc) for key in round_keys if key not in submitted
-            ]
-
-        round_failures: dict = {}
-        deadline = (
-            time.monotonic() + policy.timeout_s if policy.timeout_s else None
-        )
-        not_done = set(futures)
-        broken = False
-        timed_out = False
-        while not_done:
-            step = 0.05 if deadline is not None else None
-            done, not_done = wait(
-                not_done, timeout=step, return_when=FIRST_COMPLETED
-            )
-            for future in done:
-                key = futures[future]
-                stage, design, config = describe(key)
+    try:
+        while pending:
+            round_keys = sorted(pending)
+            if round_no > 0:
+                delay = policy.backoff(round_no - 1)
+                if delay:
+                    time.sleep(delay)
+            if pool is None and round_no > 0:
+                telemetry.pool_rebuilds += 1
+                _log.warning(
+                    "rebuilding worker pool (round %d) for %d job(s)",
+                    round_no + 1, len(round_keys),
+                )
+            if pool is None:
                 try:
-                    results[key] = future.result()
-                except Exception as exc:  # noqa: BLE001
-                    if isinstance(exc, POOL_BREAKAGE):
-                        broken = True
-                        round_failures[key] = _failed_cell(
+                    pool = pool_factory(min(jobs, len(round_keys)))
+                except Exception as exc:  # noqa: BLE001 -- spawn/OS failures
+                    if round_no == 0:
+                        raise PoolUnavailable(str(exc)) from exc
+                    for key in round_keys:
+                        stage, design, config = describe(key)
+                        failures[key] = _failed_cell(
                             exc, stage="pool", design=design, config=config,
                             attempts=attempts[key] + 1, keep_exception=False,
                         )
-                    else:
-                        round_failures[key] = _failed_cell(
-                            exc, stage=stage, design=design, config=config,
-                            attempts=attempts[key] + 1, keep_exception=False,
-                        )
-            if deadline is not None and not_done and time.monotonic() > deadline:
-                timed_out = True
-                for future in not_done:
-                    future.cancel()
+                    break
+
+            futures = {}
+            submit_failed: list = []
+            try:
+                for key in round_keys:
+                    futures[pool.submit(worker, *tasks[key])] = key
+            except Exception as exc:  # noqa: BLE001 -- broken at submit time
+                if round_no == 0 and not futures:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise PoolUnavailable(str(exc)) from exc
+                submitted = set(futures.values())
+                submit_failed = [
+                    (key, exc) for key in round_keys if key not in submitted
+                ]
+
+            round_failures: dict = {}
+            deadline = (
+                time.monotonic() + policy.timeout_s if policy.timeout_s else None
+            )
+            not_done = set(futures)
+            broken = False
+            timed_out = False
+            while not_done:
+                step = 0.05 if deadline is not None else None
+                done, not_done = wait(
+                    not_done, timeout=step, return_when=FIRST_COMPLETED
+                )
+                for future in done:
                     key = futures[future]
                     stage, design, config = describe(key)
-                    telemetry.timeouts += 1
-                    _log.warning(
-                        "job %s/%s exceeded %.1fs timeout; abandoning attempt",
-                        design, config, policy.timeout_s,
-                    )
-                    round_failures[key] = FailedCell(
-                        design=design, config=config, stage="timeout",
-                        kind=TRANSIENT, error_type="TimeoutError",
-                        message=(
-                            f"no result within {policy.timeout_s:.1f}s"
-                        ),
-                        attempts=attempts[key] + 1,
-                    )
-                not_done = set()
-        if timed_out or broken or submit_failed:
-            # The pool is unusable (hung or crashed workers): tear it
-            # down now; the next round builds a fresh one.
-            _shutdown_pool(pool, kill=True)
-            pool = None
+                    try:
+                        results[key] = future.result()
+                    except Exception as exc:  # noqa: BLE001
+                        if isinstance(exc, POOL_BREAKAGE):
+                            broken = True
+                            round_failures[key] = _failed_cell(
+                                exc, stage="pool", design=design, config=config,
+                                attempts=attempts[key] + 1, keep_exception=False,
+                            )
+                        else:
+                            round_failures[key] = _failed_cell(
+                                exc, stage=stage, design=design, config=config,
+                                attempts=attempts[key] + 1, keep_exception=False,
+                            )
+                if deadline is not None and not_done and time.monotonic() > deadline:
+                    timed_out = True
+                    for future in not_done:
+                        future.cancel()
+                        key = futures[future]
+                        stage, design, config = describe(key)
+                        telemetry.timeouts += 1
+                        _log.warning(
+                            "job %s/%s exceeded %.1fs timeout; abandoning attempt",
+                            design, config, policy.timeout_s,
+                        )
+                        round_failures[key] = FailedCell(
+                            design=design, config=config, stage="timeout",
+                            kind=TRANSIENT, error_type="TimeoutError",
+                            message=(
+                                f"no result within {policy.timeout_s:.1f}s"
+                            ),
+                            attempts=attempts[key] + 1,
+                        )
+                    not_done = set()
+            if timed_out or broken or submit_failed:
+                # The pool is unusable (hung or crashed workers): tear it
+                # down now; the next round builds a fresh one.
+                _shutdown_pool(pool, kill=True)
+                pool = None
 
-        for key, exc in submit_failed:
-            stage, design, config = describe(key)
-            round_failures[key] = _failed_cell(
-                exc, stage="pool", design=design, config=config,
-                attempts=attempts[key] + 1, keep_exception=False,
-            )
-
-        pending = set()
-        for key, cell in round_failures.items():
-            attempts[key] = cell.attempts
-            if cell.kind == TRANSIENT and attempts[key] <= policy.max_retries:
-                telemetry.retries += 1
-                _log.warning(
-                    "retrying %s/%s (attempt %d/%d): %s",
-                    cell.design, cell.config, attempts[key] + 1,
-                    policy.max_retries + 1, cell.message,
+            for key, exc in submit_failed:
+                stage, design, config = describe(key)
+                round_failures[key] = _failed_cell(
+                    exc, stage="pool", design=design, config=config,
+                    attempts=attempts[key] + 1, keep_exception=False,
                 )
-                pending.add(key)
-            else:
-                failures[key] = cell
-        round_no += 1
+
+            pending = set()
+            for key, cell in round_failures.items():
+                attempts[key] = cell.attempts
+                if cell.kind == TRANSIENT and attempts[key] <= policy.max_retries:
+                    telemetry.retries += 1
+                    _log.warning(
+                        "retrying %s/%s (attempt %d/%d): %s",
+                        cell.design, cell.config, attempts[key] + 1,
+                        policy.max_retries + 1, cell.message,
+                    )
+                    pending.add(key)
+                else:
+                    failures[key] = cell
+            round_no += 1
+    except BaseException:
+        # Interrupt (SIGINT/SIGTERM via KeyboardInterrupt/SystemExit) or
+        # an unexpected crash mid-round: never leave worker processes
+        # running behind an exiting parent -- an orphaned pool keeps
+        # burning CPU and can double-run cells the caller will retry.
+        if pool is not None:
+            _shutdown_pool(pool, kill=True)
+        raise
     if pool is not None:
         _shutdown_pool(pool, kill=False)
     return results, failures

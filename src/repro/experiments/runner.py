@@ -487,35 +487,40 @@ def run_matrix(
     manifest_key = cache.manifest_key(
         designs, config_names, scale=scale, seed=seed, periods=target_periods
     )
-    if resume:
-        _restore_from_manifest(manifest_key, matrix)
-    if target_periods:
-        matrix.target_periods.update(target_periods)
+    # The whole run holds the manifest lock: two processes resuming the
+    # same shape (easy to do once matrices are served from a daemon)
+    # would interleave manifest rewrites.  flock dies with the holder,
+    # so an interrupted or killed run never leaves a stale lock behind.
+    with cache.manifest_lock(manifest_key):
+        if resume:
+            _restore_from_manifest(manifest_key, matrix)
+        if target_periods:
+            matrix.target_periods.update(target_periods)
 
-    try:
-        with span("matrix", scale=scale, seed=seed, jobs=jobs):
-            if jobs > 1 and run_matrix_parallel(
-                matrix,
-                designs=designs,
-                config_names=config_names,
-                jobs=jobs,
-                policy=policy,
-            ):
-                pass
-            else:
-                _run_matrix_serial(
-                    matrix, designs, config_names, policy, manifest_key
-                )
-    finally:
-        _store_run_manifest(
-            manifest_key, matrix, designs, config_names,
-            complete=matrix.ok
-            and all(
-                (d, c) in matrix.results
-                for d in designs
-                for c in config_names
-            ),
-        )
+        try:
+            with span("matrix", scale=scale, seed=seed, jobs=jobs):
+                if jobs > 1 and run_matrix_parallel(
+                    matrix,
+                    designs=designs,
+                    config_names=config_names,
+                    jobs=jobs,
+                    policy=policy,
+                ):
+                    pass
+                else:
+                    _run_matrix_serial(
+                        matrix, designs, config_names, policy, manifest_key
+                    )
+        finally:
+            _store_run_manifest(
+                manifest_key, matrix, designs, config_names,
+                complete=matrix.ok
+                and all(
+                    (d, c) in matrix.results
+                    for d in designs
+                    for c in config_names
+                ),
+            )
 
     if not matrix.ok and not policy.keep_going:
         raise matrix.all_failures()[0].raisable()

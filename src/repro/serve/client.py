@@ -1,0 +1,155 @@
+"""Client side of the evaluation daemon: connect-per-request + polling.
+
+Every operation opens a fresh connection, sends one JSON line, reads
+one JSON line back, and closes.  That makes the client stateless across
+daemon restarts: a request that lands while the daemon is down (socket
+missing or refusing) is retried inside ``reconnect_s`` -- combined with
+idempotent server ops (submits dedup, status/result are reads) the
+caller never has to care whether the daemon it is talking to is the
+incarnation it submitted to.
+
+:meth:`ServeClient.wait` polls ``result`` until the job reaches a
+terminal state, riding out daemon downtime the same way; jobs survive
+restarts in the journal, so waiting through a crash is expected to
+succeed, not error.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.serve.protocol import MAX_LINE_BYTES, encode_message, decode_line
+
+__all__ = ["ServeClient", "request"]
+
+
+def request(
+    socket_path: str | Path,
+    message: dict,
+    *,
+    timeout_s: float = 30.0,
+    reconnect_s: float = 0.0,
+) -> dict:
+    """One request/response round-trip; retries connection for ``reconnect_s``.
+
+    Raises :class:`ServeError` when the daemon stays unreachable past the
+    reconnect window, answers with a malformed line, or hangs up without
+    responding (e.g. an injected ``client_disconnect`` fault).
+    """
+    path = str(socket_path)
+    deadline = time.monotonic() + max(0.0, reconnect_s)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return _round_trip(path, message, timeout_s)
+        except (ConnectionRefusedError, FileNotFoundError, ConnectionResetError,
+                BrokenPipeError) as exc:
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"daemon unreachable at {path} after {attempt} attempt(s):"
+                    f" {type(exc).__name__}: {exc}"
+                ) from exc
+            time.sleep(min(0.2, max(0.02, 0.02 * attempt)))
+        except socket.timeout as exc:
+            raise ServeError(
+                f"daemon at {path} did not answer within {timeout_s:.1f}s"
+            ) from exc
+
+
+def _round_trip(path: str, message: dict, timeout_s: float) -> dict:
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout_s)
+        sock.connect(path)
+        sock.sendall(encode_message(message))
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            chunk = sock.recv(1 << 16)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+            if chunk.endswith(b"\n"):
+                break
+            if total > MAX_LINE_BYTES:
+                raise ServeError("daemon response exceeds the line limit")
+    line = b"".join(chunks)
+    if not line.endswith(b"\n"):
+        # The daemon hung up mid-response (crash, injected disconnect):
+        # surface as a connection error so the retry loop reconnects.
+        raise ConnectionResetError("daemon closed the connection mid-response")
+    return decode_line(line.rstrip(b"\n"))
+
+
+class ServeClient:
+    """Thin convenience wrapper binding a socket path and retry window."""
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        *,
+        timeout_s: float = 30.0,
+        reconnect_s: float = 10.0,
+    ):
+        self.socket_path = Path(socket_path)
+        self.timeout_s = timeout_s
+        self.reconnect_s = reconnect_s
+
+    def _op(self, message: dict, *, reconnect_s: float | None = None) -> dict:
+        return request(
+            self.socket_path,
+            message,
+            timeout_s=self.timeout_s,
+            reconnect_s=self.reconnect_s if reconnect_s is None else reconnect_s,
+        )
+
+    def ping(self, *, reconnect_s: float | None = None) -> dict:
+        return self._op({"op": "ping"}, reconnect_s=reconnect_s)
+
+    def submit(self, job: dict, *, priority: int = 0) -> dict:
+        return self._op({"op": "submit", "job": job, "priority": priority})
+
+    def status(self, job_id: str) -> dict:
+        return self._op({"op": "status", "job_id": job_id})
+
+    def result(self, job_id: str) -> dict:
+        return self._op({"op": "result", "job_id": job_id})
+
+    def stats(self) -> dict:
+        return self._op({"op": "stats"})
+
+    def drain(self) -> dict:
+        return self._op({"op": "drain"})
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.2,
+    ) -> dict:
+        """Poll until the job is ``done``/``failed``; rides out restarts.
+
+        Raises :class:`ServeError` on deadline, on an unknown job (a
+        journal that never saw the submit), or when the daemon stays
+        down longer than the reconnect window.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            view = self.result(job_id)
+            if not view.get("ok"):
+                raise ServeError(
+                    f"waiting on {job_id}: {view.get('error', 'unknown error')}"
+                )
+            if view.get("state") in ("done", "failed"):
+                return view
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {view.get('state')!r} after"
+                    f" {timeout_s:.1f}s"
+                )
+            time.sleep(poll_s)

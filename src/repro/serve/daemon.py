@@ -1,0 +1,549 @@
+"""The flow-as-a-service daemon: intake, recovery, backpressure, drain.
+
+``repro serve`` turns the batch matrix engine into a long-lived
+evaluation server.  Clients speak the JSON-lines protocol of
+:mod:`repro.serve.protocol` over a Unix socket; jobs flow through the
+journaled queue (:mod:`repro.serve.queue`) into the supervised worker
+pool (:mod:`repro.serve.supervisor`).
+
+Crash safety is one invariant, enforced in :class:`ServerCore`: **the
+journal is written and fsync'd before any in-memory transition, and
+before any acknowledgment leaves the process.**  Restart (including
+after ``kill -9``) replays the journal, requeues whatever was claimed
+but unfinished, and compacts the file.  Re-running a recovered matrix
+job costs nothing redundant: completed cells reload from the
+content-addressed result cache and interrupted matrices resume through
+their run-manifest, so a served run interrupted at any instant still
+converges to results byte-identical to a clean batch run.
+
+Admission control: past ``REPRO_SERVE_QUEUE_MAX`` pending jobs a submit
+is rejected with ``code=busy`` and a ``retry_after`` hint instead of
+letting the backlog (and every client's latency) grow without bound.
+Deduplicated submits are always admitted -- they add no work.
+
+Graceful drain: SIGTERM/SIGINT flips the daemon into draining mode --
+new submits are rejected (``code=draining``), status/result stay
+available, in-flight jobs get ``REPRO_SERVE_DRAIN_S`` seconds to
+finish, the journal is flushed, and the process exits 0.  Jobs still
+running at the deadline stay claimed in the journal and are requeued by
+the next start.
+
+Environment knobs (all prefixed ``REPRO_SERVE_``)
+-------------------------------------------------
+``DIR`` state directory (journal, socket, pidfile); ``WORKERS`` pool
+size; ``QUEUE_MAX`` pending high-water mark; ``HEARTBEAT_S`` worker
+heartbeat interval (stale after 3x); ``JOB_TIMEOUT_S`` per-job hang
+limit (0 disables); ``RESTART_BUDGET`` attempts before a poison job is
+failed; ``DRAIN_S`` drain deadline; ``RETRY_AFTER_S`` backpressure
+hint.  CLI flags override the environment.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import socketserver
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.experiments.cache import cache_dir
+from repro.experiments.faults import FaultInjected, inject
+from repro.experiments.telemetry import get_telemetry
+from repro.log import get_logger
+from repro.serve.journal import Journal, JournalError
+from repro.serve.protocol import (
+    ProtocolError,
+    encode_message,
+    job_key,
+    normalize_spec,
+    read_message,
+)
+from repro.serve.queue import DONE, FAILED, PENDING, JobQueue, QueueFull
+from repro.serve.supervisor import Supervisor
+
+__all__ = ["ServeConfig", "ServerCore", "ServerStats", "serve"]
+
+_log = get_logger("serve.daemon")
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+@dataclass
+class ServeConfig:
+    """Resolved daemon configuration (env defaults, CLI overrides)."""
+
+    state_dir: Path
+    workers: int = 2
+    queue_max: int = 64
+    heartbeat_s: float = 1.0
+    job_timeout_s: float = 600.0
+    restart_budget: int = 3
+    drain_s: float = 30.0
+    retry_after_s: float = 2.0
+    socket_path: Path | None = None
+
+    @staticmethod
+    def from_env(**overrides) -> "ServeConfig":
+        """Build from ``$REPRO_SERVE_*``; non-``None`` overrides win."""
+        state_dir = Path(
+            os.environ.get("REPRO_SERVE_DIR") or (cache_dir() / "serve")
+        ).expanduser()
+        config = ServeConfig(
+            state_dir=state_dir,
+            workers=_env_int("REPRO_SERVE_WORKERS", 2),
+            queue_max=_env_int("REPRO_SERVE_QUEUE_MAX", 64),
+            heartbeat_s=_env_float("REPRO_SERVE_HEARTBEAT_S", 1.0),
+            job_timeout_s=_env_float("REPRO_SERVE_JOB_TIMEOUT_S", 600.0),
+            restart_budget=_env_int("REPRO_SERVE_RESTART_BUDGET", 3),
+            drain_s=_env_float("REPRO_SERVE_DRAIN_S", 30.0),
+            retry_after_s=_env_float("REPRO_SERVE_RETRY_AFTER_S", 2.0),
+        )
+        for name, value in overrides.items():
+            if value is None:
+                continue
+            if name not in {f.name for f in fields(ServeConfig)}:
+                raise ServeError(f"unknown serve option {name!r}")
+            setattr(config, name, value)
+        config.state_dir = Path(config.state_dir)
+        if config.socket_path is None:
+            config.socket_path = config.state_dir / "serve.sock"
+        config.socket_path = Path(config.socket_path)
+        return config
+
+    @property
+    def journal_path(self) -> Path:
+        return self.state_dir / "journal.wal"
+
+    @property
+    def pid_path(self) -> Path:
+        return self.state_dir / "daemon.pid"
+
+
+@dataclass
+class ServerStats:
+    """Daemon-side counters (the workers' flow telemetry merges apart)."""
+
+    submitted: int = 0
+    deduped: int = 0
+    completed: int = 0
+    failed: int = 0
+    requeued: int = 0
+    recovered: int = 0
+    busy_rejected: int = 0
+    draining_rejected: int = 0
+    worker_respawns: int = 0
+    hangs_detected: int = 0
+    started_s: float = field(default_factory=time.time)
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "completed": self.completed,
+            "failed": self.failed,
+            "requeued": self.requeued,
+            "recovered": self.recovered,
+            "busy_rejected": self.busy_rejected,
+            "draining_rejected": self.draining_rejected,
+            "worker_respawns": self.worker_respawns,
+            "hangs_detected": self.hangs_detected,
+            "uptime_s": time.time() - self.started_s,
+        }
+
+
+class ServerCore:
+    """Journal + queue + stats behind one lock; transport-agnostic.
+
+    Every mutator follows the same order: journal (fsync'd) first, then
+    memory, then acknowledgment.  A :class:`JournalError` aborts the
+    transition entirely -- the daemon would rather refuse work than
+    accept work it might lose.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.stats = ServerStats()
+        self.draining = False
+        self._lock = threading.RLock()
+        config.state_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = Journal(config.journal_path)
+        records = self.journal.open()
+        self.queue = JobQueue(max_pending=config.queue_max)
+        recovered = self.queue.restore(records)
+        self.stats.recovered = len(recovered)
+        if records:
+            # Startup is the one quiet moment: squash the replayed
+            # history down to its live state so the file stays bounded.
+            self.journal.compact(self.queue.live_records())
+        for job_id in recovered:
+            job = self.queue.jobs[job_id]
+            self.journal.append(
+                "requeue", job_id=job_id, attempts=job.attempts,
+                reason="recovered",
+            )
+
+    # ------------------------------------------------------------------
+    # client-facing operations
+    # ------------------------------------------------------------------
+    def submit(self, raw_spec: dict, priority: int = 0) -> dict:
+        spec = normalize_spec(raw_spec)
+        key = job_key(spec)
+        with self._lock:
+            existing = self.queue.lookup_key(key)
+            if existing is not None:
+                self.stats.deduped += 1
+                return {
+                    "ok": True,
+                    "job_id": existing.job_id,
+                    "state": existing.state,
+                    "deduped": True,
+                }
+            if self.draining:
+                self.stats.draining_rejected += 1
+                return {
+                    "ok": False,
+                    "code": "draining",
+                    "error": "daemon is draining; submit again after restart",
+                    "retry_after": self.config.retry_after_s,
+                }
+            try:
+                job = self.queue.make_job(
+                    spec["kind"], spec, key, int(priority)
+                )
+            except QueueFull as exc:
+                self.stats.busy_rejected += 1
+                return {
+                    "ok": False,
+                    "code": "busy",
+                    "error": str(exc),
+                    "retry_after": self.config.retry_after_s,
+                }
+            self.journal.append(
+                "submit",
+                job_id=job.job_id,
+                job_seq=job.seq,
+                key=key,
+                kind=job.kind,
+                spec=spec,
+                priority=job.priority,
+                submitted_s=job.submitted_s,
+            )
+            self.queue.add(job)
+            self.stats.submitted += 1
+            return {
+                "ok": True,
+                "job_id": job.job_id,
+                "state": job.state,
+                "deduped": False,
+            }
+
+    def status(self, job_id: str) -> dict:
+        with self._lock:
+            job = self.queue.jobs.get(job_id)
+            if job is None:
+                return {
+                    "ok": False, "code": "unknown_job",
+                    "error": f"no such job {job_id!r}",
+                }
+            view = job.status_view()
+            position = self.queue.position(job_id)
+            if position is not None:
+                view["pending_ahead"] = position
+            view["ok"] = True
+            view["draining"] = self.draining
+            return view
+
+    def result(self, job_id: str) -> dict:
+        with self._lock:
+            job = self.queue.jobs.get(job_id)
+            if job is None:
+                return {
+                    "ok": False, "code": "unknown_job",
+                    "error": f"no such job {job_id!r}",
+                }
+            view = job.status_view()
+            view["ok"] = True
+            if job.state == DONE:
+                view["result"] = job.result
+            return view
+
+    def stats_view(self) -> dict:
+        with self._lock:
+            return {
+                "ok": True,
+                "draining": self.draining,
+                "pending": self.queue.pending_count(),
+                "running": self.queue.running_count(),
+                "jobs": len(self.queue.jobs),
+                "stats": self.stats.to_dict(),
+                "telemetry": get_telemetry().snapshot(),
+            }
+
+    # ------------------------------------------------------------------
+    # supervisor-facing operations (journal first, memory second)
+    # ------------------------------------------------------------------
+    def job(self, job_id: str):
+        with self._lock:
+            return self.queue.jobs.get(job_id)
+
+    def claim_job(self, worker: str):
+        with self._lock:
+            job = self.queue.next_pending()
+            if job is None:
+                return None
+            with inject(
+                "job_claim", job=job.job_id, kind=job.kind, worker=worker
+            ):
+                self.journal.append(
+                    "claim",
+                    job_id=job.job_id,
+                    worker=worker,
+                    attempt=job.attempts + 1,
+                )
+            return self.queue.mark_claimed(job.job_id, worker)
+
+    def finish_job(self, job_id: str, payload, telemetry=None) -> None:
+        with self._lock:
+            job = self.queue.jobs.get(job_id)
+            if job is None or job.state in (DONE, FAILED):
+                return
+            result = payload if isinstance(payload, dict) else None
+            self.journal.append("complete", job_id=job_id, result=result)
+            self.queue.mark_done(job_id, result)
+            self.stats.completed += 1
+            if telemetry:
+                get_telemetry().merge(telemetry)
+
+    def fail_job(self, job_id: str, error: dict, telemetry=None) -> None:
+        with self._lock:
+            job = self.queue.jobs.get(job_id)
+            if job is None or job.state in (DONE, FAILED):
+                return
+            self.journal.append("fail", job_id=job_id, error=error)
+            self.queue.mark_failed(job_id, error)
+            self.stats.failed += 1
+            if telemetry:
+                get_telemetry().merge(telemetry)
+            _log.warning(
+                "job %s failed: %s: %s",
+                job_id, error.get("error_type"), error.get("message"),
+            )
+
+    def requeue_job(self, job_id: str, reason: str, telemetry=None) -> None:
+        with self._lock:
+            job = self.queue.jobs.get(job_id)
+            if job is None or job.state in (DONE, FAILED, PENDING):
+                return
+            self.journal.append(
+                "requeue", job_id=job_id, attempts=job.attempts, reason=reason
+            )
+            self.queue.mark_requeued(job_id)
+            self.stats.requeued += 1
+            if telemetry:
+                get_telemetry().merge(telemetry)
+            _log.warning("requeued job %s: %s", job_id, reason)
+
+    def stats_bump(self, counter: str) -> None:
+        with self._lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+
+    def start_drain(self) -> None:
+        with self._lock:
+            self.draining = True
+
+    def close(self) -> None:
+        with self._lock:
+            self.journal.close()
+
+
+# ----------------------------------------------------------------------
+# socket transport
+# ----------------------------------------------------------------------
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        core: ServerCore = self.server.core  # type: ignore[attr-defined]
+        try:
+            message = read_message(self.rfile)
+        except ProtocolError as exc:
+            self._reply({"ok": False, "code": "bad_request", "error": str(exc)})
+            return
+        if message is None:
+            return
+        op = message.get("op")
+        try:
+            if op == "ping":
+                response = {"ok": True, "pid": os.getpid()}
+            elif op == "submit":
+                response = core.submit(
+                    message.get("job") or {},
+                    priority=int(message.get("priority", 0) or 0),
+                )
+            elif op == "status":
+                response = core.status(str(message.get("job_id", "")))
+            elif op == "result":
+                response = core.result(str(message.get("job_id", "")))
+            elif op == "stats":
+                response = core.stats_view()
+            elif op == "drain":
+                self.server.request_shutdown()  # type: ignore[attr-defined]
+                response = {"ok": True, "draining": True}
+            else:
+                response = {
+                    "ok": False, "code": "bad_request",
+                    "error": f"unknown op {op!r}",
+                }
+        except ProtocolError as exc:
+            response = {"ok": False, "code": "bad_request", "error": str(exc)}
+        except JournalError as exc:
+            response = {"ok": False, "code": "internal", "error": str(exc)}
+        self._reply(response, op=str(op))
+
+    def _reply(self, response: dict, op: str = "?") -> None:
+        try:
+            # Context key is `request`, not `op`: op= is reserved by the
+            # fault-spec syntax for corrupt_design operators.
+            with inject("client_disconnect", request=op):
+                self.wfile.write(encode_message(response))
+                self.wfile.flush()
+        except FaultInjected:
+            # Injected mid-response disconnect: close without replying,
+            # exactly as a client crash or cut connection would look.
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # the client went away; its retry will reconnect
+
+
+class _Server(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, socket_path: Path, core: ServerCore, stop_event):
+        self.core = core
+        self._stop_event = stop_event
+        super().__init__(str(socket_path), _Handler)
+
+    def request_shutdown(self) -> None:
+        self._stop_event.set()
+
+
+def _claim_pidfile(pid_path: Path) -> None:
+    """Refuse to double-start; adopt the pidfile of a dead daemon."""
+    pid_path.parent.mkdir(parents=True, exist_ok=True)
+    for _ in range(2):
+        try:
+            fd = os.open(pid_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.write(fd, str(os.getpid()).encode("ascii"))
+            os.close(fd)
+            return
+        except FileExistsError:
+            try:
+                pid = int(pid_path.read_text().strip() or "0")
+            except (OSError, ValueError):
+                pid = 0
+            if pid > 0 and pid != os.getpid() and _pid_alive(pid):
+                raise ServeError(
+                    f"daemon already running (pid {pid}, {pid_path})"
+                ) from None
+            # Stale pidfile from a killed daemon: take over.
+            pid_path.unlink(missing_ok=True)
+    raise ServeError(f"cannot claim pidfile {pid_path}")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def serve(config: ServeConfig) -> int:
+    """Run the daemon until drained; returns the process exit status.
+
+    Blocks the calling thread.  SIGTERM/SIGINT (or a client ``drain``
+    op) stop intake, give in-flight jobs ``drain_s`` seconds, flush the
+    journal, and return 0.
+    """
+    _claim_pidfile(config.pid_path)
+    stop = threading.Event()
+    core = ServerCore(config)
+    try:
+        config.socket_path.unlink(missing_ok=True)
+        server = _Server(config.socket_path, core, stop)
+    except OSError as exc:
+        config.pid_path.unlink(missing_ok=True)
+        core.close()
+        raise ServeError(
+            f"cannot bind socket {config.socket_path}: {exc}"
+        ) from exc
+
+    supervisor = Supervisor(
+        core,
+        workers=config.workers,
+        heartbeat_s=config.heartbeat_s,
+        job_timeout_s=config.job_timeout_s,
+        restart_budget=config.restart_budget,
+    )
+
+    def on_signal(signum, _frame):
+        _log.warning("received signal %d; draining", signum)
+        stop.set()
+
+    old_handlers = {
+        sig: signal.signal(sig, on_signal)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    server_thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="repro-serve-socket",
+        daemon=True,
+    )
+    try:
+        supervisor.start()
+        server_thread.start()
+        _log.warning(
+            "serving on %s (journal %s, %d worker(s), %d job(s) recovered)",
+            config.socket_path, config.journal_path,
+            config.workers, core.stats.recovered,
+        )
+        stop.wait()
+        # --- graceful drain -------------------------------------------
+        core.start_drain()  # submits now answer code=draining
+        drained = supervisor.drain(config.drain_s)
+        _log.warning(
+            "drain %s; shutting down",
+            "complete" if drained else "timed out",
+        )
+    finally:
+        supervisor.stop()
+        server.shutdown()
+        server.server_close()
+        server_thread.join(timeout=5.0)
+        core.close()
+        config.socket_path.unlink(missing_ok=True)
+        config.pid_path.unlink(missing_ok=True)
+        for sig, handler in old_handlers.items():
+            signal.signal(sig, handler)
+    return 0

@@ -1,0 +1,214 @@
+"""Wire protocol and job-spec normalization for the evaluation daemon.
+
+Transport is JSON-lines over a Unix stream socket: each request is one
+JSON object on one ``\\n``-terminated line, answered by exactly one JSON
+object on one line.  Every response carries ``"ok"``; failures add
+``"error"`` (human text) and ``"code"`` (machine string -- ``busy``,
+``draining``, ``unknown_job``, ``bad_request``, ``internal``).  The
+connection closes after the response, so clients reconnect per request
+-- which is also what makes daemon restarts invisible to a polling
+client.
+
+Job specs
+---------
+A submitted job is ``{"kind": ..., ...}`` with one of four kinds:
+
+``flow``
+    One matrix cell: ``design``, ``config``, ``period_ns``, ``scale``,
+    ``seed``.
+``matrix``
+    A full evaluation matrix: ``designs``, ``configs``, ``scale``,
+    ``seed``, optional pinned ``periods``.
+``sweep``
+    One 12-track max-frequency search: ``design``, ``scale``, ``seed``.
+``probe``
+    A cheap health-check job that echoes ``payload`` after ``seconds``
+    of sleep; ``nonce`` differentiates probes that must not dedup, and
+    ``fail`` (``"deterministic"``/``"transient"``) forces a failure --
+    the serving analog of the fault-injection harness.
+
+:func:`normalize_spec` validates a raw spec and fills every default
+*explicitly* (e.g. ``scale`` becomes a concrete float), because the
+normalized spec is hashed into the job's **single-flight dedup key**
+(:func:`job_key`): two clients submitting the same work must produce
+the same key regardless of which defaults they spelled out.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ServeError
+from repro.experiments.cache import cache_key
+from repro.experiments.configs import CONFIG_NAMES
+from repro.netlist.generators import DESIGN_NAMES
+
+__all__ = [
+    "KINDS",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "decode_line",
+    "encode_message",
+    "job_key",
+    "normalize_spec",
+    "read_message",
+]
+
+KINDS = ("flow", "matrix", "sweep", "probe")
+
+#: One request or response line may not exceed this (results included).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ServeError):
+    """A request or job spec is malformed (client error, never retried)."""
+
+
+# ----------------------------------------------------------------------
+# job specs
+# ----------------------------------------------------------------------
+def _as_float(spec: dict, field: str, default: float | None) -> float | None:
+    value = spec.get(field, default)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError(f"spec field {field!r} must be a number")
+    return float(value)
+
+
+def _as_int(spec: dict, field: str, default: int) -> int:
+    value = spec.get(field, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"spec field {field!r} must be an integer")
+    return value
+
+
+def _as_design(value) -> str:
+    if value not in DESIGN_NAMES:
+        raise ProtocolError(
+            f"unknown design {value!r} (expected one of {', '.join(DESIGN_NAMES)})"
+        )
+    return str(value)
+
+
+def normalize_spec(raw: dict) -> dict:
+    """Validate a raw job spec into its canonical, fully-explicit form.
+
+    Raises :class:`ProtocolError` on anything malformed.  The result is
+    stable under re-normalization and is what :func:`job_key` hashes.
+    """
+    if not isinstance(raw, dict):
+        raise ProtocolError("job spec must be an object")
+    kind = raw.get("kind")
+    if kind not in KINDS:
+        raise ProtocolError(
+            f"unknown job kind {kind!r} (expected one of {', '.join(KINDS)})"
+        )
+    from repro.experiments.runner import default_scale
+
+    if kind == "flow":
+        config = raw.get("config", "3D_HET")
+        if config not in CONFIG_NAMES:
+            raise ProtocolError(f"unknown config {config!r}")
+        return {
+            "kind": "flow",
+            "design": _as_design(raw.get("design")),
+            "config": str(config),
+            "period_ns": _as_float(raw, "period_ns", None),
+            "scale": _as_float(raw, "scale", default_scale()),
+            "seed": _as_int(raw, "seed", 0),
+        }
+    if kind == "matrix":
+        designs = raw.get("designs") or list(DESIGN_NAMES)
+        if isinstance(designs, str):
+            designs = [designs]
+        if not isinstance(designs, (list, tuple)) or not designs:
+            raise ProtocolError("spec field 'designs' must be a non-empty list")
+        configs = raw.get("configs") or list(CONFIG_NAMES)
+        if not isinstance(configs, (list, tuple)) or not configs:
+            raise ProtocolError("spec field 'configs' must be a non-empty list")
+        for config in configs:
+            if config not in CONFIG_NAMES:
+                raise ProtocolError(f"unknown config {config!r}")
+        periods = raw.get("periods") or {}
+        if not isinstance(periods, dict):
+            raise ProtocolError("spec field 'periods' must be an object")
+        for design, period in periods.items():
+            _as_design(design)
+            if not isinstance(period, (int, float)) or isinstance(period, bool):
+                raise ProtocolError(f"period for {design!r} must be a number")
+        return {
+            "kind": "matrix",
+            "designs": [_as_design(d) for d in designs],
+            "configs": [str(c) for c in configs],
+            "scale": _as_float(raw, "scale", default_scale()),
+            "seed": _as_int(raw, "seed", 0),
+            "periods": {str(d): float(p) for d, p in sorted(periods.items())},
+        }
+    if kind == "sweep":
+        return {
+            "kind": "sweep",
+            "design": _as_design(raw.get("design")),
+            "scale": _as_float(raw, "scale", default_scale()),
+            "seed": _as_int(raw, "seed", 0),
+        }
+    # probe
+    fail = raw.get("fail", "")
+    if fail not in ("", "deterministic", "transient"):
+        raise ProtocolError(
+            "spec field 'fail' must be 'deterministic' or 'transient'"
+        )
+    payload = raw.get("payload")
+    try:
+        json.dumps(payload)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"probe payload is not JSON-safe: {exc}") from None
+    return {
+        "kind": "probe",
+        "seconds": _as_float(raw, "seconds", 0.0),
+        "payload": payload,
+        "nonce": str(raw.get("nonce", "")),
+        "fail": str(fail),
+    }
+
+
+def job_key(spec: dict) -> str:
+    """Content-addressed single-flight key of a *normalized* spec.
+
+    Reuses the result cache's keying (SHA-256 of canonical JSON plus the
+    package version), so the dedup domain rolls over with releases just
+    like cached results do.
+    """
+    return cache_key("serve-job", spec=spec)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_message(message: dict) -> bytes:
+    """One message as its newline-terminated JSON line."""
+    return json.dumps(message, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line; raises :class:`ProtocolError` when bad."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not a JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def read_message(sock_file) -> dict | None:
+    """Read one framed message from a socket file; ``None`` on EOF.
+
+    Raises :class:`ProtocolError` on oversized or malformed lines.
+    """
+    line = sock_file.readline(MAX_LINE_BYTES + 1)
+    if not line:
+        return None
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    return decode_line(line.rstrip(b"\n"))

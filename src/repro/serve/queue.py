@@ -1,0 +1,324 @@
+"""Priority job queue with single-flight dedup and journal restore.
+
+The queue is deliberately *dumb about durability*: it is a pure
+in-memory state machine, and :class:`~repro.serve.daemon.ServerCore`
+journals every transition **before** calling the matching mutator here.
+That ordering is the recovery invariant -- anything the memory knows,
+the journal already knows -- and it is what lets
+:meth:`JobQueue.restore` rebuild the exact queue from a replayed record
+list after a crash.
+
+Single-flight dedup: jobs are keyed by the content address of their
+normalized spec (:func:`repro.serve.protocol.job_key`).  A submit whose
+key matches a live (pending/running/done) job returns that job instead
+of creating a new one -- two clients asking for the same matrix share
+one execution and both read the same result.  Only a *failed* job's key
+is released, so resubmitting known-bad work is allowed to try again.
+
+Backpressure: ``max_pending`` bounds the pending backlog.  A submit
+past the high-water mark raises :class:`QueueFull` (the daemon turns
+that into a ``busy`` + ``retry_after`` response) -- except when it
+dedups onto an existing job, which costs nothing.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.log import get_logger
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobQueue",
+    "PENDING",
+    "QueueFull",
+    "RUNNING",
+    "STATES",
+]
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+STATES = (PENDING, RUNNING, DONE, FAILED)
+
+_log = get_logger("serve.queue")
+
+
+class QueueFull(ServeError):
+    """The pending backlog is past the high-water mark (shed load)."""
+
+
+@dataclass
+class Job:
+    """One unit of served work, from submit to its terminal record."""
+
+    job_id: str
+    key: str  # content-addressed single-flight key
+    kind: str
+    spec: dict
+    priority: int = 0  # lower runs sooner; FIFO within a priority
+    seq: int = 0  # submission order (heap tiebreak, stable ids)
+    state: str = PENDING
+    attempts: int = 0
+    worker: str = ""
+    submitted_s: float = 0.0
+    result: dict | None = None  # payload of the complete record
+    error: dict | None = None  # structured failure of the fail record
+
+    def status_view(self) -> dict:
+        """The JSON-safe view ``status`` responses return (no payload)."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "worker": self.worker if self.state == RUNNING else "",
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """In-memory queue: priority heap + dedup index + job table."""
+
+    def __init__(self, max_pending: int | None = None):
+        self.max_pending = max_pending
+        self.jobs: dict[str, Job] = {}
+        self._by_key: dict[str, str] = {}
+        self._heap: list[tuple[int, int, str]] = []  # (priority, seq, id)
+        self._next_seq = 0
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def pending_count(self) -> int:
+        return sum(1 for job in self.jobs.values() if job.state == PENDING)
+
+    def running_count(self) -> int:
+        return sum(1 for job in self.jobs.values() if job.state == RUNNING)
+
+    def lookup_key(self, key: str) -> Job | None:
+        """The live (non-failed) job already covering this key, if any."""
+        job_id = self._by_key.get(key)
+        if job_id is None:
+            return None
+        job = self.jobs[job_id]
+        return None if job.state == FAILED else job
+
+    def make_job(self, kind: str, spec: dict, key: str, priority: int) -> Job:
+        """Build (but do not enqueue) the next job for this spec.
+
+        Split from :meth:`add` so the caller can journal the submit
+        record -- with the final job id and seq -- *before* the queue
+        mutates.  Raises :class:`QueueFull` past the high-water mark.
+        """
+        if (
+            self.max_pending is not None
+            and self.pending_count() >= self.max_pending
+        ):
+            raise QueueFull(
+                f"queue is full ({self.pending_count()} pending,"
+                f" high-water mark {self.max_pending})"
+            )
+        seq = self._next_seq
+        return Job(
+            job_id=f"j{seq:06d}-{key[:8]}",
+            key=key,
+            kind=kind,
+            spec=spec,
+            priority=priority,
+            seq=seq,
+            submitted_s=time.time(),
+        )
+
+    def add(self, job: Job) -> Job:
+        """Enqueue a job built by :meth:`make_job` (journal already has it)."""
+        self._next_seq = max(self._next_seq, job.seq + 1)
+        self.jobs[job.job_id] = job
+        self._by_key[job.key] = job.job_id
+        if job.state == PENDING:
+            heapq.heappush(self._heap, (job.priority, job.seq, job.job_id))
+        return job
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def next_pending(self) -> Job | None:
+        """Peek the highest-priority pending job without claiming it."""
+        while self._heap:
+            _prio, _seq, job_id = self._heap[0]
+            job = self.jobs.get(job_id)
+            if job is not None and job.state == PENDING:
+                return job
+            heapq.heappop(self._heap)  # stale entry (claimed/failed/replaced)
+        return None
+
+    def mark_claimed(self, job_id: str, worker: str) -> Job:
+        """Transition pending -> running (claim record already journaled)."""
+        job = self.jobs[job_id]
+        if job.state != PENDING:
+            raise ServeError(f"cannot claim job {job_id} in state {job.state}")
+        job.state = RUNNING
+        job.worker = worker
+        job.attempts += 1
+        return job
+
+    def mark_requeued(self, job_id: str, *, attempts: int | None = None) -> Job:
+        """Transition running -> pending (worker died, hang, daemon restart)."""
+        job = self.jobs[job_id]
+        job.state = PENDING
+        job.worker = ""
+        if attempts is not None:
+            job.attempts = attempts
+        heapq.heappush(self._heap, (job.priority, job.seq, job.job_id))
+        return job
+
+    def mark_done(self, job_id: str, result: dict | None) -> Job:
+        job = self.jobs[job_id]
+        job.state = DONE
+        job.worker = ""
+        job.result = result
+        return job
+
+    def mark_failed(self, job_id: str, error: dict) -> Job:
+        job = self.jobs[job_id]
+        job.state = FAILED
+        job.worker = ""
+        job.error = error
+        # Release the single-flight key so the spec may be resubmitted.
+        if self._by_key.get(job.key) == job.job_id:
+            del self._by_key[job.key]
+        return job
+
+    def position(self, job_id: str) -> int | None:
+        """How many pending jobs run before this one (``None`` if not pending)."""
+        job = self.jobs.get(job_id)
+        if job is None or job.state != PENDING:
+            return None
+        return sum(
+            1
+            for other in self.jobs.values()
+            if other.state == PENDING
+            and (other.priority, other.seq) < (job.priority, job.seq)
+        )
+
+    # ------------------------------------------------------------------
+    # journal restore
+    # ------------------------------------------------------------------
+    def restore(self, records: list[dict]) -> list[str]:
+        """Rebuild the queue from replayed journal records.
+
+        Applies the same reduction the live daemon performs, then
+        converts every job the journal left ``running`` back to
+        ``pending`` -- a claim without a terminal record means the
+        worker died with the daemon, and the job must run again.
+        Completed and failed jobs keep their terminal state forever (a
+        claim replayed *after* a complete record is ignored: finished
+        work is never reopened).  Returns the ids of the recovered
+        (requeued) jobs so the caller can journal their requeue records.
+        """
+        for record in records:
+            rtype = record.get("type")
+            if rtype == "submit":
+                spec = record.get("spec")
+                job_id = record.get("job_id")
+                if not isinstance(spec, dict) or not isinstance(job_id, str):
+                    continue
+                if job_id in self.jobs:
+                    continue  # duplicate submit record: first one wins
+                job = Job(
+                    job_id=job_id,
+                    key=str(record.get("key", "")),
+                    kind=str(record.get("kind", "")),
+                    spec=spec,
+                    priority=int(record.get("priority", 0)),
+                    seq=int(record.get("job_seq", 0)),
+                    submitted_s=float(record.get("submitted_s", 0.0)),
+                )
+                self.jobs[job.job_id] = job
+                self._by_key[job.key] = job.job_id
+                self._next_seq = max(self._next_seq, job.seq + 1)
+                continue
+            job = self.jobs.get(record.get("job_id", ""))
+            if job is None or job.state in (DONE, FAILED):
+                continue
+            if rtype == "claim":
+                job.state = RUNNING
+                job.worker = str(record.get("worker", ""))
+                job.attempts = int(record.get("attempt", job.attempts + 1))
+            elif rtype == "requeue":
+                job.state = PENDING
+                job.worker = ""
+                job.attempts = int(record.get("attempts", job.attempts))
+            elif rtype == "complete":
+                job.state = DONE
+                job.worker = ""
+                result = record.get("result")
+                job.result = result if isinstance(result, dict) else None
+            elif rtype == "fail":
+                job.state = FAILED
+                job.worker = ""
+                error = record.get("error")
+                job.error = error if isinstance(error, dict) else {
+                    "error_type": "ServeError", "message": "unknown failure",
+                }
+                if self._by_key.get(job.key) == job.job_id:
+                    del self._by_key[job.key]
+            # unknown record types: forward-compatible no-op
+
+        recovered: list[str] = []
+        for job in self.jobs.values():
+            if job.state == RUNNING:
+                job.state = PENDING
+                job.worker = ""
+                recovered.append(job.job_id)
+        for job in self.jobs.values():
+            if job.state == PENDING:
+                heapq.heappush(self._heap, (job.priority, job.seq, job.job_id))
+        if recovered:
+            _log.warning(
+                "journal recovery requeued %d in-flight job(s): %s",
+                len(recovered), ", ".join(sorted(recovered)),
+            )
+        return sorted(recovered)
+
+    def live_records(self) -> list[dict]:
+        """Re-serialize the queue for journal compaction.
+
+        One submit record per job plus its terminal (or attempts-
+        preserving requeue) record, in submission order -- replaying
+        these reproduces this exact queue.
+        """
+        records: list[dict] = []
+        for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+            records.append(
+                {
+                    "type": "submit",
+                    "seq": 2 * job.seq,
+                    "job_id": job.job_id,
+                    "job_seq": job.seq,
+                    "key": job.key,
+                    "kind": job.kind,
+                    "spec": job.spec,
+                    "priority": job.priority,
+                    "submitted_s": job.submitted_s,
+                }
+            )
+            extra: dict | None = None
+            if job.state == DONE:
+                extra = {"type": "complete", "result": job.result}
+            elif job.state == FAILED:
+                extra = {"type": "fail", "error": job.error}
+            elif job.attempts:
+                extra = {"type": "requeue", "attempts": job.attempts,
+                         "reason": "compaction"}
+            if extra is not None:
+                extra.update({"seq": 2 * job.seq + 1, "job_id": job.job_id})
+                records.append(extra)
+        return records

@@ -1,0 +1,503 @@
+"""Worker-pool supervisor: heartbeats, hang detection, restart budgets.
+
+Each worker is a separate process (spawn context: the daemon is
+multi-threaded, and forking a threaded parent is how deadlocks are
+born) connected by a duplex pipe and a shared heartbeat timestamp.  The
+supervisor runs one thread in the daemon, ticking a fixed loop:
+
+1. **harvest** -- pull finished-job replies off worker pipes and hand
+   them to the core (which journals before mutating);
+2. **reap** -- a dead worker process (crash, ``os._exit``, OOM kill) is
+   replaced and its job requeued as a *transient* failure;
+3. **watchdog** -- a worker whose heartbeat went stale (the process is
+   wedged) or whose job outlived the per-job timeout (the flow is
+   hung) is killed, replaced, and its job requeued;
+4. **dispatch** -- idle workers claim the highest-priority pending job
+   (claim journaled and fsync'd *before* the job crosses the pipe).
+
+Requeues respect a **restart budget**: a job whose attempts exceed it
+is failed as a poison job (``crash_loop``) instead of being allowed to
+take the pool down forever -- the serving analog of the batch engine's
+transient-vs-deterministic taxonomy (transient worker death retries;
+the budget converts "retries forever" into a structured failure).
+
+Workers double as crash-confinement cells: they set ``PR_SET_PDEATHSIG``
+so a ``kill -9`` of the daemon kills them too (no orphan keeps burning
+CPU or double-running a flow after the daemon restarts and requeues),
+and their heartbeat thread exits the process if the parent pid changes,
+as a fallback where pdeathsig is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+
+from repro.log import get_logger
+from repro.obs import attach_subtree
+
+__all__ = ["Supervisor", "WorkerHandle"]
+
+_log = get_logger("serve.supervisor")
+
+
+# ----------------------------------------------------------------------
+# worker process side
+# ----------------------------------------------------------------------
+def _set_pdeathsig() -> None:
+    """Ask Linux to SIGKILL this worker when its parent dies."""
+    try:
+        import ctypes
+        import signal
+
+        PR_SET_PDEATHSIG = 1
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(PR_SET_PDEATHSIG, signal.SIGKILL, 0, 0, 0)
+    except Exception:  # noqa: BLE001 -- best-effort on non-Linux
+        pass
+
+
+def _heartbeat_loop(name, heartbeat, parent_pid, interval_s, stop):
+    """Worker-side thread: beat the shared timestamp, watch the parent."""
+    from repro.experiments.faults import inject
+
+    while not stop.is_set():
+        with inject("heartbeat", worker=name):
+            heartbeat.value = time.time()
+        if os.getppid() != parent_pid:
+            # The daemon died without pdeathsig delivering: do not keep
+            # running (and possibly double-running) its job as an orphan.
+            os._exit(40)
+        stop.wait(interval_s)
+
+
+def _execute_job(kind: str, spec: dict, attempt: int) -> dict:
+    """Run one job body; returns its JSON-safe result payload."""
+    if kind == "probe":
+        from repro.experiments.faults import FaultInjected
+
+        if spec.get("seconds"):
+            time.sleep(float(spec["seconds"]))
+        fail = spec.get("fail")
+        if fail == "deterministic":
+            raise FaultInjected("probe requested a deterministic failure")
+        if fail == "transient":
+            raise OSError("probe requested a transient failure")
+        return {"echo": spec.get("payload"), "attempt": attempt}
+    if kind == "sweep":
+        from repro.experiments.runner import find_target_period
+
+        period = find_target_period(
+            spec["design"], scale=spec["scale"], seed=spec["seed"]
+        )
+        return {"design": spec["design"], "period_ns": period}
+    if kind == "flow":
+        from repro.experiments.runner import run_configuration
+
+        _design, result = run_configuration(
+            spec["design"],
+            spec["config"],
+            period_ns=spec["period_ns"],
+            scale=spec["scale"],
+            seed=spec["seed"],
+        )
+        return {"result": result.to_dict()}
+    # matrix: serial inside the worker (no nested pools); interrupted
+    # attempts resume through the run-manifest + content-addressed cache,
+    # so a requeued matrix never re-executes a completed cell.
+    from repro.experiments.runner import run_matrix
+
+    matrix = run_matrix(
+        designs=tuple(spec["designs"]),
+        config_names=tuple(spec["configs"]),
+        scale=spec["scale"],
+        seed=spec["seed"],
+        jobs=1,
+        keep_going=True,
+        resume=attempt > 1,
+        target_periods=dict(spec["periods"]) or None,
+    )
+    return {
+        "ok": matrix.ok,
+        "target_periods": dict(matrix.target_periods),
+        "results": {
+            f"{d}/{c}": r.to_dict() for (d, c), r in matrix.results.items()
+        },
+        "failed": [cell.to_dict() for cell in matrix.all_failures()],
+    }
+
+
+def _worker_main(name: str, conn, heartbeat, parent_pid: int, interval_s: float):
+    """Worker entry point: loop on jobs from the pipe until told to stop."""
+    from repro.errors import ReproError
+    from repro.experiments.faults import inject
+    from repro.experiments.resilience import (
+        DETERMINISTIC,
+        TRANSIENT,
+        TRANSIENT_ERRORS,
+    )
+    from repro.experiments.telemetry import get_telemetry, reset_telemetry
+    from repro.log import init_from_env
+    from repro.obs import reset_trace, trace_snapshot
+
+    _set_pdeathsig()
+    init_from_env()
+    stop = threading.Event()
+    beat = threading.Thread(
+        target=_heartbeat_loop,
+        args=(name, heartbeat, parent_pid, interval_s, stop),
+        daemon=True,
+    )
+    beat.start()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        job_id, kind, spec, attempt = task
+        reset_telemetry()
+        reset_trace(from_env=True)
+        try:
+            with inject("worker", stage=kind, job=job_id, worker=name):
+                payload = _execute_job(kind, spec, attempt)
+            reply = {"job_id": job_id, "status": "done", "payload": payload}
+        except Exception as exc:  # noqa: BLE001 -- process boundary
+            transient = not isinstance(exc, ReproError) and isinstance(
+                exc, TRANSIENT_ERRORS
+            )
+            reply = {
+                "job_id": job_id,
+                "status": "failed",
+                "error": {
+                    "error_type": type(exc).__name__,
+                    "message": str(exc),
+                    "kind": TRANSIENT if transient else DETERMINISTIC,
+                    "attempt": attempt,
+                    "worker": name,
+                },
+            }
+        reply["telemetry"] = get_telemetry().snapshot()
+        reply["trace"] = trace_snapshot()
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    stop.set()
+
+
+# ----------------------------------------------------------------------
+# daemon side
+# ----------------------------------------------------------------------
+class WorkerHandle:
+    """One supervised worker process and its channel state."""
+
+    def __init__(self, name: str, ctx, heartbeat_interval_s: float):
+        self.name = name
+        self.ctx = ctx
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.proc = None
+        self.conn = None
+        self.heartbeat = None
+        self.job_id: str | None = None
+        self.job_started_s = 0.0
+        self.spawn()
+
+    def spawn(self) -> None:
+        # 0.0 = "no beat since spawn": the watchdog grants booting
+        # workers a grace period (spawn + imports dwarf heartbeat_s).
+        self.spawned_s = time.time()
+        self.heartbeat = self.ctx.Value("d", 0.0)
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        self.proc = self.ctx.Process(
+            target=_worker_main,
+            args=(
+                self.name,
+                child_conn,
+                self.heartbeat,
+                os.getpid(),
+                self.heartbeat_interval_s,
+            ),
+            daemon=True,
+            name=f"repro-serve-{self.name}",
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.job_id = None
+        self.job_started_s = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.job_id is None
+
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.is_alive()
+
+    def last_beat_s(self) -> float:
+        return float(self.heartbeat.value)
+
+    def assign(self, job) -> None:
+        self.job_id = job.job_id
+        self.job_started_s = time.monotonic()
+        self.conn.send((job.job_id, job.kind, job.spec, job.attempts))
+
+    def kill(self) -> None:
+        """Hard-stop the process (hung or crashed); the pipe dies with it."""
+        try:
+            if self.proc is not None and self.proc.is_alive():
+                self.proc.kill()
+            if self.proc is not None:
+                self.proc.join(timeout=2.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            if self.conn is not None:
+                self.conn.close()
+        except OSError:
+            pass
+
+    def stop(self, timeout_s: float = 2.0) -> None:
+        """Polite shutdown: close the intake, then join, then kill."""
+        try:
+            if self.conn is not None:
+                self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            if self.proc is not None:
+                self.proc.join(timeout=timeout_s)
+        except (OSError, ValueError):
+            pass
+        self.kill()
+
+
+class Supervisor:
+    """Drives the worker pool from one daemon thread."""
+
+    def __init__(
+        self,
+        core,
+        *,
+        workers: int,
+        heartbeat_s: float,
+        job_timeout_s: float,
+        restart_budget: int,
+        poll_s: float = 0.05,
+        boot_grace_s: float = 30.0,
+    ):
+        self.core = core
+        self.workers_wanted = max(1, workers)
+        self.heartbeat_s = heartbeat_s
+        self.boot_grace_s = boot_grace_s
+        self.job_timeout_s = job_timeout_s
+        self.restart_budget = restart_budget
+        self.poll_s = poll_s
+        self.ctx = multiprocessing.get_context("spawn")
+        self.workers: list[WorkerHandle] = []
+        self._draining = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.workers = [
+            WorkerHandle(f"w{i}", self.ctx, self.heartbeat_s)
+            for i in range(self.workers_wanted)
+        ]
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 -- the pool must outlive bugs
+                _log.exception("supervisor tick failed; continuing")
+            self._stop.wait(self.poll_s)
+
+    def stop(self) -> None:
+        """Stop the loop and the workers (jobs in flight stay claimed:
+        the journal requeues them on the next daemon start)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        for handle in self.workers:
+            handle.stop()
+
+    def drain(self, timeout_s: float) -> bool:
+        """Finish in-flight jobs without dispatching new ones.
+
+        Returns ``True`` when every worker went idle in time.  Jobs
+        still running at the deadline stay claimed in the journal -- the
+        next daemon start requeues them -- and their workers are killed.
+        """
+        self._draining = True
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if all(handle.idle for handle in self.workers):
+                return True
+            time.sleep(min(0.05, self.poll_s))
+        busy = [h.name for h in self.workers if not h.idle]
+        if busy:
+            _log.warning(
+                "drain timeout after %.1fs; %s still busy (their jobs"
+                " will be recovered from the journal on restart)",
+                timeout_s, ", ".join(busy),
+            )
+        return not busy
+
+    # ------------------------------------------------------------------
+    # one scheduling step (also driven directly by tests)
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        self._harvest()
+        self._reap()
+        self._watchdog()
+        if not self._draining:
+            self._dispatch()
+
+    def _harvest(self) -> None:
+        for handle in self.workers:
+            if handle.idle or handle.conn is None:
+                continue
+            try:
+                while handle.conn.poll(0):
+                    reply = handle.conn.recv()
+                    self._deliver(handle, reply)
+            except (EOFError, OSError):
+                continue  # the reaper below deals with the corpse
+
+    def _deliver(self, handle: WorkerHandle, reply: dict) -> None:
+        job_id = reply.get("job_id")
+        if job_id != handle.job_id:
+            _log.warning(
+                "worker %s replied for %s while assigned %s; dropping",
+                handle.name, job_id, handle.job_id,
+            )
+            return
+        handle.job_id = None
+        telemetry = reply.get("telemetry")
+        trace = reply.get("trace")
+        if trace:
+            attach_subtree(trace, worker=f"serve:{handle.name}")
+        if reply.get("status") == "done":
+            self.core.finish_job(job_id, reply.get("payload"), telemetry)
+            return
+        error = reply.get("error") or {}
+        if error.get("kind") == "transient":
+            self._requeue_or_poison(
+                job_id,
+                reason=f"transient failure: {error.get('error_type')}:"
+                       f" {error.get('message')}",
+                telemetry=telemetry,
+                error=error,
+            )
+        else:
+            self.core.fail_job(job_id, error, telemetry)
+
+    def _reap(self) -> None:
+        for handle in self.workers:
+            if handle.alive():
+                continue
+            exitcode = handle.proc.exitcode if handle.proc else None
+            job_id = handle.job_id
+            handle.kill()
+            self.core.stats_bump("worker_respawns")
+            _log.warning(
+                "worker %s died (exit %s)%s; respawning",
+                handle.name, exitcode,
+                f" while running {job_id}" if job_id else "",
+            )
+            handle.spawn()
+            if job_id is not None:
+                self._requeue_or_poison(
+                    job_id, reason=f"worker died (exit {exitcode})"
+                )
+
+    def _watchdog(self) -> None:
+        now = time.time()
+        mono = time.monotonic()
+        for handle in self.workers:
+            if not handle.alive():
+                continue  # the reaper handles corpses
+            beat = handle.last_beat_s()
+            if beat == 0.0:
+                # Still booting (spawn + imports): grace, not staleness.
+                stale = now - handle.spawned_s > self.boot_grace_s
+            else:
+                stale = now - beat > 3.0 * self.heartbeat_s
+            hung = (
+                not handle.idle
+                and self.job_timeout_s > 0
+                and mono - handle.job_started_s > self.job_timeout_s
+            )
+            if not stale and not hung:
+                continue
+            job_id = handle.job_id
+            why = (
+                f"job exceeded {self.job_timeout_s:.1f}s timeout" if hung
+                else f"heartbeat stale for >{3.0 * self.heartbeat_s:.1f}s"
+            )
+            _log.warning(
+                "worker %s is wedged (%s); killing and respawning",
+                handle.name, why,
+            )
+            self.core.stats_bump("hangs_detected")
+            self.core.stats_bump("worker_respawns")
+            handle.kill()
+            handle.spawn()
+            if job_id is not None:
+                self._requeue_or_poison(job_id, reason=why)
+
+    def _requeue_or_poison(
+        self,
+        job_id: str,
+        *,
+        reason: str,
+        telemetry=None,
+        error: dict | None = None,
+    ) -> None:
+        job = self.core.job(job_id)
+        if job is None:
+            return
+        if job.attempts > self.restart_budget:
+            poison = {
+                "error_type": "CrashLoop",
+                "message": (
+                    f"job failed {job.attempts} attempt(s), over the"
+                    f" restart budget of {self.restart_budget};"
+                    f" last: {reason}"
+                ),
+                "kind": "transient",
+                "attempt": job.attempts,
+            }
+            if error:
+                poison["cause"] = error
+            self.core.fail_job(job_id, poison, telemetry)
+            return
+        self.core.requeue_job(job_id, reason, telemetry)
+
+    def _dispatch(self) -> None:
+        for handle in self.workers:
+            if not handle.idle or not handle.alive():
+                continue
+            job = self.core.claim_job(handle.name)
+            if job is None:
+                return
+            try:
+                handle.assign(job)
+            except (BrokenPipeError, OSError):
+                # Worker died between claim and send: requeue right away;
+                # the reaper respawns the process on the next tick.
+                handle.job_id = None
+                self._requeue_or_poison(
+                    job.job_id, reason="worker pipe broke at dispatch"
+                )

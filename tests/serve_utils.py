@@ -1,0 +1,93 @@
+"""Helpers for tests that drive a real ``repro serve`` daemon subprocess."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.serve.client import ServeClient
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def daemon_env(state_dir: Path, **extra: str) -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC)
+    env["REPRO_SERVE_DIR"] = str(state_dir)
+    env.update(extra)
+    return env
+
+
+def start_daemon(
+    state_dir: Path,
+    *,
+    args: tuple[str, ...] = (),
+    env: dict | None = None,
+    boot_timeout_s: float = 30.0,
+) -> tuple[subprocess.Popen, ServeClient]:
+    """Launch ``repro serve`` and wait until its socket answers ping."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", *args],
+        env=env or daemon_env(state_dir),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    client = ServeClient(state_dir / "serve.sock", reconnect_s=boot_timeout_s)
+    try:
+        client.ping()
+    except Exception:
+        proc.kill()
+        out, _ = proc.communicate(timeout=10)
+        raise AssertionError(f"daemon never came up; output:\n{out}")
+    return proc, client
+
+
+def stop_daemon(proc: subprocess.Popen) -> None:
+    if proc.poll() is None:
+        proc.kill()
+    try:
+        proc.communicate(timeout=10)
+    except subprocess.TimeoutExpired:
+        pass
+
+
+def child_pids(pid: int) -> list[int]:
+    """Direct children of ``pid`` (worker processes), via /proc."""
+    children: list[int] = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue
+        # field 4 of /proc/<pid>/stat is ppid (comm may contain spaces,
+        # so split after the closing paren).
+        fields = stat.rsplit(")", 1)[-1].split()
+        if len(fields) > 1 and int(fields[1]) == pid:
+            children.append(int(entry.name))
+    return children
+
+
+def pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+def wait_until(predicate, *, timeout_s: float, what: str, poll_s: float = 0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll_s)
+    raise AssertionError(f"timed out after {timeout_s:.1f}s waiting for {what}")

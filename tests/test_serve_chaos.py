@@ -1,0 +1,190 @@
+"""Chaos acceptance: served matrix under crash+hang+kill -9 == clean run.
+
+The scenario the whole PR exists for: a five-configuration ``aes``
+matrix is served while the harness injects
+
+1. a worker crash at task entry (``site=worker,kind=exit``) -- the
+   supervisor respawns the worker and requeues the job;
+2. a wedged flow on the final configuration (``site=cell,kind=hang``)
+   -- the attempt is alive but stuck when
+3. the daemon itself is ``kill -9``'d mid-run.
+
+A restarted daemon must recover the job from the journal, resume it
+through the run-manifest, and converge to results **byte-identical** to
+a clean in-process batch run -- with the result cache proving that no
+completed flow ever executed twice (the final attempt's telemetry shows
+cache hits for every pre-kill cell, flow runs only for the rest).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments import cache
+from repro.experiments.configs import CONFIG_NAMES
+from repro.experiments.runner import run_matrix
+from tests.serve_utils import (
+    child_pids,
+    daemon_env,
+    pid_alive,
+    start_daemon,
+    stop_daemon,
+    wait_until,
+)
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="POSIX-only chaos test"
+)
+
+DESIGN = "aes"
+SCALE = 0.4
+SEED = 17
+PERIOD_NS = 1.1
+HANG_CONFIG = CONFIG_NAMES[-1]  # the last cell the serial matrix runs
+
+MATRIX_SPEC = {
+    "kind": "matrix",
+    "designs": [DESIGN],
+    "configs": list(CONFIG_NAMES),
+    "scale": SCALE,
+    "seed": SEED,
+    "periods": {DESIGN: PERIOD_NS},
+}
+
+
+def _manifest_key() -> str:
+    return cache.manifest_key(
+        (DESIGN,), tuple(CONFIG_NAMES), scale=SCALE, seed=SEED,
+        periods={DESIGN: PERIOD_NS},
+    )
+
+
+def _completed_cells(served_cache) -> int:
+    """Completed-cell count in the served run-manifest (daemon's cache)."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(served_cache)
+    try:
+        manifest = cache.load_manifest(_manifest_key())
+    finally:
+        if old is None:
+            del os.environ["REPRO_CACHE_DIR"]
+        else:
+            os.environ["REPRO_CACHE_DIR"] = old
+    return len(manifest.get("completed", [])) if manifest else 0
+
+
+def test_served_matrix_survives_chaos_byte_identical(
+    tmp_path, monkeypatch
+):
+    state_dir = tmp_path / "serve"
+    served_cache = tmp_path / "cache-served"
+    clean_cache = tmp_path / "cache-clean"
+    env = daemon_env(
+        state_dir,
+        REPRO_CACHE_DIR=str(served_cache),
+        REPRO_SERVE_WORKERS="1",
+        REPRO_SERVE_HEARTBEAT_S="1.0",
+        # Recovered claims keep counting attempts across restarts, so
+        # the budget must absorb crash + kill + hang attempts.
+        REPRO_SERVE_RESTART_BUDGET="10",
+        REPRO_SERVE_JOB_TIMEOUT_S="300",
+        # The hang must be long enough to be the thing kill -9
+        # interrupts, but shorter than the job timeout and the final
+        # wait: if the kill lands in the window after cell 4 completes
+        # and *before* the worker reaches the hang site, the unconsumed
+        # times=1 fault fires post-restart instead -- the recovered
+        # attempt then just sleeps it off and still converges.
+        REPRO_FAULTS=(
+            "site=worker,kind=exit,times=1"
+            f";site=cell,design={DESIGN},config={HANG_CONFIG}"
+            ",kind=hang,seconds=45,times=1"
+        ),
+        REPRO_FAULTS_STATE=str(tmp_path / "fault-state"),
+    )
+
+    # --- incarnation 1: crash a worker, then die mid-hang -------------
+    proc, client = start_daemon(state_dir, env=env)
+    job_id = None
+    try:
+        response = client.submit(MATRIX_SPEC)
+        assert response["ok"]
+        job_id = response["job_id"]
+        # Attempt 1 dies at worker entry (site=worker). Attempt 2 runs
+        # cells serially, caching each, until it wedges on the last
+        # configuration (site=cell hang).  Wait for all four pre-hang
+        # cells, then kill -9 the daemon while the worker is hung.
+        wait_until(
+            lambda: _completed_cells(served_cache)
+            >= len(CONFIG_NAMES) - 1,
+            timeout_s=180,
+            what="pre-hang cells to be cached",
+            poll_s=0.2,
+        )
+        time.sleep(1.0)  # let the worker enter the hung cell
+        workers = child_pids(proc.pid)
+        assert workers, "daemon should have live workers"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+        # The hung worker must not outlive the daemon: an orphan would
+        # keep running the matrix and double-execute recovered cells.
+        wait_until(
+            lambda: not any(pid_alive(pid) for pid in workers),
+            timeout_s=10, what="workers to die with the daemon",
+        )
+    finally:
+        stop_daemon(proc)
+
+    # --- incarnation 2: recover, dedup, finish --------------------------
+    proc2, client2 = start_daemon(state_dir, env=env)
+    try:
+        stats = client2.stats()["stats"]
+        assert stats["recovered"] == 1
+        # Submitting the identical spec dedups onto the recovered job:
+        # no duplicated work, same job id across the daemon's lifetimes.
+        again = client2.submit(MATRIX_SPEC)
+        assert again["deduped"] and again["job_id"] == job_id
+
+        view = client2.wait(job_id, timeout_s=300, poll_s=0.5)
+        assert view["state"] == "done"
+        payload = view["result"]
+        assert payload["ok"] is True
+        assert payload["failed"] == []
+        assert set(payload["results"]) == {
+            f"{DESIGN}/{name}" for name in CONFIG_NAMES
+        }
+
+        # Telemetry proof of zero redundancy: the recovered attempt
+        # loads every pre-kill cell from the result cache and runs
+        # exactly one flow -- the cell the kill -9 interrupted (at
+        # worst sleeping off a late-firing hang inside it first).
+        telemetry = client2.stats()["telemetry"]
+        assert telemetry["disk_hits"] == len(CONFIG_NAMES) - 1
+        assert telemetry["flows_run"] == 1
+        assert client2.stats()["stats"]["deduped"] >= 1
+    finally:
+        stop_daemon(proc2)
+
+    # --- clean batch run: must be byte-identical ------------------------
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(clean_cache))
+    clean = run_matrix(
+        designs=(DESIGN,),
+        config_names=tuple(CONFIG_NAMES),
+        scale=SCALE,
+        seed=SEED,
+        jobs=1,
+        keep_going=True,
+        target_periods={DESIGN: PERIOD_NS},
+    )
+    assert clean.ok
+    assert payload["target_periods"] == {DESIGN: PERIOD_NS}
+    for name in CONFIG_NAMES:
+        served_cell = payload["results"][f"{DESIGN}/{name}"]
+        clean_cell = clean.results[(DESIGN, name)].to_dict()
+        assert json.dumps(served_cell, sort_keys=True) == json.dumps(
+            clean_cell, sort_keys=True
+        ), f"served vs clean mismatch in {DESIGN}/{name}"

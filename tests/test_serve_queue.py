@@ -1,0 +1,145 @@
+"""Job queue: priority order, single-flight dedup, backpressure, restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.queue import DONE, FAILED, PENDING, RUNNING, JobQueue, QueueFull
+
+
+def _submit(queue, nonce, priority=0):
+    spec = {"kind": "probe", "nonce": nonce}
+    job = queue.make_job("probe", spec, f"key-{nonce}", priority)
+    return queue.add(job)
+
+
+def test_fifo_within_priority():
+    queue = JobQueue()
+    a = _submit(queue, "a")
+    b = _submit(queue, "b")
+    assert queue.next_pending() is a
+    queue.mark_claimed(a.job_id, "w0")
+    assert queue.next_pending() is b
+
+
+def test_lower_priority_value_runs_first():
+    queue = JobQueue()
+    _submit(queue, "bulk", priority=5)
+    urgent = _submit(queue, "urgent", priority=-1)
+    assert queue.next_pending() is urgent
+
+
+def test_single_flight_dedup_and_release_on_failure():
+    queue = JobQueue()
+    job = _submit(queue, "x")
+    assert queue.lookup_key(job.key) is job
+    queue.mark_claimed(job.job_id, "w0")
+    assert queue.lookup_key(job.key) is job  # running still dedups
+    queue.mark_done(job.job_id, {"echo": 1})
+    assert queue.lookup_key(job.key) is job  # done still dedups
+
+    other = _submit(queue, "y")
+    queue.mark_claimed(other.job_id, "w0")
+    queue.mark_failed(other.job_id, {"error_type": "X", "message": "boom"})
+    # Failure releases the key: the spec may be resubmitted fresh.
+    assert queue.lookup_key(other.key) is None
+    retry = queue.add(
+        queue.make_job("probe", dict(other.spec), other.key, 0)
+    )
+    assert retry.job_id != other.job_id
+    assert queue.lookup_key(other.key) is retry
+
+
+def test_backpressure_high_water_mark():
+    queue = JobQueue(max_pending=2)
+    _submit(queue, "a")
+    _submit(queue, "b")
+    with pytest.raises(QueueFull):
+        queue.make_job("probe", {"kind": "probe"}, "key-c", 0)
+    # Claiming one frees a slot.
+    queue.mark_claimed(queue.next_pending().job_id, "w0")
+    _submit(queue, "c")
+
+
+def test_claim_requires_pending():
+    queue = JobQueue()
+    job = _submit(queue, "a")
+    queue.mark_claimed(job.job_id, "w0")
+    with pytest.raises(ServeError):
+        queue.mark_claimed(job.job_id, "w1")
+
+
+def test_requeue_returns_job_to_heap():
+    queue = JobQueue()
+    job = _submit(queue, "a")
+    queue.mark_claimed(job.job_id, "w0")
+    assert queue.next_pending() is None
+    queue.mark_requeued(job.job_id)
+    assert job.state == PENDING
+    assert queue.next_pending() is job
+    assert job.attempts == 1  # attempts survive the requeue
+
+
+def test_position_counts_earlier_pending():
+    queue = JobQueue()
+    _submit(queue, "a")
+    b = _submit(queue, "b")
+    late_urgent = _submit(queue, "c", priority=-1)
+    assert queue.position(late_urgent.job_id) == 0
+    assert queue.position(b.job_id) == 2
+    assert queue.position("missing") is None
+
+
+def test_restore_requeues_claimed_and_keeps_terminal():
+    records = [
+        {"type": "submit", "job_id": "j0", "job_seq": 0, "key": "k0",
+         "kind": "probe", "spec": {"kind": "probe"}, "priority": 0,
+         "submitted_s": 1.0},
+        {"type": "submit", "job_id": "j1", "job_seq": 1, "key": "k1",
+         "kind": "probe", "spec": {"kind": "probe"}, "priority": 0,
+         "submitted_s": 2.0},
+        {"type": "submit", "job_id": "j2", "job_seq": 2, "key": "k2",
+         "kind": "probe", "spec": {"kind": "probe"}, "priority": 0,
+         "submitted_s": 3.0},
+        {"type": "claim", "job_id": "j0", "worker": "w0", "attempt": 1},
+        {"type": "claim", "job_id": "j1", "worker": "w1", "attempt": 1},
+        {"type": "complete", "job_id": "j1", "result": {"echo": 1}},
+        # A claim arriving after the terminal record must not reopen it.
+        {"type": "claim", "job_id": "j1", "worker": "w1", "attempt": 2},
+        {"type": "unknown_future_type", "job_id": "j2"},
+    ]
+    queue = JobQueue()
+    recovered = queue.restore(records)
+    assert recovered == ["j0"]  # claimed but unfinished -> requeued
+    assert queue.jobs["j0"].state == PENDING
+    assert queue.jobs["j0"].attempts == 1
+    assert queue.jobs["j1"].state == DONE
+    assert queue.jobs["j1"].result == {"echo": 1}
+    assert queue.jobs["j2"].state == PENDING
+    # Dedup index restored too: done and pending jobs still hold keys.
+    assert queue.lookup_key("k1").job_id == "j1"
+    # Dispatch order resumes from submission order.
+    assert queue.next_pending().job_id == "j0"
+    # New ids never collide with restored ones.
+    fresh = queue.make_job("probe", {"kind": "probe"}, "k3", 0)
+    assert fresh.seq == 3
+
+
+def test_restore_then_live_records_round_trips():
+    queue = JobQueue()
+    a = _submit(queue, "a")
+    b = _submit(queue, "b")
+    c = _submit(queue, "c")
+    queue.mark_claimed(a.job_id, "w0")
+    queue.mark_done(a.job_id, {"echo": "a"})
+    queue.mark_claimed(b.job_id, "w0")
+    queue.mark_failed(b.job_id, {"error_type": "X", "message": "m"})
+
+    rebuilt = JobQueue()
+    rebuilt.restore(queue.live_records())
+    assert {j.job_id: j.state for j in rebuilt.jobs.values()} == {
+        a.job_id: DONE, b.job_id: FAILED, c.job_id: PENDING,
+    }
+    assert rebuilt.jobs[a.job_id].result == {"echo": "a"}
+    assert rebuilt.next_pending().job_id == c.job_id

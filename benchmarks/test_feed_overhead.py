@@ -1,0 +1,133 @@
+"""Feed-overhead guard: an active subscriber must not slow serving.
+
+Publish never blocks: the daemon offers every event to each
+subscriber's bounded queue and moves on, so serving a matrix with a
+live ``repro top``-style client attached must cost essentially the
+same as serving it unobserved.  This benchmark runs two identical
+daemons with separate result caches -- one bare, one with a subscribe
+client consuming the full feed -- and laps the same aes matrix through
+both.  Laps are paired (same seed submitted to both arms each round,
+fresh seed per round so the result cache never short-circuits a lap)
+and the guard takes the best paired ratio, the same
+suppress-run-order-noise idea as test_trace_overhead.py; it fails if
+the observed daemon is more than 5% slower.
+
+Runs under ``benchmarks/`` only, never in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from tests.serve_utils import daemon_env, start_daemon, stop_daemon  # noqa: E402
+
+from repro.experiments.configs import CONFIG_NAMES  # noqa: E402
+
+SCALE = 0.2
+PERIOD_NS = 0.7
+REPEATS = 3
+MAX_OVERHEAD = 1.05
+
+
+def _spec(seed: int) -> dict:
+    return {
+        "kind": "matrix",
+        "designs": ["aes"],
+        "configs": list(CONFIG_NAMES),
+        "scale": SCALE,
+        "seed": seed,
+        "periods": {"aes": PERIOD_NS},
+    }
+
+
+class _Consumer:
+    """Active subscribe client: reads every event at full speed."""
+
+    def __init__(self, socket_path: Path):
+        from repro.serve.client import ServeClient
+
+        self.events = 0
+        self.spans = 0
+        self._client = ServeClient(socket_path)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        for event in self._client.subscribe(idle_s=0.2, reconnect_s=2.0):
+            if event is None or "snapshot" in event:
+                continue
+            self.events += 1
+            if str(event.get("event", "")).startswith("span_"):
+                self.spans += 1
+
+
+def _lap(client, seed: int) -> float:
+    t0 = time.perf_counter()
+    response = client.submit(_spec(seed))
+    assert response["ok"], response
+    view = client.wait(response["job_id"], timeout_s=600, poll_s=0.05)
+    assert view["state"] == "done", view
+    return time.perf_counter() - t0
+
+
+def test_feed_overhead_under_five_percent():
+    tmp = Path(tempfile.mkdtemp(prefix="feed-overhead-"))
+    daemons = []
+    consumer = None
+    try:
+        clients = {}
+        for arm in ("bare", "observed"):
+            state = tmp / arm / "serve"
+            env = daemon_env(
+                state,
+                REPRO_CACHE_DIR=str(tmp / arm / "cache"),
+                REPRO_SERVE_WORKERS="1",
+            )
+            proc, client = start_daemon(state, env=env)
+            daemons.append(proc)
+            clients[arm] = client
+        consumer = _Consumer(tmp / "observed" / "serve" / "serve.sock")
+
+        # Warm lap on each arm: lazy imports and library build happen
+        # in the worker outside the clock (separate caches, so the
+        # timed seeds below still execute every flow).
+        _lap(clients["bare"], seed=90)
+        _lap(clients["observed"], seed=90)
+        ratios, laps = [], []
+        for i in range(REPEATS):
+            seed = 91 + i
+            off = _lap(clients["bare"], seed)
+            on = _lap(clients["observed"], seed)
+            ratios.append(on / off)
+            laps.append((off, on))
+    finally:
+        for proc in daemons:
+            stop_daemon(proc)
+
+    assert consumer is not None
+    assert consumer.spans > 0, "subscriber saw no span events -- feed dead?"
+    ratio = min(ratios)
+    rounds = "\n".join(
+        f"round {i}: bare {off * 1e3:8.1f} ms  observed {on * 1e3:8.1f} ms"
+        f"  ratio {on / off:.4f}"
+        for i, (off, on) in enumerate(laps)
+    )
+    emit(
+        "feed overhead (served aes matrix, scale %.2f)" % SCALE,
+        f"{rounds}\n"
+        f"best paired ratio {ratio:.4f} (limit {MAX_OVERHEAD:.2f})\n"
+        f"subscriber consumed {consumer.events} events"
+        f" ({consumer.spans} span events)",
+    )
+    assert ratio < MAX_OVERHEAD, (
+        f"active-subscriber overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (MAX_OVERHEAD - 1):.0f}% budget"
+    )

@@ -14,14 +14,22 @@ Commands
 ``tables``   regenerate the cheap paper tables (I-IV) as text
 ``report``   run the full evaluation matrix and write a markdown report
 ``cache``    show (or ``--clear``) the persistent on-disk result cache
-``trace``    pretty-print (or ``--validate``) a recorded trace file
-``profile``  rank the hottest flow stages of a recorded trace
+``trace``    pretty-print (or ``--validate``) a recorded trace file, or
+             aggregate every trace in a directory into one tree
+``profile``  rank the hottest flow stages of a trace file or directory
 ``check``    validate a saved checkpoint or FlowResult JSON file
 ``serve``    run the crash-safe evaluation daemon (journaled job queue,
              supervised worker pool, Unix-socket intake; SIGTERM drains)
 ``submit``   send a flow/matrix/sweep/probe job to a running daemon
 ``status``   show one job (or, without a job id, the daemon's stats)
-``result``   fetch a job's result (``--wait`` polls until terminal)
+``result``   fetch a job's result (``--wait`` polls until terminal;
+             ``--trace PATH`` also fetches the job's live-stitched span
+             tree -- valid mid-run -- and writes it to PATH, or prints
+             it when PATH is ``-``)
+``metrics``  scrape the daemon's metrics registry (Prometheus text by
+             default, ``--json`` for the raw snapshot)
+``top``      live ASCII dashboard over the daemon's subscribe feed
+``watch``    tail one job's feed events until it reaches done/failed
 
 ``flow``/``matrix``/``sweep``/``report`` accept ``--trace PATH``: spans
 are recorded for the whole command (workers inherit ``$REPRO_TRACE``)
@@ -233,7 +241,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
     from repro.obs.export import (
-        load_trace,
+        load_traces,
         tree_summary,
         validate_chrome_trace,
     )
@@ -253,7 +261,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"{path}: valid Chrome trace "
               f"({len(obj.get('traceEvents', []))} events)")
         return 0
-    roots = load_trace(path)
+    roots = load_traces(path)
     if not roots:
         print(f"{path}: no spans recorded")
         return 0
@@ -262,9 +270,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from repro.obs.export import load_trace, profile_summary
+    from repro.obs.export import load_traces, profile_summary
 
-    roots = load_trace(Path(args.file))
+    roots = load_traces(Path(args.file))
     if not roots:
         print(f"{args.file}: no spans recorded")
         return 0
@@ -428,6 +436,37 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_job_trace(client, job_id: str, dest: str) -> int:
+    """Fetch a job's live-stitched span tree and write (or print) it.
+
+    Valid mid-run: a running job yields a still-open root over the
+    stages streamed so far.  ``-`` prints the ASCII tree; a ``.jsonl``
+    suffix selects the JSONL exporter, anything else Chrome JSON.
+    """
+    from repro.obs.export import tree_summary, write_chrome_trace, write_jsonl
+    from repro.obs.trace import Span
+
+    view = client.trace(job_id)
+    if not view.get("ok"):
+        print(f"error ({view.get('code', 'error')}): {view.get('error')}",
+              file=sys.stderr)
+        return 1
+    roots = [Span.from_dict(d) for d in view.get("trace") or []]
+    if dest == "-":
+        if roots:
+            print(tree_summary(roots))
+        else:
+            print(f"{job_id}: no spans streamed yet")
+        return 0
+    if Path(dest).suffix == ".jsonl":
+        write_jsonl(dest, roots)
+    else:
+        write_chrome_trace(dest, roots)
+    print(f"wrote trace ({view.get('stages', 0)} stage(s),"
+          f" state {view.get('state')}) to {dest}", file=sys.stderr)
+    return 0
+
+
 def _cmd_result(args: argparse.Namespace) -> int:
     client = _serve_client(args)
     if args.wait:
@@ -440,6 +479,150 @@ def _cmd_result(args: argparse.Namespace) -> int:
             return 1
     view.pop("ok", None)
     _print_job_view(view)
+    if args.job_trace:
+        status = _write_job_trace(client, args.job_id, args.job_trace)
+        if status:
+            return status
+    return _job_exit(view)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.registry import render_prometheus
+
+    client = _serve_client(args)
+    view = client.metrics()
+    if not view.get("ok"):
+        print(f"error ({view.get('code', 'error')}): {view.get('error')}",
+              file=sys.stderr)
+        return 1
+    snapshot = view.get("metrics") or {}
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
+def _draw_frame(text: str) -> None:
+    if sys.stdout.isatty():
+        sys.stdout.write("\x1b[2J\x1b[H")  # clear + home, no curses
+    print(text, flush=True)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.serve.topview import TopModel
+
+    client = _serve_client(args)
+    model = TopModel()
+    deadline = (
+        time.monotonic() + args.duration if args.duration else None
+    )
+    last_draw = 0.0
+    try:
+        for event in client.subscribe(
+            idle_s=min(0.5, max(0.1, args.interval))
+        ):
+            if event is not None:
+                if "snapshot" in event:
+                    model.apply_snapshot(event)
+                else:
+                    model.apply(event)
+            now = time.monotonic()
+            if args.once:
+                if event is None:  # backlog settled: one frame and out
+                    break
+                continue
+            if now - last_draw >= args.interval:
+                _draw_frame(model.render())
+                last_draw = now
+            if deadline is not None and now >= deadline:
+                break
+    except KeyboardInterrupt:
+        pass  # Ctrl-C just ends the dashboard; final frame below
+    _draw_frame(model.render())
+    return 0
+
+
+def _fmt_feed_event(event: dict) -> str | None:
+    kind = event.get("event")
+    if kind == "job_state":
+        extra = "  ".join(
+            f"{key}={event[key]}"
+            for key in ("worker", "attempt", "attempts", "reason",
+                        "error_type")
+            if event.get(key)
+        )
+        return f"state -> {event.get('state')}" + (
+            f"  ({extra})" if extra else ""
+        )
+    if kind == "span_open":
+        depth = int(event.get("depth", 0) or 0)
+        return f"{'  ' * depth}> {event.get('name')}"
+    if kind == "span_close":
+        depth = int(event.get("depth", 0) or 0)
+        flag = "" if event.get("status", "ok") == "ok" else (
+            f" !{event.get('status')}"
+        )
+        return (f"{'  ' * depth}+ {event.get('name')} "
+                f"({float(event.get('duration_s', 0.0)):.3f}s){flag}")
+    if kind == "lifecycle":
+        extra = "  ".join(
+            f"{k}={v}" for k, v in sorted(event.items())
+            if k not in ("event", "seq", "ts", "action")
+        )
+        return f"! {event.get('action')}" + (f"  ({extra})" if extra else "")
+    if kind == "feed_gap":
+        return f"! feed gap: {event.get('dropped')} event(s) lost"
+    return None  # metrics ticks and unknown kinds stay quiet
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import time
+
+    client = _serve_client(args)
+    view = client.result(args.job_id)
+    if not view.get("ok"):
+        print(f"error ({view.get('code', 'error')}): {view.get('error')}",
+              file=sys.stderr)
+        return 1
+    if view.get("state") in ("done", "failed"):
+        print(f"{args.job_id}: already {view['state']}")
+        return _job_exit(view)
+    deadline = time.monotonic() + args.timeout
+    for event in client.subscribe(args.job_id):
+        if event is None:
+            if time.monotonic() >= deadline:
+                print(f"error: job {args.job_id} still not terminal after "
+                      f"{args.timeout:.0f}s", file=sys.stderr)
+                return 1
+            continue
+        if "snapshot" in event:
+            continue
+        if event.get("job_id") not in (None, args.job_id):
+            continue
+        line = _fmt_feed_event(event)
+        if line is not None:
+            print(line, flush=True)
+        if (event.get("event") == "job_state"
+                and event.get("job_id") == args.job_id
+                and event.get("state") in ("done", "failed")):
+            break
+        if time.monotonic() >= deadline:
+            print(f"error: job {args.job_id} still not terminal after "
+                  f"{args.timeout:.0f}s", file=sys.stderr)
+            return 1
+    # Feed saw the terminal transition (or ended under drain): the
+    # result op is the authoritative close-out either way.
+    view = client.result(args.job_id)
+    if not view.get("ok") or view.get("state") not in ("done", "failed"):
+        print(f"error: feed ended with job {args.job_id} still "
+              f"{view.get('state', '?')!r}", file=sys.stderr)
+        return 1
+    print(f"{args.job_id}: {view['state']}")
     return _job_exit(view)
 
 
@@ -655,8 +838,49 @@ def build_parser() -> argparse.ArgumentParser:
                           help="poll until the job reaches done/failed")
     p_result.add_argument("--wait-timeout", type=float, default=3600.0,
                           help="--wait deadline in seconds (default 3600)")
+    p_result.add_argument("--trace", dest="job_trace", metavar="PATH",
+                          default=None,
+                          help="also fetch the job's live-stitched span "
+                               "tree (valid mid-run) and write it to PATH "
+                               "(Chrome JSON, .jsonl for JSONL, '-' to "
+                               "print the ASCII tree)")
     add_socket(p_result)
     p_result.set_defaults(func=_cmd_result)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="scrape the daemon's metrics registry"
+    )
+    p_metrics.add_argument("--json", action="store_true",
+                           help="print the raw registry snapshot instead "
+                                "of Prometheus text exposition")
+    p_metrics.add_argument("--prom", action="store_true",
+                           help="Prometheus text exposition (the default)")
+    add_socket(p_metrics)
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="live ASCII dashboard over the daemon's event feed"
+    )
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between dashboard frames (default 2)")
+    p_top.add_argument("--duration", type=float, default=None,
+                       help="stop after this many seconds (default: until "
+                            "the feed ends or Ctrl-C)")
+    p_top.add_argument("--once", action="store_true",
+                       help="print one frame once the backlog settles, "
+                            "then exit")
+    add_socket(p_top)
+    p_top.set_defaults(func=_cmd_top)
+
+    p_watch = sub.add_parser(
+        "watch", help="tail one job's feed events until done/failed"
+    )
+    p_watch.add_argument("job_id")
+    p_watch.add_argument("--timeout", type=float, default=3600.0,
+                         help="give up after this many seconds (default "
+                              "3600; exit 1)")
+    add_socket(p_watch)
+    p_watch.set_defaults(func=_cmd_watch)
     return parser
 
 

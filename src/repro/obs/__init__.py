@@ -15,13 +15,26 @@ to be a black box; this package opens it up:
 - :mod:`repro.obs.export` -- Chrome trace-event JSON (loadable in
   ``chrome://tracing``/Perfetto), a JSONL span log, and the ASCII
   tree/profile views behind ``repro trace`` and ``repro profile``.
+- :mod:`repro.obs.registry` -- a typed metrics registry (counters,
+  gauges, bucketed histograms) with thread-safe snapshot/merge and
+  Prometheus text exposition; the serving daemon's continuously
+  scrapable state lives here.
 """
 
 from repro.obs.metrics import METRIC_DEFS, MetricDef, MetricPoint, emit_metric
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    reset_registry,
+    validate_prometheus,
+)
 from repro.obs.trace import (
     ENV_TRACE,
     Span,
     add_span_event,
+    add_span_observer,
     attach_subtree,
     coverage_fraction,
     current_span,
@@ -29,6 +42,7 @@ from repro.obs.trace import (
     enable_tracing,
     find_spans,
     init_from_env,
+    remove_span_observer,
     reset_trace,
     span,
     trace_roots,
@@ -39,11 +53,14 @@ from repro.obs.trace import (
 
 __all__ = [
     "ENV_TRACE",
+    "LATENCY_BUCKETS_S",
     "METRIC_DEFS",
     "MetricDef",
     "MetricPoint",
+    "MetricsRegistry",
     "Span",
     "add_span_event",
+    "add_span_observer",
     "attach_subtree",
     "coverage_fraction",
     "current_span",
@@ -51,11 +68,16 @@ __all__ = [
     "emit_metric",
     "enable_tracing",
     "find_spans",
+    "get_registry",
     "init_from_env",
+    "remove_span_observer",
+    "render_prometheus",
+    "reset_registry",
     "reset_trace",
     "span",
     "trace_roots",
     "trace_snapshot",
     "tracing_enabled",
+    "validate_prometheus",
     "walk_spans",
 ]

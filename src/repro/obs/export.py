@@ -15,7 +15,9 @@ Three output shapes for one span tree:
   table.
 
 :func:`load_trace` reads either on-disk format back into
-:class:`~repro.obs.trace.Span` trees (sniffed by content), and
+:class:`~repro.obs.trace.Span` trees (sniffed by content),
+:func:`load_traces` aggregates a whole directory of per-job trace files
+into one forest (the served daemon writes one file per job), and
 :func:`validate_chrome_trace` is the schema check CI runs against every
 exported trace.
 """
@@ -31,6 +33,7 @@ from repro.obs.trace import Span, walk_spans
 
 __all__ = [
     "load_trace",
+    "load_traces",
     "profile_summary",
     "to_chrome_trace",
     "tree_summary",
@@ -314,6 +317,40 @@ def load_trace(path: str | Path) -> list[Span]:
     if stripped.startswith("{") and '"traceEvents"' in stripped[:2000]:
         return _spans_from_chrome(json.loads(text))
     return _spans_from_jsonl(text)
+
+
+def load_traces(path: str | Path) -> list[Span]:
+    """Load one trace file, or every ``*.json``/``*.jsonl`` in a
+    directory, into a single span forest.
+
+    Directory aggregation is what makes ``repro profile DIR`` rank the
+    hottest stages *across* a whole served run: each per-job trace
+    contributes its roots, in filename order so the output is stable.
+    Unreadable or non-trace JSON files are skipped (a serve state dir
+    holds journals and results next to traces), but a directory where
+    nothing parses raises, because silence there would look like an
+    empty run.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        return load_trace(path)
+    roots: list[Span] = []
+    errors: list[str] = []
+    files = sorted(
+        p for p in path.iterdir()
+        if p.suffix in (".json", ".jsonl") and p.is_file()
+    )
+    for file in files:
+        try:
+            roots.extend(load_trace(file))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            errors.append(f"{file.name}: {type(exc).__name__}: {exc}")
+    if not roots and errors:
+        raise ValueError(
+            f"no loadable traces in {path} "
+            f"({len(errors)} file(s) failed: {'; '.join(errors[:3])})"
+        )
+    return roots
 
 
 # ----------------------------------------------------------------------

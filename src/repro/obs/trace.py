@@ -42,6 +42,7 @@ __all__ = [
     "ENV_TRACE",
     "Span",
     "add_span_event",
+    "add_span_observer",
     "attach_subtree",
     "coverage_fraction",
     "current_span",
@@ -49,6 +50,7 @@ __all__ = [
     "enable_tracing",
     "find_spans",
     "init_from_env",
+    "remove_span_observer",
     "reset_trace",
     "span",
     "trace_roots",
@@ -137,6 +139,8 @@ class Span:
         self.start_wall_s = time.time()
         self._start_cpu = time.process_time()
         self._start_perf = time.perf_counter()
+        if state.observers:
+            _notify(state, "open", self, len(state.stack) - 1)
         return self
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
@@ -158,6 +162,8 @@ class Span:
             state.stack.pop()
         elif self in state.stack:  # unbalanced exit; recover conservatively
             state.stack.remove(self)
+        if state.observers:
+            _notify(state, "close", self, len(state.stack))
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -242,15 +248,47 @@ class Span:
 class _TraceState:
     """Process-global trace: enabled flag, root spans, the open stack."""
 
-    __slots__ = ("enabled", "roots", "stack")
+    __slots__ = ("enabled", "roots", "stack", "observers")
 
     def __init__(self) -> None:
         self.enabled = False
         self.roots: list[Span] = []
         self.stack: list[Span] = []
+        self.observers: list[Any] = []
 
 
 _STATE = _TraceState()
+
+
+def _notify(state: _TraceState, phase: str, sp: Span, depth: int) -> None:
+    """Fan a span transition out to observers; observers never break spans."""
+    for observer in list(state.observers):
+        try:
+            observer(phase, sp, depth)
+        except Exception:  # noqa: BLE001 - observers are best-effort
+            pass
+
+
+def add_span_observer(fn: Any) -> None:
+    """Register ``fn(phase, span, depth)`` for live span open/close.
+
+    ``phase`` is ``"open"`` or ``"close"``, ``depth`` the span's depth in
+    the open stack (0 for roots).  Observers power the serving daemon's
+    live feed: a worker forwards its span transitions up the duplex pipe
+    as they happen.  The hook costs one truthiness check per span when
+    no observer is registered; observer exceptions are swallowed so a
+    broken subscriber can never corrupt a trace.
+    """
+    if fn not in _STATE.observers:
+        _STATE.observers.append(fn)
+
+
+def remove_span_observer(fn: Any) -> None:
+    """Unregister a span observer (missing observers are ignored)."""
+    try:
+        _STATE.observers.remove(fn)
+    except ValueError:
+        pass
 
 
 def tracing_enabled() -> bool:
@@ -280,7 +318,9 @@ def reset_trace(*, from_env: bool = False) -> None:
 
     ``from_env=True`` additionally re-evaluates ``$REPRO_TRACE`` --
     pool workers call this so they honour the tracing mode the parent
-    process exported before building the pool.
+    process exported before building the pool.  Observers survive a
+    reset: the serving worker registers its forwarder once per task
+    *after* resetting, and tests unregister explicitly.
     """
     _STATE.roots.clear()
     _STATE.stack.clear()

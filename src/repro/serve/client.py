@@ -12,6 +12,13 @@ incarnation it submitted to.
 terminal state, riding out daemon downtime the same way; jobs survive
 restarts in the journal, so waiting through a crash is expected to
 succeed, not error.
+
+The one exception to connect-per-request is :meth:`ServeClient.subscribe`:
+it holds a single connection open and yields the daemon's JSON-lines
+event feed as decoded dicts (``None`` between events when the feed is
+idle, so callers can redraw UIs or check deadlines).  On a dropped
+connection it reconnects inside the usual window and resubscribes with
+backlog replay -- the per-event ``seq`` lets consumers drop duplicates.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import socket
 import time
 from pathlib import Path
+from typing import Iterator
 
 from repro.errors import ServeError
 from repro.serve.protocol import MAX_LINE_BYTES, encode_message, decode_line
@@ -122,8 +130,77 @@ class ServeClient:
     def stats(self) -> dict:
         return self._op({"op": "stats"})
 
+    def metrics(self) -> dict:
+        return self._op({"op": "metrics"})
+
+    def trace(self, job_id: str) -> dict:
+        return self._op({"op": "trace", "job_id": job_id})
+
     def drain(self) -> dict:
         return self._op({"op": "drain"})
+
+    def subscribe(
+        self,
+        job_id: str | None = None,
+        *,
+        backlog: bool = True,
+        idle_s: float = 2.0,
+        reconnect_s: float | None = None,
+    ) -> Iterator[dict | None]:
+        """Yield feed events (and ``None`` on idle) until the feed ends.
+
+        The first yielded event is the ``snapshot`` line (``{"ok": true,
+        "snapshot": {...}}``).  A broken connection is retried within the
+        reconnect window and resubscribed with backlog replay; the
+        generator ends when the window is exhausted or the daemon closes
+        the feed (drain/shutdown).
+        """
+        window = self.reconnect_s if reconnect_s is None else reconnect_s
+        deadline = time.monotonic() + max(0.0, window)
+        request_line = encode_message(
+            {"op": "subscribe", "job_id": job_id or "", "backlog": backlog}
+        )
+        while True:
+            try:
+                with socket.socket(
+                    socket.AF_UNIX, socket.SOCK_STREAM
+                ) as sock:
+                    sock.settimeout(max(0.1, idle_s))
+                    sock.connect(str(self.socket_path))
+                    sock.sendall(request_line)
+                    buffer = bytearray()
+                    while True:
+                        newline = buffer.find(b"\n")
+                        if newline >= 0:
+                            line = bytes(buffer[:newline])
+                            del buffer[: newline + 1]
+                            yield decode_line(line)
+                            # Events are flowing: refresh the window.
+                            deadline = time.monotonic() + max(0.0, window)
+                            continue
+                        if len(buffer) > MAX_LINE_BYTES:
+                            raise ServeError(
+                                "feed event exceeds the line limit"
+                            )
+                        try:
+                            chunk = sock.recv(1 << 16)
+                        except socket.timeout:
+                            yield None  # idle beat; caller may redraw
+                            continue
+                        if not chunk:
+                            break  # daemon closed the feed
+                        buffer.extend(chunk)
+            except (
+                ConnectionRefusedError,
+                FileNotFoundError,
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+            ):
+                pass
+            if time.monotonic() >= deadline:
+                return
+            time.sleep(0.1)
 
     def wait(
         self,

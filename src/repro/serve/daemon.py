@@ -28,6 +28,16 @@ finish, the journal is flushed, and the process exits 0.  Jobs still
 running at the deadline stay claimed in the journal and are requeued by
 the next start.
 
+Observability: the daemon owns a typed metrics registry
+(:mod:`repro.obs.registry`) and a best-effort event bus
+(:mod:`repro.serve.events`).  ``metrics`` returns the registry
+snapshot, ``trace JOB`` the job's incrementally-stitched span tree, and
+``subscribe`` turns the connection into a long-lived JSON-lines feed of
+job state transitions, live worker span open/close, supervisor
+lifecycle actions, and periodic metric summaries.  The feed is
+journaled nowhere and never blocks the daemon: each subscriber has a
+bounded queue that drops-and-counts under backpressure.
+
 Environment knobs (all prefixed ``REPRO_SERVE_``)
 -------------------------------------------------
 ``DIR`` state directory (journal, socket, pidfile); ``WORKERS`` pool
@@ -35,7 +45,13 @@ size; ``QUEUE_MAX`` pending high-water mark; ``HEARTBEAT_S`` worker
 heartbeat interval (stale after 3x); ``JOB_TIMEOUT_S`` per-job hang
 limit (0 disables); ``RESTART_BUDGET`` attempts before a poison job is
 failed; ``DRAIN_S`` drain deadline; ``RETRY_AFTER_S`` backpressure
-hint.  CLI flags override the environment.
+hint; ``TRACE`` worker-side span forwarding (default on; falsy
+disables).  CLI flags override the environment.
+
+Metrics/feed knobs are prefixed ``REPRO_METRICS_``: ``INTERVAL_S``
+periodic feed metric events, ``FEED_QUEUE`` per-subscriber queue bound,
+``BACKLOG`` replay ring size, ``WINDOW_S`` telemetry reporting window,
+``TRACES`` retained per-job trace trees.
 """
 
 from __future__ import annotations
@@ -46,14 +62,18 @@ import socket
 import socketserver
 import threading
 import time
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 
 from repro.errors import ServeError
 from repro.experiments.cache import cache_dir
 from repro.experiments.faults import FaultInjected, inject
-from repro.experiments.telemetry import get_telemetry
+from repro.experiments.telemetry import Telemetry
 from repro.log import get_logger
+from repro.obs import add_span_event
+from repro.obs.registry import MetricsRegistry
+from repro.serve.events import EventBus, JobTrace
 from repro.serve.journal import Journal, JournalError
 from repro.serve.protocol import (
     ProtocolError,
@@ -97,6 +117,12 @@ class ServeConfig:
     drain_s: float = 30.0
     retry_after_s: float = 2.0
     socket_path: Path | None = None
+    worker_trace: bool = True  # workers trace + forward live spans
+    metrics_interval_s: float = 2.0  # periodic feed metric events
+    feed_queue: int = 256  # per-subscriber bounded queue
+    feed_backlog: int = 256  # replay ring for late subscribers
+    telemetry_window_s: float = 3600.0  # stats_view telemetry horizon
+    trace_keep: int = 32  # per-job trace trees retained
 
     @staticmethod
     def from_env(**overrides) -> "ServeConfig":
@@ -104,6 +130,7 @@ class ServeConfig:
         state_dir = Path(
             os.environ.get("REPRO_SERVE_DIR") or (cache_dir() / "serve")
         ).expanduser()
+        trace_raw = os.environ.get("REPRO_SERVE_TRACE", "1").strip().lower()
         config = ServeConfig(
             state_dir=state_dir,
             workers=_env_int("REPRO_SERVE_WORKERS", 2),
@@ -113,6 +140,12 @@ class ServeConfig:
             restart_budget=_env_int("REPRO_SERVE_RESTART_BUDGET", 3),
             drain_s=_env_float("REPRO_SERVE_DRAIN_S", 30.0),
             retry_after_s=_env_float("REPRO_SERVE_RETRY_AFTER_S", 2.0),
+            worker_trace=trace_raw not in ("", "0", "false", "off", "no"),
+            metrics_interval_s=_env_float("REPRO_METRICS_INTERVAL_S", 2.0),
+            feed_queue=_env_int("REPRO_METRICS_FEED_QUEUE", 256),
+            feed_backlog=_env_int("REPRO_METRICS_BACKLOG", 256),
+            telemetry_window_s=_env_float("REPRO_METRICS_WINDOW_S", 3600.0),
+            trace_keep=_env_int("REPRO_METRICS_TRACES", 32),
         )
         for name, value in overrides.items():
             if value is None:
@@ -181,8 +214,21 @@ class ServerCore:
         self.stats = ServerStats()
         self.draining = False
         self._lock = threading.RLock()
+        # Observability: the registry is per-core (tests spin up several
+        # cores per process), the bus fans live events to subscribers,
+        # and _traces holds incrementally-stitched per-job span trees.
+        self.registry = MetricsRegistry()
+        self._init_metrics()
+        self.bus = EventBus(
+            queue_max=config.feed_queue, backlog=config.feed_backlog
+        )
+        self._traces: OrderedDict[str, JobTrace] = OrderedDict()
+        # Finished-job telemetry, (wall_s, snapshot) pairs pruned to the
+        # reporting window -- the fix for the old unbounded process-
+        # global merge (a week-old daemon now reports recent activity).
+        self._telemetry_window: deque = deque()
         config.state_dir.mkdir(parents=True, exist_ok=True)
-        self.journal = Journal(config.journal_path)
+        self.journal = Journal(config.journal_path, registry=self.registry)
         records = self.journal.open()
         self.queue = JobQueue(max_pending=config.queue_max)
         recovered = self.queue.restore(records)
@@ -197,6 +243,64 @@ class ServerCore:
                 "requeue", job_id=job_id, attempts=job.attempts,
                 reason="recovered",
             )
+            self._jobs_total.labels(state="recovered").inc()
+            self.bus.publish(
+                "job_state", job_id=job_id, state=PENDING, kind=job.kind,
+                reason="recovered", attempts=job.attempts,
+            )
+
+    def _init_metrics(self) -> None:
+        reg = self.registry
+        self._queue_depth = reg.gauge(
+            "repro_queue_depth", "Jobs pending in the priority queue"
+        )
+        self._jobs_running = reg.gauge(
+            "repro_jobs_running", "Jobs currently claimed by workers"
+        )
+        self._jobs_total = reg.counter(
+            "repro_jobs_total",
+            "Job state transitions by terminal/requeue state",
+            labels=("state",),
+        )
+        self._submits_total = reg.counter(
+            "repro_submits_total",
+            "Submit requests by admission disposition",
+            labels=("disposition",),
+        )
+        self._wait_hist = reg.histogram(
+            "repro_job_wait_seconds",
+            "Submit-to-claim latency (queue wait) per claim",
+        )
+        self._run_hist = reg.histogram(
+            "repro_job_run_seconds",
+            "Claim-to-terminal latency per finished/failed job",
+        )
+        self._restarts_total = reg.counter(
+            "repro_worker_restarts_total",
+            "Worker processes respawned (crash, stale heartbeat, hang)",
+        )
+        self._heartbeat_age = reg.gauge(
+            "repro_heartbeat_age_seconds",
+            "Seconds since each worker's last heartbeat",
+            labels=("worker",),
+        )
+        self._stage_seconds = reg.counter(
+            "repro_stage_seconds_total",
+            "Cumulative wall seconds per flow stage, fed from live spans",
+            labels=("stage",),
+        )
+        self._feed_events = reg.counter(
+            "repro_feed_events_total", "Events published on the live feed"
+        )
+        self._feed_dropped = reg.counter(
+            "repro_feed_dropped_total",
+            "Feed events dropped by full subscriber queues",
+        )
+        self._feed_subscribers = reg.gauge(
+            "repro_feed_subscribers", "Live subscribe connections"
+        )
+        self._dropped_seen = 0  # bus drop count already folded in
+        self._published_seen = 0  # bus publish count already folded in
 
     # ------------------------------------------------------------------
     # client-facing operations
@@ -208,6 +312,7 @@ class ServerCore:
             existing = self.queue.lookup_key(key)
             if existing is not None:
                 self.stats.deduped += 1
+                self._submits_total.labels(disposition="deduped").inc()
                 return {
                     "ok": True,
                     "job_id": existing.job_id,
@@ -216,6 +321,7 @@ class ServerCore:
                 }
             if self.draining:
                 self.stats.draining_rejected += 1
+                self._submits_total.labels(disposition="draining").inc()
                 return {
                     "ok": False,
                     "code": "draining",
@@ -228,6 +334,7 @@ class ServerCore:
                 )
             except QueueFull as exc:
                 self.stats.busy_rejected += 1
+                self._submits_total.labels(disposition="busy").inc()
                 return {
                     "ok": False,
                     "code": "busy",
@@ -246,6 +353,12 @@ class ServerCore:
             )
             self.queue.add(job)
             self.stats.submitted += 1
+            self._submits_total.labels(disposition="accepted").inc()
+            self._update_queue_gauges()
+            self.bus.publish(
+                "job_state", job_id=job.job_id, state=job.state,
+                kind=job.kind, priority=job.priority,
+            )
             return {
                 "ok": True,
                 "job_id": job.job_id,
@@ -292,8 +405,146 @@ class ServerCore:
                 "running": self.queue.running_count(),
                 "jobs": len(self.queue.jobs),
                 "stats": self.stats.to_dict(),
-                "telemetry": get_telemetry().snapshot(),
+                "telemetry": self._windowed_telemetry().snapshot(),
             }
+
+    def _windowed_telemetry(self) -> Telemetry:
+        """Merge finished-job telemetry inside the reporting window.
+
+        Called with the lock held.  Pruning happens here (reads are the
+        only consumer), so a quiet daemon costs nothing.
+        """
+        horizon = time.time() - self.config.telemetry_window_s
+        window = self._telemetry_window
+        while window and window[0][0] < horizon:
+            window.popleft()
+        merged = Telemetry()
+        for _ts, snap in window:
+            merged.merge(snap)
+        return merged
+
+    def _record_telemetry(self, telemetry) -> None:
+        """Append one finished job's telemetry snapshot to the window."""
+        if telemetry:
+            self._telemetry_window.append((time.time(), telemetry))
+
+    def _update_queue_gauges(self) -> None:
+        self._queue_depth.set(self.queue.pending_count())
+        self._jobs_running.set(self.queue.running_count())
+
+    # ------------------------------------------------------------------
+    # observability operations
+    # ------------------------------------------------------------------
+    def metrics_view(self) -> dict:
+        """The registry snapshot with queue/feed gauges freshened."""
+        with self._lock:
+            self._update_queue_gauges()
+            self._feed_subscribers.set(self.bus.subscriber_count())
+            # Counters only go up: fold in deltas since the last view.
+            dropped = self.bus.dropped_total()
+            if dropped > self._dropped_seen:
+                self._feed_dropped.inc(dropped - self._dropped_seen)
+                self._dropped_seen = dropped
+            published = self.bus.published
+            if published > self._published_seen:
+                self._feed_events.inc(published - self._published_seen)
+                self._published_seen = published
+            return {"ok": True, "metrics": self.registry.snapshot()}
+
+    def trace_view(self, job_id: str) -> dict:
+        """The job's span tree as assembled so far (valid mid-run)."""
+        with self._lock:
+            job = self.queue.jobs.get(job_id)
+            if job is None:
+                return {
+                    "ok": False, "code": "unknown_job",
+                    "error": f"no such job {job_id!r}",
+                }
+            trace = self._traces.get(job_id)
+            return {
+                "ok": True,
+                "job_id": job_id,
+                "state": job.state,
+                "stages": trace.stage_count() if trace else 0,
+                "trace": trace.roots() if trace else [],
+            }
+
+    def feed_snapshot(self, job_id: str | None = None) -> dict:
+        """The state a new subscriber needs before live events make
+        sense: every live job's status view plus daemon stats."""
+        with self._lock:
+            jobs = {
+                jid: job.status_view()
+                for jid, job in self.queue.jobs.items()
+                if job_id is None or jid == job_id
+            }
+            return {
+                "jobs": jobs,
+                "draining": self.draining,
+                "stats": self.stats.to_dict(),
+            }
+
+    def _trace_for(self, job_id: str, kind: str = "") -> JobTrace:
+        """The job's trace assembler, creating and bounding as needed.
+
+        Called with the lock held.  Eviction is FIFO over *finished*
+        insertion order -- with ``trace_keep`` far above the worker
+        count, a running job's trace is never evicted in practice.
+        """
+        trace = self._traces.get(job_id)
+        if trace is None:
+            trace = self._traces[job_id] = JobTrace(job_id, kind)
+            while len(self._traces) > max(1, self.config.trace_keep):
+                self._traces.popitem(last=False)
+        return trace
+
+    def note_progress(self, job_id: str, span_msg: dict, worker: str = "") -> None:
+        """Fold one forwarded worker span transition into the feed.
+
+        Publishes a ``span_open``/``span_close`` event, grows the job's
+        incremental trace with completed depth-1 subtrees, and feeds the
+        per-stage wall-seconds counter.
+        """
+        phase = span_msg.get("phase")
+        name = str(span_msg.get("name", ""))
+        depth = int(span_msg.get("depth", 0) or 0)
+        with self._lock:
+            job = self.queue.jobs.get(job_id)
+            kind = job.kind if job is not None else ""
+            trace = self._trace_for(job_id, kind)
+            if phase == "open":
+                if depth == 0:
+                    trace.note_root(span_msg)
+                self.bus.publish(
+                    "span_open", job_id=job_id, name=name, depth=depth,
+                    worker=worker, attrs=span_msg.get("attrs") or {},
+                )
+                return
+            duration = float(span_msg.get("duration_s", 0.0) or 0.0)
+            tree = span_msg.get("tree")
+            if depth == 1 and isinstance(tree, dict):
+                trace.add_stage(tree)
+            if name and duration > 0:
+                self._stage_seconds.labels(stage=name).inc(duration)
+            self.bus.publish(
+                "span_close", job_id=job_id, name=name, depth=depth,
+                worker=worker, duration_s=duration,
+                status=span_msg.get("status", "ok"),
+            )
+
+    def note_heartbeat(self, worker: str, age_s: float) -> None:
+        """Watchdog hook: publish each worker's heartbeat age gauge."""
+        self._heartbeat_age.labels(worker=worker).set(age_s)
+
+    def lifecycle(self, action: str, **fields) -> None:
+        """Record one supervisor lifecycle action everywhere it matters:
+        the event feed, the metrics registry, and the daemon's own span
+        (when the daemon process is being traced)."""
+        clean = {k: v for k, v in fields.items() if v is not None}
+        self.bus.publish("lifecycle", action=action, **clean)
+        if action == "worker_restart":
+            self._restarts_total.inc()
+        add_span_event(f"serve:{action}", **clean)
 
     # ------------------------------------------------------------------
     # supervisor-facing operations (journal first, memory second)
@@ -316,9 +567,19 @@ class ServerCore:
                     worker=worker,
                     attempt=job.attempts + 1,
                 )
-            return self.queue.mark_claimed(job.job_id, worker)
+            claimed = self.queue.mark_claimed(job.job_id, worker)
+            if claimed.submitted_s:
+                self._wait_hist.observe(
+                    max(0.0, claimed.claimed_s - claimed.submitted_s)
+                )
+            self._update_queue_gauges()
+            self.bus.publish(
+                "job_state", job_id=claimed.job_id, state=claimed.state,
+                kind=claimed.kind, worker=worker, attempt=claimed.attempts,
+            )
+            return claimed
 
-    def finish_job(self, job_id: str, payload, telemetry=None) -> None:
+    def finish_job(self, job_id: str, payload, telemetry=None, trace=None) -> None:
         with self._lock:
             job = self.queue.jobs.get(job_id)
             if job is None or job.state in (DONE, FAILED):
@@ -327,10 +588,18 @@ class ServerCore:
             self.journal.append("complete", job_id=job_id, result=result)
             self.queue.mark_done(job_id, result)
             self.stats.completed += 1
-            if telemetry:
-                get_telemetry().merge(telemetry)
+            self._jobs_total.labels(state="done").inc()
+            if job.claimed_s:
+                self._run_hist.observe(max(0.0, time.time() - job.claimed_s))
+            self._record_telemetry(telemetry)
+            if trace:
+                self._trace_for(job_id, job.kind).set_final(trace)
+            self._update_queue_gauges()
+            self.bus.publish(
+                "job_state", job_id=job_id, state=DONE, kind=job.kind,
+            )
 
-    def fail_job(self, job_id: str, error: dict, telemetry=None) -> None:
+    def fail_job(self, job_id: str, error: dict, telemetry=None, trace=None) -> None:
         with self._lock:
             job = self.queue.jobs.get(job_id)
             if job is None or job.state in (DONE, FAILED):
@@ -338,8 +607,17 @@ class ServerCore:
             self.journal.append("fail", job_id=job_id, error=error)
             self.queue.mark_failed(job_id, error)
             self.stats.failed += 1
-            if telemetry:
-                get_telemetry().merge(telemetry)
+            self._jobs_total.labels(state="failed").inc()
+            if job.claimed_s:
+                self._run_hist.observe(max(0.0, time.time() - job.claimed_s))
+            self._record_telemetry(telemetry)
+            if trace:
+                self._trace_for(job_id, job.kind).set_final(trace)
+            self._update_queue_gauges()
+            self.bus.publish(
+                "job_state", job_id=job_id, state=FAILED, kind=job.kind,
+                error_type=error.get("error_type"),
+            )
             _log.warning(
                 "job %s failed: %s: %s",
                 job_id, error.get("error_type"), error.get("message"),
@@ -355,8 +633,13 @@ class ServerCore:
             )
             self.queue.mark_requeued(job_id)
             self.stats.requeued += 1
-            if telemetry:
-                get_telemetry().merge(telemetry)
+            self._jobs_total.labels(state="requeued").inc()
+            self._record_telemetry(telemetry)
+            self._update_queue_gauges()
+            self.bus.publish(
+                "job_state", job_id=job_id, state=PENDING, kind=job.kind,
+                reason=reason, attempts=job.attempts,
+            )
             _log.warning("requeued job %s: %s", job_id, reason)
 
     def stats_bump(self, counter: str) -> None:
@@ -368,6 +651,7 @@ class ServerCore:
             self.draining = True
 
     def close(self) -> None:
+        self.bus.close()
         with self._lock:
             self.journal.close()
 
@@ -400,6 +684,13 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = core.result(str(message.get("job_id", "")))
             elif op == "stats":
                 response = core.stats_view()
+            elif op == "metrics":
+                response = core.metrics_view()
+            elif op == "trace":
+                response = core.trace_view(str(message.get("job_id", "")))
+            elif op == "subscribe":
+                self._subscribe(core, message)
+                return  # long-lived connection; already closed by now
             elif op == "drain":
                 self.server.request_shutdown()  # type: ignore[attr-defined]
                 response = {"ok": True, "draining": True}
@@ -413,6 +704,42 @@ class _Handler(socketserver.StreamRequestHandler):
         except JournalError as exc:
             response = {"ok": False, "code": "internal", "error": str(exc)}
         self._reply(response, op=str(op))
+
+    def _subscribe(self, core: ServerCore, message: dict) -> None:
+        """Serve one long-lived feed connection until either side quits.
+
+        The first line is ``{"ok": true, "snapshot": {...}}``, then the
+        backlog replay, then live events as they happen -- one JSON
+        object per line, exactly the request framing in reverse.  The
+        daemon notices a dead client at the next write (every metric
+        tick at the latest) and unsubscribes it; a bus shutdown (drain)
+        wakes the blocking read and ends the stream cleanly.
+        """
+        job_id = str(message.get("job_id") or "") or None
+        sub = core.bus.subscribe(
+            job_id=job_id, backlog=bool(message.get("backlog", True))
+        )
+        core._feed_subscribers.set(core.bus.subscriber_count())
+        try:
+            self.wfile.write(
+                encode_message(
+                    {"ok": True, "snapshot": core.feed_snapshot(job_id)}
+                )
+            )
+            self.wfile.flush()
+            while True:
+                event = sub.get(timeout_s=0.5)
+                if event is None:
+                    if sub.closed:
+                        return
+                    continue
+                self.wfile.write(encode_message(event))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # the subscriber went away; nothing to clean but state
+        finally:
+            core.bus.unsubscribe(sub)
+            core._feed_subscribers.set(core.bus.subscriber_count())
 
     def _reply(self, response: dict, op: str = "?") -> None:
         try:
@@ -504,6 +831,7 @@ def serve(config: ServeConfig) -> int:
         heartbeat_s=config.heartbeat_s,
         job_timeout_s=config.job_timeout_s,
         restart_budget=config.restart_budget,
+        forward_spans=config.worker_trace,
     )
 
     def on_signal(signum, _frame):
@@ -520,9 +848,36 @@ def serve(config: ServeConfig) -> int:
         name="repro-serve-socket",
         daemon=True,
     )
+    ticker_stop = threading.Event()
+
+    def metrics_ticker():
+        # Periodic metric summaries double as feed keepalives: a dead
+        # subscriber is detected at the next tick's failed write.  With
+        # no subscribers the tick publishes nothing (the backlog ring
+        # should hold job history, not clock noise).
+        interval = max(0.2, config.metrics_interval_s)
+        while not ticker_stop.wait(interval):
+            if core.bus.subscriber_count() == 0:
+                continue
+            view = core.stats_view()
+            core.bus.publish(
+                "metrics",
+                pending=view["pending"],
+                running=view["running"],
+                jobs=view["jobs"],
+                completed=view["stats"]["completed"],
+                failed=view["stats"]["failed"],
+                worker_respawns=view["stats"]["worker_respawns"],
+                feed_dropped=core.bus.dropped_total(),
+            )
+
+    ticker_thread = threading.Thread(
+        target=metrics_ticker, name="repro-serve-metrics", daemon=True
+    )
     try:
         supervisor.start()
         server_thread.start()
+        ticker_thread.start()
         _log.warning(
             "serving on %s (journal %s, %d worker(s), %d job(s) recovered)",
             config.socket_path, config.journal_path,
@@ -537,10 +892,13 @@ def serve(config: ServeConfig) -> int:
             "complete" if drained else "timed out",
         )
     finally:
+        ticker_stop.set()
         supervisor.stop()
         server.shutdown()
         server.server_close()
         server_thread.join(timeout=5.0)
+        if ticker_thread.ident is not None:
+            ticker_thread.join(timeout=2.0)
         core.close()
         config.socket_path.unlink(missing_ok=True)
         config.pid_path.unlink(missing_ok=True)

@@ -43,6 +43,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from pathlib import Path
 
 from repro.errors import ServeError
@@ -126,12 +127,24 @@ def replay_file(path: Path) -> tuple[list[dict], int, int]:
 
 
 class Journal:
-    """One append-only journal file, opened for the daemon's lifetime."""
+    """One append-only journal file, opened for the daemon's lifetime.
 
-    def __init__(self, path: str | Path):
+    ``registry``, when given, receives a ``repro_journal_fsync_seconds``
+    histogram observation per append -- fsync latency is the floor under
+    every acknowledgment the daemon sends, so it is the first thing to
+    look at when submit latency drifts.
+    """
+
+    def __init__(self, path: str | Path, registry=None):
         self.path = Path(path)
         self._fh = None
         self._seq = 0
+        self._fsync_hist = None
+        if registry is not None:
+            self._fsync_hist = registry.histogram(
+                "repro_journal_fsync_seconds",
+                "Wall time of one durable journal append (write+flush+fsync)",
+            )
 
     @property
     def seq(self) -> int:
@@ -185,6 +198,7 @@ class Journal:
                 f"journal record of {len(line)} bytes exceeds the"
                 f" {_MAX_RECORD_BYTES}-byte limit"
             )
+        started = time.perf_counter()
         try:
             with inject("journal_write", type=rtype, path=str(self.path)):
                 self._fh.write(line)
@@ -194,6 +208,8 @@ class Journal:
             raise JournalError(
                 f"journal append failed for {self.path}: {exc}"
             ) from exc
+        if self._fsync_hist is not None:
+            self._fsync_hist.observe(time.perf_counter() - started)
         self._seq += 1
         return record
 

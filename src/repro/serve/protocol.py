@@ -9,6 +9,20 @@ connection closes after the response, so clients reconnect per request
 -- which is also what makes daemon restarts invisible to a polling
 client.
 
+Operations: ``ping``, ``submit`` (a job spec, below), ``status`` /
+``result`` / ``trace`` (by ``job_id``; ``trace`` returns the job's
+incrementally-stitched span tree, valid mid-run), ``stats``,
+``metrics`` (the typed registry snapshot; render with
+:func:`repro.obs.registry.render_prometheus`), ``drain``, and
+``subscribe``.  ``subscribe`` is the one op that does *not* close after
+one response: the connection becomes a JSON-lines event feed -- first a
+``{"ok": true, "snapshot": ...}`` line, then backlog replay and live
+events (``job_state``, ``span_open``/``span_close``, ``lifecycle``,
+``metrics``, ``feed_gap``), each carrying a bus-global ``seq``.  An
+optional ``job_id`` filters the feed to one job plus daemon-wide
+events; the feed is best-effort (bounded queues, drop-and-count) and
+journaled nowhere.
+
 Job specs
 ---------
 A submitted job is ``{"kind": ..., ...}`` with one of four kinds:

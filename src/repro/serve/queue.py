@@ -68,6 +68,7 @@ class Job:
     attempts: int = 0
     worker: str = ""
     submitted_s: float = 0.0
+    claimed_s: float = 0.0  # last claim time (job wait/run latency metrics)
     result: dict | None = None  # payload of the complete record
     error: dict | None = None  # structured failure of the fail record
 
@@ -167,6 +168,7 @@ class JobQueue:
         job.state = RUNNING
         job.worker = worker
         job.attempts += 1
+        job.claimed_s = time.time()
         return job
 
     def mark_requeued(self, job_id: str, *, attempts: int | None = None) -> Job:

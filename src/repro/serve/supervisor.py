@@ -129,7 +129,56 @@ def _execute_job(kind: str, spec: dict, attempt: int) -> dict:
     }
 
 
-def _worker_main(name: str, conn, heartbeat, parent_pid: int, interval_s: float):
+#: Only spans this shallow are forwarded live (job root + its stages);
+#: deeper sub-steps stay in the end-of-job snapshot, keeping the feed's
+#: per-span cost flat no matter how deep a flow's trace goes.
+_FORWARD_MAX_DEPTH = 1
+
+
+def _span_forwarder(conn, job_id: str):
+    """Build a span observer streaming shallow transitions up the pipe.
+
+    Each forwarded message is ``{"job_id", "status": "progress", "span":
+    {...}}`` -- the same channel as the final reply, so ordering with the
+    job's completion is guaranteed by the pipe.  A close at depth 1
+    carries the whole completed subtree (one stage / one matrix cell);
+    the daemon stitches those into the job's incremental trace.  Send
+    failures are swallowed: a dying daemon must not crash the flow.
+    """
+
+    def forward(phase: str, sp, depth: int) -> None:
+        if depth > _FORWARD_MAX_DEPTH:
+            return
+        msg = {"phase": phase, "name": sp.name, "depth": depth}
+        if phase == "open":
+            msg["start_wall_s"] = sp.start_wall_s
+            msg["start_perf_s"] = sp.start_perf_s
+            msg["attrs"] = {
+                k: v
+                for k, v in sp.attrs.items()
+                if isinstance(v, (str, int, float, bool))
+            }
+        else:
+            msg["duration_s"] = sp.duration_s
+            msg["status"] = sp.status
+            if depth == _FORWARD_MAX_DEPTH:
+                msg["tree"] = sp.to_dict()
+        try:
+            conn.send({"job_id": job_id, "status": "progress", "span": msg})
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+
+    return forward
+
+
+def _worker_main(
+    name: str,
+    conn,
+    heartbeat,
+    parent_pid: int,
+    interval_s: float,
+    forward_spans: bool = True,
+):
     """Worker entry point: loop on jobs from the pipe until told to stop."""
     from repro.errors import ReproError
     from repro.experiments.faults import inject
@@ -140,7 +189,13 @@ def _worker_main(name: str, conn, heartbeat, parent_pid: int, interval_s: float)
     )
     from repro.experiments.telemetry import get_telemetry, reset_telemetry
     from repro.log import init_from_env
-    from repro.obs import reset_trace, trace_snapshot
+    from repro.obs import (
+        add_span_observer,
+        enable_tracing,
+        remove_span_observer,
+        reset_trace,
+        trace_snapshot,
+    )
 
     _set_pdeathsig()
     init_from_env()
@@ -161,6 +216,14 @@ def _worker_main(name: str, conn, heartbeat, parent_pid: int, interval_s: float)
         job_id, kind, spec, attempt = task
         reset_telemetry()
         reset_trace(from_env=True)
+        forwarder = None
+        if forward_spans:
+            # Live progress needs spans even when $REPRO_TRACE is unset:
+            # the served flow is always traced (PR 3 measured tracing at
+            # ~0% overhead, and the feed-overhead benchmark guards it).
+            enable_tracing()
+            forwarder = _span_forwarder(conn, job_id)
+            add_span_observer(forwarder)
         try:
             with inject("worker", stage=kind, job=job_id, worker=name):
                 payload = _execute_job(kind, spec, attempt)
@@ -180,6 +243,9 @@ def _worker_main(name: str, conn, heartbeat, parent_pid: int, interval_s: float)
                     "worker": name,
                 },
             }
+        finally:
+            if forwarder is not None:
+                remove_span_observer(forwarder)
         reply["telemetry"] = get_telemetry().snapshot()
         reply["trace"] = trace_snapshot()
         try:
@@ -195,10 +261,17 @@ def _worker_main(name: str, conn, heartbeat, parent_pid: int, interval_s: float)
 class WorkerHandle:
     """One supervised worker process and its channel state."""
 
-    def __init__(self, name: str, ctx, heartbeat_interval_s: float):
+    def __init__(
+        self,
+        name: str,
+        ctx,
+        heartbeat_interval_s: float,
+        forward_spans: bool = True,
+    ):
         self.name = name
         self.ctx = ctx
         self.heartbeat_interval_s = heartbeat_interval_s
+        self.forward_spans = forward_spans
         self.proc = None
         self.conn = None
         self.heartbeat = None
@@ -220,6 +293,7 @@ class WorkerHandle:
                 self.heartbeat,
                 os.getpid(),
                 self.heartbeat_interval_s,
+                self.forward_spans,
             ),
             daemon=True,
             name=f"repro-serve-{self.name}",
@@ -288,6 +362,7 @@ class Supervisor:
         restart_budget: int,
         poll_s: float = 0.05,
         boot_grace_s: float = 30.0,
+        forward_spans: bool = True,
     ):
         self.core = core
         self.workers_wanted = max(1, workers)
@@ -296,20 +371,35 @@ class Supervisor:
         self.job_timeout_s = job_timeout_s
         self.restart_budget = restart_budget
         self.poll_s = poll_s
+        self.forward_spans = forward_spans
         self.ctx = multiprocessing.get_context("spawn")
         self.workers: list[WorkerHandle] = []
         self._draining = False
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
+    def _lifecycle(self, action: str, **fields) -> None:
+        """Publish a structured lifecycle event through the core.
+
+        ``getattr`` keeps bare test doubles (a core without the event
+        plumbing) usable as supervisor targets.
+        """
+        hook = getattr(self.core, "lifecycle", None)
+        if hook is not None:
+            hook(action, **fields)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.workers = [
-            WorkerHandle(f"w{i}", self.ctx, self.heartbeat_s)
+            WorkerHandle(
+                f"w{i}", self.ctx, self.heartbeat_s, self.forward_spans
+            )
             for i in range(self.workers_wanted)
         ]
+        for handle in self.workers:
+            self._lifecycle("worker_boot", worker=handle.name)
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-supervisor", daemon=True
         )
@@ -340,18 +430,28 @@ class Supervisor:
         next daemon start requeues them -- and their workers are killed.
         """
         self._draining = True
+        self._lifecycle(
+            "drain_begin",
+            timeout_s=timeout_s,
+            busy=[h.name for h in self.workers if not h.idle],
+        )
         deadline = time.monotonic() + timeout_s
+        complete = False
         while time.monotonic() < deadline:
             if all(handle.idle for handle in self.workers):
-                return True
+                complete = True
+                break
             time.sleep(min(0.05, self.poll_s))
-        busy = [h.name for h in self.workers if not h.idle]
+        busy = [] if complete else [
+            h.name for h in self.workers if not h.idle
+        ]
         if busy:
             _log.warning(
                 "drain timeout after %.1fs; %s still busy (their jobs"
                 " will be recovered from the journal on restart)",
                 timeout_s, ", ".join(busy),
             )
+        self._lifecycle("drain_end", complete=not busy, busy=busy)
         return not busy
 
     # ------------------------------------------------------------------
@@ -383,13 +483,23 @@ class Supervisor:
                 handle.name, job_id, handle.job_id,
             )
             return
+        if reply.get("status") == "progress":
+            # A live span transition, not a completion: feed it to the
+            # core (event bus + incremental job trace) and keep the job
+            # assigned -- the terminal reply is still coming.
+            note = getattr(self.core, "note_progress", None)
+            if note is not None:
+                note(job_id, reply.get("span") or {}, worker=handle.name)
+            return
         handle.job_id = None
         telemetry = reply.get("telemetry")
         trace = reply.get("trace")
         if trace:
             attach_subtree(trace, worker=f"serve:{handle.name}")
         if reply.get("status") == "done":
-            self.core.finish_job(job_id, reply.get("payload"), telemetry)
+            self.core.finish_job(
+                job_id, reply.get("payload"), telemetry, trace=trace
+            )
             return
         error = reply.get("error") or {}
         if error.get("kind") == "transient":
@@ -401,7 +511,7 @@ class Supervisor:
                 error=error,
             )
         else:
-            self.core.fail_job(job_id, error, telemetry)
+            self.core.fail_job(job_id, error, telemetry, trace=trace)
 
     def _reap(self) -> None:
         for handle in self.workers:
@@ -417,6 +527,12 @@ class Supervisor:
                 f" while running {job_id}" if job_id else "",
             )
             handle.spawn()
+            self._lifecycle(
+                "worker_restart",
+                worker=handle.name,
+                reason=f"worker died (exit {exitcode})",
+                job_id=job_id,
+            )
             if job_id is not None:
                 self._requeue_or_poison(
                     job_id, reason=f"worker died (exit {exitcode})"
@@ -425,6 +541,7 @@ class Supervisor:
     def _watchdog(self) -> None:
         now = time.time()
         mono = time.monotonic()
+        note_age = getattr(self.core, "note_heartbeat", None)
         for handle in self.workers:
             if not handle.alive():
                 continue  # the reaper handles corpses
@@ -432,8 +549,12 @@ class Supervisor:
             if beat == 0.0:
                 # Still booting (spawn + imports): grace, not staleness.
                 stale = now - handle.spawned_s > self.boot_grace_s
+                if note_age is not None:
+                    note_age(handle.name, 0.0)
             else:
                 stale = now - beat > 3.0 * self.heartbeat_s
+                if note_age is not None:
+                    note_age(handle.name, max(0.0, now - beat))
             hung = (
                 not handle.idle
                 and self.job_timeout_s > 0
@@ -450,10 +571,21 @@ class Supervisor:
                 "worker %s is wedged (%s); killing and respawning",
                 handle.name, why,
             )
+            if stale:
+                self._lifecycle(
+                    "heartbeat_stale",
+                    worker=handle.name,
+                    age_s=round(now - beat, 3) if beat else None,
+                    job_id=job_id,
+                )
             self.core.stats_bump("hangs_detected")
             self.core.stats_bump("worker_respawns")
             handle.kill()
             handle.spawn()
+            self._lifecycle(
+                "worker_restart", worker=handle.name, reason=why,
+                job_id=job_id,
+            )
             if job_id is not None:
                 self._requeue_or_poison(job_id, reason=why)
 
@@ -481,6 +613,13 @@ class Supervisor:
             }
             if error:
                 poison["cause"] = error
+            self._lifecycle(
+                "restart_budget_exhausted",
+                job_id=job_id,
+                attempts=job.attempts,
+                budget=self.restart_budget,
+                reason=reason,
+            )
             self.core.fail_job(job_id, poison, telemetry)
             return
         self.core.requeue_job(job_id, reason, telemetry)

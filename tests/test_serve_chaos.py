@@ -14,6 +14,15 @@ through the run-manifest, and converge to results **byte-identical** to
 a clean in-process batch run -- with the result cache proving that no
 completed flow ever executed twice (the final attempt's telemetry shows
 cache hits for every pre-kill cell, flow runs only for the rest).
+
+The whole run happens under observation: a subscribe client rides each
+daemon incarnation collecting the event feed (and must not perturb the
+byte-identical outcome), the supervisor's lifecycle actions
+(worker boot, the injected crash's restart) are asserted from the feed,
+the job's span tree is queried mid-run, ``repro metrics --prom`` is
+scraped mid-run and validated as Prometheus exposition, and the
+collected events replay through :class:`TopModel` to the job's true
+final state.
 """
 
 from __future__ import annotations
@@ -21,6 +30,9 @@ from __future__ import annotations
 import json
 import os
 import signal
+import subprocess
+import sys
+import threading
 import time
 
 import pytest
@@ -28,6 +40,8 @@ import pytest
 from repro.experiments import cache
 from repro.experiments.configs import CONFIG_NAMES
 from repro.experiments.runner import run_matrix
+from repro.obs.registry import validate_prometheus
+from repro.serve.topview import TopModel
 from tests.serve_utils import (
     child_pids,
     daemon_env,
@@ -78,6 +92,60 @@ def _completed_cells(served_cache) -> int:
     return len(manifest.get("completed", [])) if manifest else 0
 
 
+class _FeedCollector:
+    """Background subscribe client: collects one incarnation's feed."""
+
+    def __init__(self, socket_path):
+        from repro.serve.client import ServeClient
+
+        self.snapshots: list[dict] = []
+        self.events: list[dict] = []
+        self.stopped = False
+        self._client = ServeClient(socket_path)
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        for event in self._client.subscribe(idle_s=0.3, reconnect_s=3.0):
+            if self.stopped:
+                return
+            if event is None:
+                continue
+            if "snapshot" in event:
+                self.snapshots.append(event)
+            else:
+                self.events.append(event)
+
+    def stop(self, timeout_s: float = 15.0):
+        self.stopped = True
+        self._thread.join(timeout_s)
+        assert not self._thread.is_alive(), "feed collector did not stop"
+
+    def lifecycle_actions(self) -> list[str]:
+        return [
+            e.get("action") for e in self.events
+            if e.get("event") == "lifecycle"
+        ]
+
+    def replay(self) -> TopModel:
+        model = TopModel()
+        for snapshot in self.snapshots[:1]:
+            model.apply_snapshot(snapshot)
+        for event in self.events:
+            model.apply(event)
+        return model
+
+
+def _scrape_prometheus(env: dict) -> str:
+    """``repro metrics`` via the CLI, exactly as the CI job scrapes it."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "metrics"],
+        env=env, capture_output=True, text=True, timeout=30,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
 def test_served_matrix_survives_chaos_byte_identical(
     tmp_path, monkeypatch
 ):
@@ -109,6 +177,7 @@ def test_served_matrix_survives_chaos_byte_identical(
 
     # --- incarnation 1: crash a worker, then die mid-hang -------------
     proc, client = start_daemon(state_dir, env=env)
+    feed1 = _FeedCollector(state_dir / "serve.sock")
     job_id = None
     try:
         response = client.submit(MATRIX_SPEC)
@@ -138,9 +207,28 @@ def test_served_matrix_survives_chaos_byte_identical(
         )
     finally:
         stop_daemon(proc)
+        feed1.stop()  # its reconnect window expired with the daemon
+
+    # The injected worker crash is visible in the feed as supervisor
+    # lifecycle events: the boot of the pool, then the restart.
+    actions = feed1.lifecycle_actions()
+    assert "worker_boot" in actions
+    assert "worker_restart" in actions
+    # ... and the crashed attempt's requeue as a job_state transition.
+    requeues = [
+        e for e in feed1.events
+        if e.get("event") == "job_state" and e.get("job_id") == job_id
+        and e.get("state") == "pending" and e.get("reason")
+    ]
+    assert requeues, "worker crash should requeue the job on the feed"
+    # Mid-chaos, the fold of everything streamed so far shows the job
+    # alive (running or requeued), never invented as terminal.
+    mid_model = feed1.replay()
+    assert mid_model.job_state(job_id) in ("pending", "running")
 
     # --- incarnation 2: recover, dedup, finish --------------------------
     proc2, client2 = start_daemon(state_dir, env=env)
+    feed2 = _FeedCollector(state_dir / "serve.sock")
     try:
         stats = client2.stats()["stats"]
         assert stats["recovered"] == 1
@@ -148,6 +236,31 @@ def test_served_matrix_survives_chaos_byte_identical(
         # no duplicated work, same job id across the daemon's lifetimes.
         again = client2.submit(MATRIX_SPEC)
         assert again["deduped"] and again["job_id"] == job_id
+
+        # Mid-run observability, while the recovered attempt works:
+        wait_until(
+            lambda: client2.status(job_id).get("state") == "running",
+            timeout_s=60, what="recovered job to be claimed",
+        )
+        trace_view = client2.trace(job_id)
+        # (the job may race to done between the two calls; what matters
+        # is that the query is answered while work was in flight)
+        assert trace_view["ok"]
+        assert trace_view["state"] in ("running", "done")
+        assert isinstance(trace_view["trace"], list)  # valid mid-run
+        prom = _scrape_prometheus(env)
+        assert validate_prometheus(prom) == []
+        for required in (
+            "repro_queue_depth",
+            "repro_jobs_running",
+            "repro_job_wait_seconds",
+            "repro_job_run_seconds",
+            "repro_journal_fsync_seconds",
+            "repro_worker_restarts_total",
+            "repro_submits_total",
+        ):
+            assert required in prom, f"{required} missing from exposition"
+        assert 'repro_jobs_total{state="recovered"} 1' in prom
 
         view = client2.wait(job_id, timeout_s=300, poll_s=0.5)
         assert view["state"] == "done"
@@ -166,8 +279,22 @@ def test_served_matrix_survives_chaos_byte_identical(
         assert telemetry["disk_hits"] == len(CONFIG_NAMES) - 1
         assert telemetry["flows_run"] == 1
         assert client2.stats()["stats"]["deduped"] >= 1
+
+        # The finished job's stitched trace is retrievable after the
+        # fact, and the streamed events fold to its true final state.
+        final_trace = client2.trace(job_id)
+        assert final_trace["ok"] and final_trace["state"] == "done"
+        wait_until(
+            lambda: feed2.replay().job_state(job_id) == "done",
+            timeout_s=10, what="feed to stream the terminal transition",
+        )
+        model = feed2.replay()
+        assert model.job_state(job_id) == "done"
+        assert model.counts().get("done", 0) >= 1
+        assert "worker_boot" in feed2.lifecycle_actions()
     finally:
         stop_daemon(proc2)
+        feed2.stop()
 
     # --- clean batch run: must be byte-identical ------------------------
     monkeypatch.setenv("REPRO_CACHE_DIR", str(clean_cache))

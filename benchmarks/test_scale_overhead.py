@@ -1,0 +1,134 @@
+"""Scale-controller guard: admission control must not slow a quiet daemon.
+
+The overload machinery -- the autoscaler pass in every supervisor tick,
+the deadline sweep / retention sweep / compaction check / disk probe in
+every maintenance tick, and the per-submit admission decisions -- all
+run whether or not the daemon is under pressure.  On an unsaturated
+daemon (one worker, one job at a time, queue nowhere near high-water)
+that machinery must be invisible: this benchmark laps the same aes
+matrix through two identical daemons, one with the scaling and
+retention knobs at their defaults and one with them forced into their
+most active configuration (a wide worker ceiling, an eager scale
+threshold, tight retention bounds, and an aggressive compaction ratio),
+and fails if the active arm is more than 5% slower.  Laps are paired
+(same seed to both arms each round, fresh seed per round so the result
+cache never short-circuits a lap) and the guard takes the best paired
+ratio, the same suppress-run-order-noise idea as
+test_feed_overhead.py.
+
+Runs under ``benchmarks/`` only, never in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import emit
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from tests.serve_utils import daemon_env, start_daemon, stop_daemon  # noqa: E402
+
+from repro.experiments.configs import CONFIG_NAMES  # noqa: E402
+
+SCALE = 0.2
+PERIOD_NS = 0.7
+REPEATS = 3
+MAX_OVERHEAD = 1.05
+
+#: The "active" arm: every new knob tuned to do the most bookkeeping an
+#: unsaturated daemon can be asked to do (the pool still never scales,
+#: because one serial submitter never builds a backlog).
+ACTIVE_KNOBS = {
+    "REPRO_SERVE_MAX_WORKERS": "8",
+    # Threshold 3: the controller runs every tick but never fires --
+    # one serial submitter keeps at most one job pending, and actually
+    # spawning workers would measure process-boot cost, not the
+    # controller.
+    "REPRO_SERVE_SCALE_UP_PENDING": "3",
+    "REPRO_SERVE_SCALE_COOLDOWN_S": "0.2",
+    "REPRO_SERVE_IDLE_RETIRE_S": "0.5",
+    "REPRO_SERVE_RETAIN_JOBS": "2",
+    "REPRO_SERVE_RETAIN_S": "1",
+    "REPRO_SERVE_COMPACT_MIN": "16",
+    "REPRO_SERVE_COMPACT_RATIO": "0.9",
+}
+
+
+def _spec(seed: int) -> dict:
+    return {
+        "kind": "matrix",
+        "designs": ["aes"],
+        "configs": list(CONFIG_NAMES),
+        "scale": SCALE,
+        "seed": seed,
+        "periods": {"aes": PERIOD_NS},
+    }
+
+
+def _lap(client, seed: int) -> float:
+    t0 = time.perf_counter()
+    response = client.submit(_spec(seed), deadline=600.0)
+    assert response["ok"], response
+    view = client.wait(response["job_id"], timeout_s=600, poll_s=0.05)
+    assert view["state"] == "done", view
+    return time.perf_counter() - t0
+
+
+def test_scale_overhead_under_five_percent():
+    tmp = Path(tempfile.mkdtemp(prefix="scale-overhead-"))
+    daemons = []
+    try:
+        clients = {}
+        for arm, extra in (("default", {}), ("active", ACTIVE_KNOBS)):
+            state = tmp / arm / "serve"
+            env = daemon_env(
+                state,
+                REPRO_CACHE_DIR=str(tmp / arm / "cache"),
+                REPRO_SERVE_WORKERS="1",
+                **extra,
+            )
+            proc, client = start_daemon(state, env=env)
+            daemons.append(proc)
+            clients[arm] = client
+
+        # Warm lap on each arm: lazy imports and library build happen
+        # in the worker outside the clock (separate caches, so the
+        # timed seeds below still execute every flow).
+        _lap(clients["default"], seed=70)
+        _lap(clients["active"], seed=70)
+        ratios, laps = [], []
+        for i in range(REPEATS):
+            seed = 71 + i
+            off = _lap(clients["default"], seed)
+            on = _lap(clients["active"], seed)
+            ratios.append(on / off)
+            laps.append((off, on))
+
+        # The active arm really exercised its bounds: tight retention
+        # must have evicted the earlier laps' results by now.
+        stats = clients["active"].stats()["stats"]
+        assert stats["evicted"] > 0, "tight retention never evicted -- inert?"
+    finally:
+        for proc in daemons:
+            stop_daemon(proc)
+
+    ratio = min(ratios)
+    rounds = "\n".join(
+        f"round {i}: default {off * 1e3:8.1f} ms  active {on * 1e3:8.1f} ms"
+        f"  ratio {on / off:.4f}"
+        for i, (off, on) in enumerate(laps)
+    )
+    emit(
+        "scale/admission overhead (served aes matrix, scale %.2f)" % SCALE,
+        f"{rounds}\n"
+        f"best paired ratio {ratio:.4f} (limit {MAX_OVERHEAD:.2f})\n"
+        f"active arm evicted {stats['evicted']} terminal results",
+    )
+    assert ratio < MAX_OVERHEAD, (
+        f"admission/scaling overhead {100 * (ratio - 1):.1f}% exceeds "
+        f"{100 * (MAX_OVERHEAD - 1):.0f}% budget"
+    )

@@ -341,6 +341,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         state_dir=Path(args.state_dir) if args.state_dir else None,
         socket_path=Path(args.socket) if args.socket else None,
         workers=args.workers,
+        max_workers=args.max_workers,
         queue_max=args.queue_max,
         job_timeout_s=args.job_timeout,
         drain_s=args.drain_timeout,
@@ -394,6 +395,10 @@ def _print_job_view(view: dict) -> None:
 def _job_exit(view: dict) -> int:
     if view.get("state") == "failed":
         return EXIT_QUARANTINED
+    if view.get("state") == "evicted":
+        # Retention dropped the payload; the terminal state survives in
+        # the tombstone.
+        return EXIT_QUARANTINED if view.get("terminal_state") == "failed" else 0
     if view.get("state") == "done":
         payload = view.get("result") or {}
         # A kept-going matrix can complete with quarantined cells.
@@ -404,21 +409,31 @@ def _job_exit(view: dict) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     client = _serve_client(args)
-    response = client.submit(_build_job_spec(args), priority=args.priority)
+    spec = _build_job_spec(args)
+    if args.wait:
+        # The resilient path: backpressure rejections back off under the
+        # daemon's retry_after hint, and an evicted result resubmits.
+        view = client.run(
+            spec,
+            priority=args.priority,
+            deadline=args.deadline,
+            timeout_s=args.wait_timeout,
+        )
+        _print_job_view(view)
+        return _job_exit(view)
+    response = client.submit(
+        spec, priority=args.priority, deadline=args.deadline
+    )
     if not response.get("ok"):
         code = response.get("code", "error")
         print(f"error ({code}): {response.get('error')}", file=sys.stderr)
-        if code == "busy" and response.get("retry_after"):
+        if code in ("busy", "disk_pressure") and response.get("retry_after"):
             print(f"retry after {response['retry_after']:.1f}s", file=sys.stderr)
         return 1
     job_id = response["job_id"]
     dedup = " (deduplicated onto an existing job)" if response.get("deduped") else ""
     print(f"submitted {job_id} [{response.get('state')}]{dedup}")
-    if not args.wait:
-        return 0
-    view = client.wait(job_id, timeout_s=args.wait_timeout)
-    _print_job_view(view)
-    return _job_exit(view)
+    return 0
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -785,6 +800,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=None,
                          help="worker processes (default $REPRO_SERVE_WORKERS"
                               " or 2)")
+    p_serve.add_argument("--max-workers", type=int, default=None,
+                         help="autoscale ceiling; above --workers enables "
+                              "scaling under backlog pressure (default "
+                              "$REPRO_SERVE_MAX_WORKERS or --workers)")
     p_serve.add_argument("--queue-max", type=int, default=None,
                          help="pending-job high-water mark before submits "
                               "are rejected busy (default 64)")
@@ -817,6 +836,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--seed", type=int, default=0)
     p_submit.add_argument("--priority", type=int, default=0,
                           help="lower runs sooner (default 0)")
+    p_submit.add_argument("--deadline", type=float, default=0.0,
+                          help="fail the job as DeadlineExceeded if still "
+                               "pending after this many seconds (0 = none)")
     p_submit.add_argument("--wait", action="store_true",
                           help="poll until the job finishes and print its "
                                "result (exit 3 when it failed)")

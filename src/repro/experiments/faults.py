@@ -27,10 +27,20 @@ Recognized fields:
     ``heartbeat`` (each worker heartbeat tick; ``kind=hang`` wedges the
     worker so the watchdog sees a stale heartbeat; context ``worker``),
     ``job_claim`` (around journaling a job claim, before dispatch;
-    context ``job``/``kind``/``worker``) and ``client_disconnect``
+    context ``job``/``kind``/``worker``), ``client_disconnect``
     (around sending a response; firing drops the connection without
     replying, like a client crash; context ``request``, since ``op=``
-    is reserved by the spec syntax).
+    is reserved by the spec syntax), ``scale_event`` (around each
+    autoscaler pool change; context ``direction`` (``up``/``down``)
+    plus ``pool`` or ``worker``; ``kind=exit`` models the daemon dying
+    mid-scale), ``disk_full`` (around the disk-pressure guard's free-
+    space probe; firing reads as zero bytes free and flips the daemon
+    into degraded mode; context ``path``) and ``compaction_crash``
+    (inside the online journal compactor, firing once with
+    ``phase=written`` -- tmp file durable, rename not yet issued --
+    and once with ``phase=replaced`` -- rename durable; ``kind=exit``
+    at either phase proves compaction is crash-safe at any instant;
+    context ``path``).
 ``kind`` (required)
     ``raise`` (a deterministic :class:`FaultInjected`, a
     :class:`~repro.errors.ReproError`), ``raise_transient`` (a

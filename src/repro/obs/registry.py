@@ -169,6 +169,27 @@ class _Family:
                 child = self._children[key] = self._make_child()
             return child
 
+    def remove(self, **labels: str) -> bool:
+        """Drop one label combination's child from the family.
+
+        The antidote to dead label sets: a long-lived daemon that
+        retires workers must remove their ``{worker=...}`` children or
+        the exposition accumulates gauges for processes that no longer
+        exist.  Returns whether the combination existed.  Removing an
+        unknown combination is a no-op, and the unlabeled singleton
+        cannot be removed.
+        """
+        if not self.label_names:
+            raise ValueError(f"metric {self.name} has no labeled children")
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.label_names},"
+                f" got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        with self._lock:
+            return self._children.pop(key, None) is not None
+
     # Unlabeled convenience: family proxies its single child.
     def _solo(self):
         if self.label_names:

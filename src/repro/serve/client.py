@@ -13,6 +13,17 @@ terminal state, riding out daemon downtime the same way; jobs survive
 restarts in the journal, so waiting through a crash is expected to
 succeed, not error.
 
+Resilience against an *overloaded or crash-looping* daemon lives in two
+places.  A small circuit breaker inside :class:`ServeClient` fails fast
+after consecutive exhausted reconnect windows -- a crash-looping daemon
+gets breathing room instead of a reconnect stampede -- and closes again
+on the first success.  :meth:`ServeClient.run` wraps submit+wait in the
+full retry discipline: backpressure rejections (``busy``, ``draining``,
+``disk_pressure``) back off with capped jittered exponential delays
+that honor the daemon's ``retry_after`` hint, and a result evicted by
+retention is recovered by resubmitting the content-addressed spec
+(dedup plus the result cache make the rerun idempotent).
+
 The one exception to connect-per-request is :meth:`ServeClient.subscribe`:
 it holds a single connection open and yields the daemon's JSON-lines
 event feed as decoded dicts (``None`` between events when the feed is
@@ -23,6 +34,7 @@ backlog replay -- the per-event ``seq`` lets consumers drop duplicates.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from pathlib import Path
@@ -57,15 +69,20 @@ def request(
         except (ConnectionRefusedError, FileNotFoundError, ConnectionResetError,
                 BrokenPipeError) as exc:
             if time.monotonic() >= deadline:
-                raise ServeError(
+                error = ServeError(
                     f"daemon unreachable at {path} after {attempt} attempt(s):"
                     f" {type(exc).__name__}: {exc}"
-                ) from exc
+                ).with_context(
+                    attempts=attempt,
+                    reconnect_window_s=round(max(0.0, reconnect_s), 2),
+                    last_error=f"{type(exc).__name__}: {exc}",
+                )
+                raise error from exc
             time.sleep(min(0.2, max(0.02, 0.02 * attempt)))
         except socket.timeout as exc:
             raise ServeError(
                 f"daemon at {path} did not answer within {timeout_s:.1f}s"
-            ) from exc
+            ).with_context(attempts=attempt, timeout_s=timeout_s) from exc
 
 
 def _round_trip(path: str, message: dict, timeout_s: float) -> dict:
@@ -93,6 +110,58 @@ def _round_trip(path: str, message: dict, timeout_s: float) -> dict:
     return decode_line(line.rstrip(b"\n"))
 
 
+class _CircuitBreaker:
+    """Fail fast against a daemon that keeps eating reconnect windows.
+
+    Counts *consecutive* failed requests (each one already survived a
+    full reconnect window, so these are expensive).  At ``threshold``
+    the breaker opens: requests fail immediately with the remaining
+    cooldown in their context instead of hammering a crash-looping
+    daemon.  Each consecutive open doubles the cooldown up to a cap;
+    the first success closes everything.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 1.0,
+        max_cooldown_s: float = 30.0,
+    ):
+        self.threshold = max(1, threshold)
+        self.cooldown_s = max(0.05, cooldown_s)
+        self.max_cooldown_s = max_cooldown_s
+        self.failures = 0
+        self.opens = 0
+        self.open_until = 0.0
+
+    def check(self) -> None:
+        remaining = self.open_until - time.monotonic()
+        if remaining > 0:
+            raise ServeError(
+                f"circuit breaker is open for another {remaining:.1f}s"
+                f" after {self.failures} consecutive failure(s)"
+            ).with_context(
+                code="circuit_open",
+                failures=self.failures,
+                retry_in_s=round(remaining, 2),
+            )
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.opens += 1
+            cooldown = min(
+                self.max_cooldown_s,
+                self.cooldown_s * (2 ** (self.opens - 1)),
+            )
+            self.open_until = time.monotonic() + cooldown
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opens = 0
+        self.open_until = 0.0
+
+
 class ServeClient:
     """Thin convenience wrapper binding a socket path and retry window."""
 
@@ -102,24 +171,43 @@ class ServeClient:
         *,
         timeout_s: float = 30.0,
         reconnect_s: float = 10.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown_s: float = 1.0,
     ):
         self.socket_path = Path(socket_path)
         self.timeout_s = timeout_s
         self.reconnect_s = reconnect_s
+        self._breaker = _CircuitBreaker(
+            threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
 
     def _op(self, message: dict, *, reconnect_s: float | None = None) -> dict:
-        return request(
-            self.socket_path,
-            message,
-            timeout_s=self.timeout_s,
-            reconnect_s=self.reconnect_s if reconnect_s is None else reconnect_s,
-        )
+        self._breaker.check()
+        try:
+            response = request(
+                self.socket_path,
+                message,
+                timeout_s=self.timeout_s,
+                reconnect_s=(
+                    self.reconnect_s if reconnect_s is None else reconnect_s
+                ),
+            )
+        except ServeError:
+            self._breaker.record_failure()
+            raise
+        self._breaker.record_success()
+        return response
 
     def ping(self, *, reconnect_s: float | None = None) -> dict:
         return self._op({"op": "ping"}, reconnect_s=reconnect_s)
 
-    def submit(self, job: dict, *, priority: int = 0) -> dict:
-        return self._op({"op": "submit", "job": job, "priority": priority})
+    def submit(
+        self, job: dict, *, priority: int = 0, deadline: float = 0.0
+    ) -> dict:
+        message = {"op": "submit", "job": job, "priority": priority}
+        if deadline and deadline > 0:
+            message["deadline"] = float(deadline)
+        return self._op(message)
 
     def status(self, job_id: str) -> dict:
         return self._op({"op": "status", "job_id": job_id})
@@ -211,17 +299,22 @@ class ServeClient:
     ) -> dict:
         """Poll until the job is ``done``/``failed``; rides out restarts.
 
-        Raises :class:`ServeError` on deadline, on an unknown job (a
-        journal that never saw the submit), or when the daemon stays
-        down longer than the reconnect window.
+        A job retention evicted mid-wait is returned as its structured
+        ``evicted`` view (terminal from the waiter's perspective --
+        :meth:`run` turns it into a resubmit).  Raises
+        :class:`ServeError` on deadline, on an unknown job (a journal
+        that never saw the submit), or when the daemon stays down
+        longer than the reconnect window.
         """
         deadline = time.monotonic() + timeout_s
         while True:
             view = self.result(job_id)
+            if view.get("code") == "evicted":
+                return view
             if not view.get("ok"):
                 raise ServeError(
                     f"waiting on {job_id}: {view.get('error', 'unknown error')}"
-                )
+                ).with_context(code=view.get("code"))
             if view.get("state") in ("done", "failed"):
                 return view
             if time.monotonic() >= deadline:
@@ -230,3 +323,67 @@ class ServeClient:
                     f" {timeout_s:.1f}s"
                 )
             time.sleep(poll_s)
+
+    def run(
+        self,
+        job: dict,
+        *,
+        priority: int = 0,
+        deadline: float = 0.0,
+        timeout_s: float = 600.0,
+        poll_s: float = 0.2,
+        max_backoff_s: float = 30.0,
+        max_resubmits: int = 3,
+    ) -> dict:
+        """Submit and wait, with the full overload-retry discipline.
+
+        Backpressure rejections (``busy``, ``draining``,
+        ``disk_pressure``) retry under capped jittered exponential
+        backoff that never undercuts the daemon's ``retry_after`` hint.
+        A result evicted by retention between completion and our read
+        is recovered by resubmitting the identical spec -- submits are
+        content-addressed and results cached, so the retry is
+        idempotent.  Any other rejection or failure raises/returns
+        exactly as :meth:`wait` would.
+        """
+        stop_at = time.monotonic() + timeout_s
+        rejections = 0
+        resubmits = 0
+        while True:
+            remaining = stop_at - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(
+                    f"gave up submitting after {timeout_s:.1f}s"
+                ).with_context(rejections=rejections, resubmits=resubmits)
+            submitted = self.submit(job, priority=priority, deadline=deadline)
+            if not submitted.get("ok"):
+                code = submitted.get("code")
+                if code not in ("busy", "draining", "disk_pressure"):
+                    raise ServeError(
+                        f"submit rejected: {submitted.get('error')}"
+                    ).with_context(code=code)
+                rejections += 1
+                hint = float(submitted.get("retry_after") or 0.0)
+                backoff = min(
+                    max_backoff_s, 0.2 * (2 ** min(rejections, 8))
+                )
+                # The hint is a floor, never jittered away; the jitter
+                # spreads simultaneous retriers apart (up to +25%).
+                delay = max(hint, backoff) * (1.0 + 0.25 * random.random())
+                time.sleep(max(0.02, min(delay, remaining)))
+                continue
+            rejections = 0
+            view = self.wait(
+                submitted["job_id"],
+                timeout_s=max(0.1, stop_at - time.monotonic()),
+                poll_s=poll_s,
+            )
+            if view.get("code") == "evicted":
+                resubmits += 1
+                if resubmits > max_resubmits:
+                    raise ServeError(
+                        f"job {submitted['job_id']} evicted"
+                        f" {resubmits} time(s); giving up"
+                    ).with_context(code="evicted", resubmits=resubmits)
+                continue
+            return view

@@ -17,9 +17,28 @@ their run-manifest, so a served run interrupted at any instant still
 converges to results byte-identical to a clean batch run.
 
 Admission control: past ``REPRO_SERVE_QUEUE_MAX`` pending jobs a submit
-is rejected with ``code=busy`` and a ``retry_after`` hint instead of
-letting the backlog (and every client's latency) grow without bound.
-Deduplicated submits are always admitted -- they add no work.
+either *sheds* -- when the submit outranks the lowest-priority pending
+job, that victim is failed with a structured ``LoadShed`` error and the
+submit is admitted in its place -- or is rejected with ``code=busy``
+and a ``retry_after`` hint derived from the observed drain rate, so
+clients back off proportionally to the actual backlog instead of a
+constant.  Deduplicated submits are always admitted -- they add no
+work.  A submit may carry a relative ``deadline``; pending jobs whose
+deadline passes are failed as ``DeadlineExceeded`` by the maintenance
+loop (and checked again at claim time) without ever occupying a worker.
+
+Bounded retention: terminal job payloads are held under an LRU count
+bound and a TTL (``REPRO_SERVE_RETAIN_JOBS`` / ``_RETAIN_S``); evicted
+jobs answer ``result`` with a structured ``evicted`` tombstone pointing
+at the journal, and resubmitting the same spec is the supported
+recovery path (the content-addressed result cache makes the rerun
+byte-identical and cheap).  The journal is compacted online -- under
+the core lock, with the same atomic rewrite used at startup -- whenever
+the live-record fraction drops below ``REPRO_SERVE_COMPACT_RATIO``.  A
+disk-pressure guard flips the daemon into a journaled degraded mode
+(submits rejected with ``code=disk_pressure``, in-flight work finishes)
+below ``REPRO_SERVE_MIN_FREE_MB`` instead of dying on ENOSPC, and
+recovers with hysteresis once space returns.
 
 Graceful drain: SIGTERM/SIGINT flips the daemon into draining mode --
 new submits are rejected (``code=draining``), status/result stay
@@ -41,12 +60,22 @@ bounded queue that drops-and-counts under backpressure.
 Environment knobs (all prefixed ``REPRO_SERVE_``)
 -------------------------------------------------
 ``DIR`` state directory (journal, socket, pidfile); ``WORKERS`` pool
-size; ``QUEUE_MAX`` pending high-water mark; ``HEARTBEAT_S`` worker
+floor; ``MAX_WORKERS`` pool ceiling the autoscaler may grow to;
+``SCALE_UP_PENDING`` pending-jobs-per-worker pressure that triggers a
+scale-up; ``SCALE_COOLDOWN_S`` hysteresis between scale events;
+``IDLE_RETIRE_S`` idle time before a surplus worker retires;
+``QUEUE_MAX`` pending high-water mark; ``HEARTBEAT_S`` worker
 heartbeat interval (stale after 3x); ``JOB_TIMEOUT_S`` per-job hang
 limit (0 disables); ``RESTART_BUDGET`` attempts before a poison job is
 failed; ``DRAIN_S`` drain deadline; ``RETRY_AFTER_S`` backpressure
-hint; ``TRACE`` worker-side span forwarding (default on; falsy
-disables).  CLI flags override the environment.
+hint floor (the live hint scales with the observed drain rate);
+``RETAIN_JOBS`` / ``RETAIN_S`` terminal-result retention bounds;
+``COMPACT_RATIO`` live-record fraction below which the journal is
+compacted online; ``COMPACT_MIN`` journal records before online
+compaction is considered; ``MIN_FREE_MB`` free-disk floor under which
+submits are rejected with ``code=disk_pressure``; ``TRACE``
+worker-side span forwarding (default on; falsy disables).  CLI flags
+override the environment.
 
 Metrics/feed knobs are prefixed ``REPRO_METRICS_``: ``INTERVAL_S``
 periodic feed metric events, ``FEED_QUEUE`` per-subscriber queue bound,
@@ -56,6 +85,7 @@ periodic feed metric events, ``FEED_QUEUE`` per-subscriber queue bound,
 
 from __future__ import annotations
 
+import errno
 import os
 import signal
 import socket
@@ -82,7 +112,7 @@ from repro.serve.protocol import (
     normalize_spec,
     read_message,
 )
-from repro.serve.queue import DONE, FAILED, PENDING, JobQueue, QueueFull
+from repro.serve.queue import DONE, EVICTED, FAILED, PENDING, JobQueue, QueueFull
 from repro.serve.supervisor import Supervisor
 
 __all__ = ["ServeConfig", "ServerCore", "ServerStats", "serve"]
@@ -110,12 +140,21 @@ class ServeConfig:
 
     state_dir: Path
     workers: int = 2
+    max_workers: int = 0  # autoscale ceiling; 0 = same as workers
+    scale_up_pending: int = 2  # pending jobs per worker before growing
+    scale_cooldown_s: float = 5.0  # hysteresis between scale events
+    idle_retire_s: float = 30.0  # idle time before a surplus worker retires
     queue_max: int = 64
     heartbeat_s: float = 1.0
     job_timeout_s: float = 600.0
     restart_budget: int = 3
     drain_s: float = 30.0
     retry_after_s: float = 2.0
+    retain_jobs: int = 512  # terminal results kept resident (0 = unbounded)
+    retain_s: float = 86400.0  # terminal result TTL (0 = unbounded)
+    compact_ratio: float = 0.5  # live fraction below which to compact
+    compact_min: int = 512  # journal records before compaction considered
+    min_free_mb: float = 64.0  # free-disk floor before degraded mode
     socket_path: Path | None = None
     worker_trace: bool = True  # workers trace + forward live spans
     metrics_interval_s: float = 2.0  # periodic feed metric events
@@ -134,12 +173,21 @@ class ServeConfig:
         config = ServeConfig(
             state_dir=state_dir,
             workers=_env_int("REPRO_SERVE_WORKERS", 2),
+            max_workers=_env_int("REPRO_SERVE_MAX_WORKERS", 0),
+            scale_up_pending=_env_int("REPRO_SERVE_SCALE_UP_PENDING", 2),
+            scale_cooldown_s=_env_float("REPRO_SERVE_SCALE_COOLDOWN_S", 5.0),
+            idle_retire_s=_env_float("REPRO_SERVE_IDLE_RETIRE_S", 30.0),
             queue_max=_env_int("REPRO_SERVE_QUEUE_MAX", 64),
             heartbeat_s=_env_float("REPRO_SERVE_HEARTBEAT_S", 1.0),
             job_timeout_s=_env_float("REPRO_SERVE_JOB_TIMEOUT_S", 600.0),
             restart_budget=_env_int("REPRO_SERVE_RESTART_BUDGET", 3),
             drain_s=_env_float("REPRO_SERVE_DRAIN_S", 30.0),
             retry_after_s=_env_float("REPRO_SERVE_RETRY_AFTER_S", 2.0),
+            retain_jobs=_env_int("REPRO_SERVE_RETAIN_JOBS", 512),
+            retain_s=_env_float("REPRO_SERVE_RETAIN_S", 86400.0),
+            compact_ratio=_env_float("REPRO_SERVE_COMPACT_RATIO", 0.5),
+            compact_min=_env_int("REPRO_SERVE_COMPACT_MIN", 512),
+            min_free_mb=_env_float("REPRO_SERVE_MIN_FREE_MB", 64.0),
             worker_trace=trace_raw not in ("", "0", "false", "off", "no"),
             metrics_interval_s=_env_float("REPRO_METRICS_INTERVAL_S", 2.0),
             feed_queue=_env_int("REPRO_METRICS_FEED_QUEUE", 256),
@@ -154,6 +202,9 @@ class ServeConfig:
                 raise ServeError(f"unknown serve option {name!r}")
             setattr(config, name, value)
         config.state_dir = Path(config.state_dir)
+        # The ceiling can never undercut the floor: "max_workers=0"
+        # (unset) and any value below `workers` both mean "fixed pool".
+        config.max_workers = max(config.workers, config.max_workers)
         if config.socket_path is None:
             config.socket_path = config.state_dir / "serve.sock"
         config.socket_path = Path(config.socket_path)
@@ -180,6 +231,11 @@ class ServerStats:
     recovered: int = 0
     busy_rejected: int = 0
     draining_rejected: int = 0
+    disk_rejected: int = 0
+    shed: int = 0
+    expired: int = 0
+    evicted: int = 0
+    compactions: int = 0
     worker_respawns: int = 0
     hangs_detected: int = 0
     started_s: float = field(default_factory=time.time)
@@ -194,6 +250,11 @@ class ServerStats:
             "recovered": self.recovered,
             "busy_rejected": self.busy_rejected,
             "draining_rejected": self.draining_rejected,
+            "disk_rejected": self.disk_rejected,
+            "shed": self.shed,
+            "expired": self.expired,
+            "evicted": self.evicted,
+            "compactions": self.compactions,
             "worker_respawns": self.worker_respawns,
             "hangs_detected": self.hangs_detected,
             "uptime_s": time.time() - self.started_s,
@@ -209,11 +270,20 @@ class ServerCore:
     accept work it might lose.
     """
 
+    #: Drain-rate observation window (seconds) behind ``retry_after``.
+    DRAIN_WINDOW_S = 30.0
+    #: Degraded mode exits only once free space doubles the floor.
+    DISK_RECOVER_FACTOR = 2.0
+
     def __init__(self, config: ServeConfig):
         self.config = config
         self.stats = ServerStats()
         self.draining = False
+        self.degraded = False  # disk-pressure mode: submits rejected
         self._lock = threading.RLock()
+        # Terminal-transition timestamps inside DRAIN_WINDOW_S; their
+        # rate converts queue depth into an honest retry_after hint.
+        self._terminal_times: deque = deque()
         # Observability: the registry is per-core (tests spin up several
         # cores per process), the bus fans live events to subscribers,
         # and _traces holds incrementally-stitched per-job span trees.
@@ -284,6 +354,25 @@ class ServerCore:
             "Seconds since each worker's last heartbeat",
             labels=("worker",),
         )
+        self._workers_gauge = reg.gauge(
+            "repro_workers",
+            "Worker processes by lifecycle state",
+            labels=("state",),
+        )
+        for state in ("idle", "busy", "booting"):
+            self._workers_gauge.labels(state=state).set(0)
+        self._evictions_total = reg.counter(
+            "repro_evictions_total",
+            "Terminal job payloads dropped by retention bounds",
+        )
+        self._compactions_total = reg.counter(
+            "repro_compactions_total",
+            "Online journal compactions performed",
+        )
+        self._degraded_gauge = reg.gauge(
+            "repro_degraded",
+            "1 while the daemon rejects submits under disk pressure",
+        )
         self._stage_seconds = reg.counter(
             "repro_stage_seconds_total",
             "Cumulative wall seconds per flow stage, fed from live spans",
@@ -305,9 +394,14 @@ class ServerCore:
     # ------------------------------------------------------------------
     # client-facing operations
     # ------------------------------------------------------------------
-    def submit(self, raw_spec: dict, priority: int = 0) -> dict:
+    def submit(
+        self, raw_spec: dict, priority: int = 0, deadline: float = 0.0
+    ) -> dict:
         spec = normalize_spec(raw_spec)
         key = job_key(spec)
+        priority = int(priority)
+        deadline = float(deadline or 0.0)
+        deadline_s = time.time() + deadline if deadline > 0 else 0.0
         with self._lock:
             existing = self.queue.lookup_key(key)
             if existing is not None:
@@ -328,29 +422,64 @@ class ServerCore:
                     "error": "daemon is draining; submit again after restart",
                     "retry_after": self.config.retry_after_s,
                 }
-            try:
-                job = self.queue.make_job(
-                    spec["kind"], spec, key, int(priority)
-                )
-            except QueueFull as exc:
-                self.stats.busy_rejected += 1
-                self._submits_total.labels(disposition="busy").inc()
+            if self.degraded:
+                self.stats.disk_rejected += 1
+                self._submits_total.labels(disposition="disk_pressure").inc()
                 return {
                     "ok": False,
-                    "code": "busy",
-                    "error": str(exc),
-                    "retry_after": self.config.retry_after_s,
+                    "code": "disk_pressure",
+                    "error": "daemon is degraded (disk pressure); submits"
+                             " resume once space is reclaimed",
+                    "retry_after": self._retry_after_hint(),
                 }
-            self.journal.append(
-                "submit",
-                job_id=job.job_id,
-                job_seq=job.seq,
-                key=key,
-                kind=job.kind,
-                spec=spec,
-                priority=job.priority,
-                submitted_s=job.submitted_s,
-            )
+            try:
+                job = self.queue.make_job(
+                    spec["kind"], spec, key, priority, deadline_s=deadline_s
+                )
+            except QueueFull as exc:
+                victim = self.queue.shed_candidate(priority)
+                if victim is None:
+                    self.stats.busy_rejected += 1
+                    self._submits_total.labels(disposition="busy").inc()
+                    return {
+                        "ok": False,
+                        "code": "busy",
+                        "error": str(exc),
+                        "retry_after": self._retry_after_hint(),
+                    }
+                self._shed_locked(victim, priority)
+                job = self.queue.make_job(
+                    spec["kind"], spec, key, priority, deadline_s=deadline_s
+                )
+            record = {
+                "job_id": job.job_id,
+                "job_seq": job.seq,
+                "key": key,
+                "kind": job.kind,
+                "spec": spec,
+                "priority": job.priority,
+                "submitted_s": job.submitted_s,
+            }
+            if deadline_s:
+                record["deadline_s"] = deadline_s
+            try:
+                self.journal.append("submit", **record)
+            except JournalError as exc:
+                if exc.errno == errno.ENOSPC:
+                    # The disk filled between maintenance ticks: the
+                    # submit was not acknowledged and must not be kept.
+                    self._enter_degraded_locked(free_mb=0.0)
+                    self.stats.disk_rejected += 1
+                    self._submits_total.labels(
+                        disposition="disk_pressure"
+                    ).inc()
+                    return {
+                        "ok": False,
+                        "code": "disk_pressure",
+                        "error": f"journal write hit ENOSPC: {exc}",
+                        "retry_after": self._retry_after_hint(),
+                    }
+                raise
             self.queue.add(job)
             self.stats.submitted += 1
             self._submits_total.labels(disposition="accepted").inc()
@@ -366,10 +495,34 @@ class ServerCore:
                 "deduped": False,
             }
 
+    def _evicted_view(self, job_id: str, tombstone: dict) -> dict:
+        """The structured answer for a job retention already dropped."""
+        return {
+            "ok": False,
+            "code": "evicted",
+            "job_id": job_id,
+            "state": EVICTED,
+            "kind": tombstone.get("kind", ""),
+            "key": tombstone.get("key", ""),
+            "terminal_state": tombstone.get("state", ""),
+            "finished_s": tombstone.get("finished_s", 0.0),
+            "evicted_s": tombstone.get("evicted_s", 0.0),
+            "journal": str(self.config.journal_path),
+            "error": (
+                f"job {job_id} finished as {tombstone.get('state')!r} but"
+                " retention evicted its payload; resubmit the same spec"
+                " (the result cache makes the rerun cheap and"
+                " byte-identical) or consult the journal"
+            ),
+        }
+
     def status(self, job_id: str) -> dict:
         with self._lock:
             job = self.queue.jobs.get(job_id)
             if job is None:
+                tombstone = self.queue.evicted.get(job_id)
+                if tombstone is not None:
+                    return self._evicted_view(job_id, tombstone)
                 return {
                     "ok": False, "code": "unknown_job",
                     "error": f"no such job {job_id!r}",
@@ -386,6 +539,9 @@ class ServerCore:
         with self._lock:
             job = self.queue.jobs.get(job_id)
             if job is None:
+                tombstone = self.queue.evicted.get(job_id)
+                if tombstone is not None:
+                    return self._evicted_view(job_id, tombstone)
                 return {
                     "ok": False, "code": "unknown_job",
                     "error": f"no such job {job_id!r}",
@@ -431,6 +587,104 @@ class ServerCore:
     def _update_queue_gauges(self) -> None:
         self._queue_depth.set(self.queue.pending_count())
         self._jobs_running.set(self.queue.running_count())
+
+    def _note_terminal(self, when: float | None = None) -> None:
+        """Record one terminal transition for drain-rate estimation."""
+        self._terminal_times.append(time.time() if when is None else when)
+
+    def _retry_after_hint(self) -> float:
+        """Backpressure hint from the observed drain rate (lock held).
+
+        ``pending / rate`` estimates when a queue slot frees up; the
+        configured constant is the floor, and the answer whenever
+        nothing finished recently enough to estimate a rate.
+        """
+        now = time.time()
+        window = self._terminal_times
+        while window and now - window[0] > self.DRAIN_WINDOW_S:
+            window.popleft()
+        floor = self.config.retry_after_s
+        if not window:
+            return floor
+        rate = len(window) / self.DRAIN_WINDOW_S
+        pending = self.queue.pending_count()
+        return round(min(120.0, max(floor, pending / rate)), 2)
+
+    def _shed_locked(self, victim, priority: int) -> None:
+        """Fail one pending job to admit a higher-priority submit.
+
+        Called with the lock held at the high-water mark.  The shed is
+        journaled first, exactly like any failure, so it survives a
+        crash -- the victim's client reads a structured ``LoadShed``
+        error, never a silent disappearance.
+        """
+        now = time.time()
+        error = {
+            "error_type": "LoadShed",
+            "message": (
+                f"shed at the high-water mark ({self.config.queue_max}"
+                f" pending) to admit a priority-{priority} submit"
+            ),
+            "kind": "deterministic",
+            "priority": victim.priority,
+        }
+        self.journal.append(
+            "fail", job_id=victim.job_id, error=error, finished_s=now
+        )
+        self.queue.mark_failed(victim.job_id, error)
+        self.stats.shed += 1
+        self._submits_total.labels(disposition="shed").inc()
+        self._jobs_total.labels(state="shed").inc()
+        self._note_terminal(now)
+        self._update_queue_gauges()
+        self.bus.publish(
+            "job_state", job_id=victim.job_id, state=FAILED,
+            kind=victim.kind, error_type="LoadShed", reason="shed",
+        )
+        _log.warning(
+            "shed pending job %s (priority %d) for a priority-%d submit",
+            victim.job_id, victim.priority, priority,
+        )
+
+    def _enter_degraded_locked(self, free_mb: float) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self._degraded_gauge.set(1)
+        # Best-effort journal record: on a truly full disk the append
+        # fails, but the mode itself lives in memory and the guard
+        # re-enters it after a restart as long as pressure persists.
+        try:
+            self.journal.append(
+                "degraded", mode="enter", free_mb=round(free_mb, 1)
+            )
+        except JournalError:
+            pass
+        self.bus.publish("lifecycle", action="degraded_enter",
+                         free_mb=round(free_mb, 1))
+        _log.warning(
+            "entering degraded mode: %.1f MiB free under the"
+            " %.1f MiB floor; rejecting submits",
+            free_mb, self.config.min_free_mb,
+        )
+
+    def _exit_degraded_locked(self, free_mb: float) -> None:
+        if not self.degraded:
+            return
+        self.degraded = False
+        self._degraded_gauge.set(0)
+        try:
+            self.journal.append(
+                "degraded", mode="exit", free_mb=round(free_mb, 1)
+            )
+        except JournalError:
+            pass
+        self.bus.publish("lifecycle", action="degraded_exit",
+                         free_mb=round(free_mb, 1))
+        _log.warning(
+            "leaving degraded mode: %.1f MiB free; accepting submits",
+            free_mb,
+        )
 
     # ------------------------------------------------------------------
     # observability operations
@@ -555,6 +809,10 @@ class ServerCore:
 
     def claim_job(self, worker: str):
         with self._lock:
+            # An expired job must never occupy a worker: sweep the
+            # deadline queue right at the claim boundary too, not just
+            # on the maintenance tick.
+            self.expire_deadlines()
             job = self.queue.next_pending()
             if job is None:
                 return None
@@ -585,10 +843,14 @@ class ServerCore:
             if job is None or job.state in (DONE, FAILED):
                 return
             result = payload if isinstance(payload, dict) else None
-            self.journal.append("complete", job_id=job_id, result=result)
+            now = time.time()
+            self.journal.append(
+                "complete", job_id=job_id, result=result, finished_s=now
+            )
             self.queue.mark_done(job_id, result)
             self.stats.completed += 1
             self._jobs_total.labels(state="done").inc()
+            self._note_terminal(now)
             if job.claimed_s:
                 self._run_hist.observe(max(0.0, time.time() - job.claimed_s))
             self._record_telemetry(telemetry)
@@ -604,10 +866,14 @@ class ServerCore:
             job = self.queue.jobs.get(job_id)
             if job is None or job.state in (DONE, FAILED):
                 return
-            self.journal.append("fail", job_id=job_id, error=error)
+            now = time.time()
+            self.journal.append(
+                "fail", job_id=job_id, error=error, finished_s=now
+            )
             self.queue.mark_failed(job_id, error)
             self.stats.failed += 1
             self._jobs_total.labels(state="failed").inc()
+            self._note_terminal(now)
             if job.claimed_s:
                 self._run_hist.observe(max(0.0, time.time() - job.claimed_s))
             self._record_telemetry(telemetry)
@@ -641,6 +907,163 @@ class ServerCore:
                 reason=reason, attempts=job.attempts,
             )
             _log.warning("requeued job %s: %s", job_id, reason)
+
+    # ------------------------------------------------------------------
+    # periodic maintenance (deadlines, retention, compaction, disk)
+    # ------------------------------------------------------------------
+    def expire_deadlines(self, now: float | None = None) -> int:
+        """Fail every pending job whose deadline has passed.
+
+        Each expiry is a journaled structured failure -- the client
+        reads ``DeadlineExceeded``, never a stuck ``pending``.  Safe to
+        call from any thread at any time; returns how many expired.
+        """
+        with self._lock:
+            now = time.time() if now is None else now
+            expired = self.queue.expired_pending(now)
+            for job in expired:
+                error = {
+                    "error_type": "DeadlineExceeded",
+                    "message": (
+                        f"deadline passed {now - job.deadline_s:.1f}s ago"
+                        " while the job was still pending"
+                    ),
+                    "kind": "deterministic",
+                    "deadline_s": job.deadline_s,
+                }
+                self.journal.append(
+                    "fail", job_id=job.job_id, error=error, finished_s=now
+                )
+                self.queue.mark_failed(job.job_id, error)
+                self.stats.expired += 1
+                self._jobs_total.labels(state="expired").inc()
+                self._note_terminal(now)
+                self.bus.publish(
+                    "job_state", job_id=job.job_id, state=FAILED,
+                    kind=job.kind, error_type="DeadlineExceeded",
+                )
+            if expired:
+                self._update_queue_gauges()
+            return len(expired)
+
+    def enforce_retention(self, now: float | None = None) -> int:
+        """Evict terminal jobs past the count/age retention bounds.
+
+        Journal first (an ``evict`` record), memory second -- replaying
+        the journal after a crash reproduces exactly which payloads
+        were dropped, and :meth:`JobQueue.restore` guarantees an
+        evicted job never resurrects.  Returns how many were evicted.
+        """
+        with self._lock:
+            now = time.time() if now is None else now
+            candidates = self.queue.evict_candidates(
+                self.config.retain_jobs, self.config.retain_s, now
+            )
+            for job in candidates:
+                self.journal.append(
+                    "evict",
+                    job_id=job.job_id,
+                    key=job.key,
+                    kind=job.kind,
+                    state=job.state,
+                    finished_s=job.finished_s,
+                    evicted_s=now,
+                )
+                self.queue.evict(job.job_id, evicted_s=now)
+                self._traces.pop(job.job_id, None)
+                self.stats.evicted += 1
+                self._evictions_total.inc()
+                self._jobs_total.labels(state="evicted").inc()
+                self.bus.publish(
+                    "job_state", job_id=job.job_id, state=EVICTED,
+                    kind=job.kind, terminal_state=job.state,
+                )
+            return len(candidates)
+
+    def maybe_compact(self) -> bool:
+        """Rewrite the journal online once mostly-dead records dominate.
+
+        Uses a cheap live-record estimate (two records per resident job,
+        one per tombstone) against the journal's durable record count;
+        below ``compact_ratio`` the queue is re-serialized through the
+        same atomic compactor the startup path uses.  Runs under the
+        core lock, so submits briefly queue behind a compaction --
+        that is the price of never replaying an unbounded file.
+        """
+        with self._lock:
+            total = self.journal.records_in_file
+            if total < max(1, self.config.compact_min):
+                return False
+            live = 2 * len(self.queue.jobs) + len(self.queue.evicted)
+            if live / total >= self.config.compact_ratio:
+                return False
+            self.journal.compact(self.queue.live_records())
+            self.stats.compactions += 1
+            self._compactions_total.inc()
+            self.lifecycle(
+                "journal_compacted", before=total,
+                after=self.journal.records_in_file,
+            )
+            return True
+
+    def _disk_free_mb(self) -> float:
+        """Free space on the state-dir filesystem, in MiB.
+
+        The ``disk_full`` fault site models a full disk: an injected
+        fault reads as zero bytes free.
+        """
+        try:
+            with inject("disk_full", path=str(self.config.state_dir)):
+                usage = os.statvfs(self.config.state_dir)
+        except FaultInjected:
+            return 0.0
+        except OSError:
+            return float("inf")  # cannot stat: do not flap into degraded
+        return usage.f_bavail * usage.f_frsize / (1024 * 1024)
+
+    def check_disk(self) -> bool:
+        """Flip degraded mode on disk pressure; recover with hysteresis.
+
+        Degraded entry triggers at ``min_free_mb``; exit waits for
+        ``DISK_RECOVER_FACTOR`` times that, so a daemon hovering at the
+        floor does not oscillate.  Returns the current degraded state.
+        """
+        floor = self.config.min_free_mb
+        if floor <= 0:
+            return False
+        free_mb = self._disk_free_mb()
+        with self._lock:
+            if not self.degraded and free_mb < floor:
+                self._enter_degraded_locked(free_mb)
+            elif self.degraded and free_mb >= self.DISK_RECOVER_FACTOR * floor:
+                self._exit_degraded_locked(free_mb)
+            return self.degraded
+
+    def maintenance(self) -> None:
+        """One background upkeep pass; every step is independently safe."""
+        self.expire_deadlines()
+        self.enforce_retention()
+        self.maybe_compact()
+        self.check_disk()
+
+    # ------------------------------------------------------------------
+    # worker-pool observability hooks
+    # ------------------------------------------------------------------
+    def drop_worker(self, worker: str) -> None:
+        """Forget a retired/reaped worker's per-worker gauge labels.
+
+        Without this a weeks-old autoscaling daemon accumulates one
+        dead ``heartbeat_age_seconds`` label set per worker it ever
+        ran.
+        """
+        self._heartbeat_age.remove(worker=worker)
+
+    def note_worker_pool(self, counts: dict) -> None:
+        """Supervisor hook: publish ``repro_workers{state}`` gauges."""
+        for state in ("idle", "busy", "booting"):
+            self._workers_gauge.labels(state=state).set(
+                int(counts.get(state, 0))
+            )
 
     def stats_bump(self, counter: str) -> None:
         with self._lock:
@@ -677,6 +1100,7 @@ class _Handler(socketserver.StreamRequestHandler):
                 response = core.submit(
                     message.get("job") or {},
                     priority=int(message.get("priority", 0) or 0),
+                    deadline=float(message.get("deadline", 0) or 0),
                 )
             elif op == "status":
                 response = core.status(str(message.get("job_id", "")))
@@ -828,6 +1252,10 @@ def serve(config: ServeConfig) -> int:
     supervisor = Supervisor(
         core,
         workers=config.workers,
+        max_workers=config.max_workers,
+        scale_up_pending=config.scale_up_pending,
+        scale_cooldown_s=config.scale_cooldown_s,
+        idle_retire_s=config.idle_retire_s,
         heartbeat_s=config.heartbeat_s,
         job_timeout_s=config.job_timeout_s,
         restart_budget=config.restart_budget,
@@ -850,13 +1278,27 @@ def serve(config: ServeConfig) -> int:
     )
     ticker_stop = threading.Event()
 
-    def metrics_ticker():
-        # Periodic metric summaries double as feed keepalives: a dead
-        # subscriber is detected at the next tick's failed write.  With
-        # no subscribers the tick publishes nothing (the backlog ring
-        # should hold job history, not clock noise).
-        interval = max(0.2, config.metrics_interval_s)
-        while not ticker_stop.wait(interval):
+    def maintenance_ticker():
+        # Two cadences in one loop.  Maintenance (deadline expiry,
+        # retention, online compaction, the disk guard) runs every
+        # tick -- deadlines should expire within ~half a second of
+        # passing.  Metric summaries keep their configured interval,
+        # double as feed keepalives (a dead subscriber is detected at
+        # the next tick's failed write), and are skipped with no
+        # subscribers (the backlog ring should hold job history, not
+        # clock noise).
+        tick = max(0.1, min(0.5, config.metrics_interval_s))
+        metrics_interval = max(0.2, config.metrics_interval_s)
+        last_metrics = time.monotonic()
+        while not ticker_stop.wait(tick):
+            try:
+                core.maintenance()
+            except Exception:  # noqa: BLE001 -- upkeep must outlive bugs
+                _log.exception("maintenance pass failed; continuing")
+            now = time.monotonic()
+            if now - last_metrics < metrics_interval:
+                continue
+            last_metrics = now
             if core.bus.subscriber_count() == 0:
                 continue
             view = core.stats_view()
@@ -872,7 +1314,7 @@ def serve(config: ServeConfig) -> int:
             )
 
     ticker_thread = threading.Thread(
-        target=metrics_ticker, name="repro-serve-metrics", daemon=True
+        target=maintenance_ticker, name="repro-serve-maintenance", daemon=True
     )
     try:
         supervisor.start()

@@ -64,6 +64,8 @@ _MAX_RECORD_BYTES = 32 * 1024 * 1024
 class JournalError(ServeError):
     """The journal could not be written (its *reads* never raise)."""
 
+    errno: int | None = None  # underlying OS errno, when one caused this
+
 
 def _frame(record: dict) -> bytes:
     """Serialize one record to its checksummed line."""
@@ -139,12 +141,22 @@ class Journal:
         self.path = Path(path)
         self._fh = None
         self._seq = 0
+        self._records_in_file = 0
         self._fsync_hist = None
         if registry is not None:
             self._fsync_hist = registry.histogram(
                 "repro_journal_fsync_seconds",
                 "Wall time of one durable journal append (write+flush+fsync)",
             )
+
+    @property
+    def records_in_file(self) -> int:
+        """How many durable records the file holds right now.
+
+        Replay count plus appends since, reset by compaction -- the
+        denominator of the online-compaction live-fraction trigger.
+        """
+        return self._records_in_file
 
     @property
     def seq(self) -> int:
@@ -179,6 +191,7 @@ class Journal:
             (r["seq"] for r in records if isinstance(r.get("seq"), int)),
             default=-1,
         )
+        self._records_in_file = len(records)
         return records
 
     def append(self, rtype: str, **fields) -> dict:
@@ -205,12 +218,17 @@ class Journal:
                 self._fh.flush()
                 os.fsync(self._fh.fileno())
         except OSError as exc:
-            raise JournalError(
+            error = JournalError(
                 f"journal append failed for {self.path}: {exc}"
-            ) from exc
+            )
+            # Preserve the errno so the daemon can tell disk exhaustion
+            # (ENOSPC -> degraded mode) from other write failures.
+            error.errno = exc.errno
+            raise error from exc
         if self._fsync_hist is not None:
             self._fsync_hist.observe(time.perf_counter() - started)
         self._seq += 1
+        self._records_in_file += 1
         return record
 
     def compact(self, records: list[dict]) -> None:
@@ -221,6 +239,12 @@ class Journal:
         fsync'd too so the rename itself is durable.  The append handle
         is re-opened on the new file.  Sequence numbering continues --
         compaction never reuses a seq.
+
+        Crash-safe at any instant: the ``compaction_crash`` fault site
+        fires once with ``phase=written`` (tmp durable, rename not yet
+        issued -- a crash leaves the *old* journal plus a stray tmp) and
+        once with ``phase=replaced`` (rename durable -- a crash leaves
+        the *new* journal).  Either way replay sees one valid file.
         """
         was_open = self._fh is not None
         if was_open:
@@ -233,12 +257,19 @@ class Journal:
                     fh.write(_frame(record))
                 fh.flush()
                 os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
+            with inject(
+                "compaction_crash", phase="written", path=str(self.path)
+            ):
+                os.replace(tmp, self.path)
             dir_fd = os.open(self.path.parent, os.O_RDONLY)
             try:
                 os.fsync(dir_fd)
             finally:
                 os.close(dir_fd)
+            with inject(
+                "compaction_crash", phase="replaced", path=str(self.path)
+            ):
+                self._records_in_file = len(records)
         except OSError as exc:
             raise JournalError(
                 f"journal compaction failed for {self.path}: {exc}"

@@ -4,7 +4,8 @@ Transport is JSON-lines over a Unix stream socket: each request is one
 JSON object on one ``\\n``-terminated line, answered by exactly one JSON
 object on one line.  Every response carries ``"ok"``; failures add
 ``"error"`` (human text) and ``"code"`` (machine string -- ``busy``,
-``draining``, ``unknown_job``, ``bad_request``, ``internal``).  The
+``draining``, ``disk_pressure``, ``evicted``, ``unknown_job``,
+``bad_request``, ``internal``).  The
 connection closes after the response, so clients reconnect per request
 -- which is also what makes daemon restarts invisible to a polling
 client.
@@ -46,6 +47,11 @@ A submitted job is ``{"kind": ..., ...}`` with one of four kinds:
 normalized spec is hashed into the job's **single-flight dedup key**
 (:func:`job_key`): two clients submitting the same work must produce
 the same key regardless of which defaults they spelled out.
+
+Scheduling hints -- ``priority`` and the relative ``deadline`` seconds
+on a ``submit`` message -- are deliberately *not* part of the spec and
+never reach the dedup key: the same work submitted urgently and lazily
+is still the same work, and must share one execution.
 """
 
 from __future__ import annotations

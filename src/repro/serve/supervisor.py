@@ -21,6 +21,19 @@ take the pool down forever -- the serving analog of the batch engine's
 transient-vs-deterministic taxonomy (transient worker death retries;
 the budget converts "retries forever" into a structured failure).
 
+The pool size is adaptive between a floor (``workers``) and a ceiling
+(``max_workers``): when the pending backlog outgrows
+``scale_up_pending`` jobs per worker, one worker is added per
+``scale_cooldown_s`` of sustained pressure, and a surplus worker idle
+for ``idle_retire_s`` is retired back toward the floor.  Scaling is
+deliberately one-worker-at-a-time with a shared cooldown (hysteresis):
+a burst neither forks a worker storm nor thrashes spawn/retire cycles,
+and the watchdog/restart-budget machinery only ever sees workers that
+exist for real work.  Worker names are monotonic (``w0, w1, ...`` --
+never reused, even across respawns), so every lifecycle event and
+per-worker gauge names exactly one process; retired and reaped names
+drop their gauge label sets via ``core.drop_worker``.
+
 Workers double as crash-confinement cells: they set ``PR_SET_PDEATHSIG``
 so a ``kill -9`` of the daemon kills them too (no orphan keeps burning
 CPU or double-running a flow after the daemon restarts and requeues),
@@ -35,6 +48,7 @@ import os
 import threading
 import time
 
+from repro.experiments.faults import inject
 from repro.log import get_logger
 from repro.obs import attach_subtree
 
@@ -303,6 +317,7 @@ class WorkerHandle:
         self.conn = parent_conn
         self.job_id = None
         self.job_started_s = 0.0
+        self.idle_since = time.monotonic()  # retire-after-idle clock
 
     @property
     def idle(self) -> bool:
@@ -360,12 +375,20 @@ class Supervisor:
         heartbeat_s: float,
         job_timeout_s: float,
         restart_budget: int,
+        max_workers: int = 0,
+        scale_up_pending: int = 2,
+        scale_cooldown_s: float = 5.0,
+        idle_retire_s: float = 30.0,
         poll_s: float = 0.05,
         boot_grace_s: float = 30.0,
         forward_spans: bool = True,
     ):
         self.core = core
         self.workers_wanted = max(1, workers)
+        self.max_workers = max(self.workers_wanted, max_workers)
+        self.scale_up_pending = max(1, scale_up_pending)
+        self.scale_cooldown_s = max(0.0, scale_cooldown_s)
+        self.idle_retire_s = max(0.0, idle_retire_s)
         self.heartbeat_s = heartbeat_s
         self.boot_grace_s = boot_grace_s
         self.job_timeout_s = job_timeout_s
@@ -377,6 +400,19 @@ class Supervisor:
         self._draining = False
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        self._worker_seq = 0  # names are monotonic, never reused
+        self._last_scale = 0.0  # cooldown clock shared by up and down
+
+    def _next_name(self) -> str:
+        name = f"w{self._worker_seq}"
+        self._worker_seq += 1
+        return name
+
+    def _drop_worker(self, name: str) -> None:
+        """Tell the core to forget a dead worker's gauge label sets."""
+        hook = getattr(self.core, "drop_worker", None)
+        if hook is not None:
+            hook(name)
 
     def _lifecycle(self, action: str, **fields) -> None:
         """Publish a structured lifecycle event through the core.
@@ -394,12 +430,14 @@ class Supervisor:
     def start(self) -> None:
         self.workers = [
             WorkerHandle(
-                f"w{i}", self.ctx, self.heartbeat_s, self.forward_spans
+                self._next_name(), self.ctx, self.heartbeat_s,
+                self.forward_spans,
             )
-            for i in range(self.workers_wanted)
+            for _ in range(self.workers_wanted)
         ]
         for handle in self.workers:
             self._lifecycle("worker_boot", worker=handle.name)
+        self._publish_pool()
         self._thread = threading.Thread(
             target=self._run, name="repro-serve-supervisor", daemon=True
         )
@@ -462,7 +500,88 @@ class Supervisor:
         self._reap()
         self._watchdog()
         if not self._draining:
+            self._autoscale()
             self._dispatch()
+        self._publish_pool()
+
+    def _pending_jobs(self) -> int:
+        """Queue-depth pressure signal (0 when the core has no queue)."""
+        queue = getattr(self.core, "queue", None)
+        if queue is None:
+            return 0
+        try:
+            # Lock-free read of a concurrently-mutated table: a torn
+            # scan only skews one tick's pressure estimate.
+            return queue.pending_count()
+        except RuntimeError:
+            return 0
+
+    def _autoscale(self) -> None:
+        """Grow under sustained pressure, retire after sustained idle.
+
+        One worker per cooldown window in either direction: the shared
+        ``_last_scale`` clock is the hysteresis that keeps the restart
+        budget and watchdog looking at a stable pool, not a thrashing
+        one.  The ``scale_event`` fault site can veto (or crash) either
+        transition for chaos testing.
+        """
+        now = time.monotonic()
+        if now - self._last_scale < self.scale_cooldown_s:
+            return
+        pending = self._pending_jobs()
+        pool = len(self.workers)
+        if pool < self.max_workers and pending >= self.scale_up_pending * pool:
+            with inject("scale_event", direction="up", pool=pool):
+                handle = WorkerHandle(
+                    self._next_name(), self.ctx, self.heartbeat_s,
+                    self.forward_spans,
+                )
+            self.workers.append(handle)
+            self._last_scale = now
+            self._lifecycle(
+                "worker_scale_up", worker=handle.name,
+                pool=len(self.workers), pending=pending,
+            )
+            _log.warning(
+                "scaled up to %d worker(s) (%d pending): booted %s",
+                len(self.workers), pending, handle.name,
+            )
+            return
+        if pool <= self.workers_wanted:
+            return
+        for handle in reversed(self.workers):
+            idle_s = now - handle.idle_since
+            if not handle.idle or idle_s < self.idle_retire_s:
+                continue
+            with inject("scale_event", direction="down", worker=handle.name):
+                self.workers.remove(handle)
+            handle.stop(timeout_s=1.0)
+            self._drop_worker(handle.name)
+            self._last_scale = now
+            self._lifecycle(
+                "worker_retire", worker=handle.name,
+                pool=len(self.workers), idle_s=round(idle_s, 2),
+            )
+            _log.warning(
+                "retired idle worker %s (%.1fs idle); pool back to %d",
+                handle.name, idle_s, len(self.workers),
+            )
+            return
+
+    def _publish_pool(self) -> None:
+        """Feed the ``repro_workers{state}`` gauges through the core."""
+        note = getattr(self.core, "note_worker_pool", None)
+        if note is None:
+            return
+        counts = {"idle": 0, "busy": 0, "booting": 0}
+        for handle in self.workers:
+            if not handle.idle:
+                counts["busy"] += 1
+            elif handle.last_beat_s() == 0.0:
+                counts["booting"] += 1
+            else:
+                counts["idle"] += 1
+        note(counts)
 
     def _harvest(self) -> None:
         for handle in self.workers:
@@ -492,6 +611,7 @@ class Supervisor:
                 note(job_id, reply.get("span") or {}, worker=handle.name)
             return
         handle.job_id = None
+        handle.idle_since = time.monotonic()
         telemetry = reply.get("telemetry")
         trace = reply.get("trace")
         if trace:
@@ -519,17 +639,23 @@ class Supervisor:
                 continue
             exitcode = handle.proc.exitcode if handle.proc else None
             job_id = handle.job_id
+            dead = handle.name
             handle.kill()
             self.core.stats_bump("worker_respawns")
             _log.warning(
                 "worker %s died (exit %s)%s; respawning",
-                handle.name, exitcode,
+                dead, exitcode,
                 f" while running {job_id}" if job_id else "",
             )
+            # The replacement gets a fresh name: per-worker gauges and
+            # lifecycle events always describe exactly one process.
+            self._drop_worker(dead)
+            handle.name = self._next_name()
             handle.spawn()
             self._lifecycle(
                 "worker_restart",
                 worker=handle.name,
+                replaces=dead,
                 reason=f"worker died (exit {exitcode})",
                 job_id=job_id,
             )
@@ -580,11 +706,14 @@ class Supervisor:
                 )
             self.core.stats_bump("hangs_detected")
             self.core.stats_bump("worker_respawns")
+            wedged = handle.name
             handle.kill()
+            self._drop_worker(wedged)
+            handle.name = self._next_name()
             handle.spawn()
             self._lifecycle(
-                "worker_restart", worker=handle.name, reason=why,
-                job_id=job_id,
+                "worker_restart", worker=handle.name, replaces=wedged,
+                reason=why, job_id=job_id,
             )
             if job_id is not None:
                 self._requeue_or_poison(job_id, reason=why)

@@ -315,3 +315,237 @@ def test_served_matrix_survives_chaos_byte_identical(
         assert json.dumps(served_cell, sort_keys=True) == json.dumps(
             clean_cell, sort_keys=True
         ), f"served vs clean mismatch in {DESIGN}/{name}"
+
+
+# ======================================================================
+# act two: sustained overload
+# ======================================================================
+FLOW_CONFIG = CONFIG_NAMES[0]
+FLOW_SPEC = {
+    "kind": "flow",
+    "design": DESIGN,
+    "config": FLOW_CONFIG,
+    "period_ns": PERIOD_NS,
+    "scale": SCALE,
+    "seed": SEED,
+}
+
+
+def _probe_spec(nonce: str, **extra) -> dict:
+    return {"kind": "probe", "nonce": nonce, **extra}
+
+
+def test_overload_act_sheds_expires_and_survives_compaction_kill(
+    tmp_path, monkeypatch
+):
+    """The overload act: flood past high-water, die mid-compaction.
+
+    One flow job (the work that *must* survive) rides along while the
+    harness floods the daemon 4x past its high-water mark with mixed
+    priorities and deadlines: low-priority probes are shed for a
+    higher-priority submit, a deadlined probe expires in the queue as a
+    structured ``DeadlineExceeded`` without ever claiming a worker, and
+    overflow submits bounce with drain-rate ``retry_after`` hints.
+    Retention then evicts terminal probes until online compaction kicks
+    in -- where an injected ``kind=exit`` kills the daemon mid-compact,
+    before the rename.  The restarted daemon must replay the intact
+    journal, finish every accepted job, and serve the flow result
+    byte-identical to a clean in-process run with zero redundant flow
+    executions (cache telemetry proves it).  Metrics stay a valid
+    Prometheus exposition throughout, with the shed disposition and the
+    worker-pool gauge visible.
+    """
+    state_dir = tmp_path / "serve"
+    served_cache = tmp_path / "cache-served"
+    clean_cache = tmp_path / "cache-clean"
+    env = daemon_env(
+        state_dir,
+        REPRO_CACHE_DIR=str(served_cache),
+        REPRO_SERVE_WORKERS="1",
+        REPRO_SERVE_MAX_WORKERS="2",
+        REPRO_SERVE_SCALE_UP_PENDING="2",
+        REPRO_SERVE_SCALE_COOLDOWN_S="0.3",
+        REPRO_SERVE_IDLE_RETIRE_S="5.0",
+        REPRO_SERVE_HEARTBEAT_S="1.0",
+        REPRO_SERVE_RESTART_BUDGET="10",
+        REPRO_SERVE_JOB_TIMEOUT_S="120",
+        REPRO_SERVE_QUEUE_MAX="4",
+        REPRO_SERVE_RETAIN_JOBS="4",
+        REPRO_SERVE_RETAIN_S="0",
+        # High enough that compaction cannot fire before the churn
+        # phase deliberately pushes the journal past it.
+        REPRO_SERVE_COMPACT_MIN="150",
+        REPRO_SERVE_COMPACT_RATIO="0.6",
+        REPRO_FAULTS="site=compaction_crash,kind=exit,phase=written,times=1",
+        REPRO_FAULTS_STATE=str(tmp_path / "fault-state"),
+    )
+
+    # --- incarnation 1: flood, shed, expire, die mid-compaction -------
+    proc, client = start_daemon(state_dir, env=env)
+    feed1 = _FeedCollector(state_dir / "serve.sock")
+    try:
+        # The must-survive work first, completed before the storm.
+        flow_resp = client.submit(FLOW_SPEC)
+        assert flow_resp["ok"]
+        flow_id = flow_resp["job_id"]
+        flow_view = client.wait(flow_id, timeout_s=120, poll_s=0.2)
+        assert flow_view["state"] == "done"
+        payload1 = flow_view["result"]["result"]
+
+        # Deadline expiry: saturate the (still small) pool with slow
+        # probes, then queue a deadlined probe behind them -- it must
+        # fail as DeadlineExceeded in the queue, never claiming a
+        # worker.
+        for i in range(3):
+            client.submit(_probe_spec(f"slow-{i}", seconds=1.0), priority=5)
+        dl_resp = client.submit(
+            _probe_spec("deadlined", seconds=0.0), priority=8, deadline=0.1
+        )
+        assert dl_resp["ok"]
+        wait_until(
+            lambda: client.status(dl_resp["job_id"]).get("state") == "failed",
+            timeout_s=30, what="deadlined probe to expire", poll_s=0.1,
+        )
+        dl_view = client.result(dl_resp["job_id"])
+        assert dl_view["error"]["error_type"] == "DeadlineExceeded"
+
+        # Flood 4x past the high-water mark with mixed priorities and
+        # deadlines: some get in, the rest bounce with retry hints.
+        codes = []
+        for i in range(16):
+            resp = client.submit(
+                _probe_spec(f"flood-{i}", seconds=0.5),
+                priority=5,
+                deadline=60.0 if i % 3 == 0 else 0.0,
+            )
+            codes.append(resp.get("code") if not resp["ok"] else "accepted")
+            if resp.get("code") == "busy":
+                assert resp["retry_after"] > 0
+        assert "accepted" in codes
+        assert "busy" in codes
+
+        # Priority-aware shedding: keep the backlog full of priority-5
+        # probes and push priority-0 submits until one evicts a victim.
+        def _shed_count():
+            return client.stats()["stats"]["shed"]
+
+        vip = 0
+        while _shed_count() == 0:
+            assert vip < 40, "priority-0 submits never triggered a shed"
+            for j in range(4):
+                client.submit(
+                    _probe_spec(f"refill-{vip}-{j}", seconds=0.5), priority=5
+                )
+            client.submit(_probe_spec(f"vip-{vip}"), priority=0)
+            vip += 1
+        assert _shed_count() >= 1
+
+        # Mid-overload the exposition is still valid Prometheus, with
+        # the shed disposition counted and the pool gauge published.
+        prom = _scrape_prometheus(env)
+        assert validate_prometheus(prom) == []
+        assert 'repro_submits_total{disposition="shed"}' in prom
+        assert "repro_workers{" in prom
+        assert "repro_evictions_total" in prom
+
+        # The adaptive pool grew past its floor under the backlog.
+        wait_until(
+            lambda: "worker_scale_up" in feed1.lifecycle_actions(),
+            timeout_s=30, what="the pool to scale up on the feed",
+        )
+
+        # Churn: waves of instant probes push the journal past the
+        # compaction threshold; the injected fault kills the daemon
+        # mid-compact, before the rename (old journal stays intact).
+        wave = 0
+        deadline_t = time.monotonic() + 120.0
+        while proc.poll() is None:
+            assert time.monotonic() < deadline_t, (
+                "daemon never reached the injected compaction crash"
+            )
+            for j in range(8):
+                try:
+                    client.submit(_probe_spec(f"churn-{wave}-{j}"))
+                except Exception:  # noqa: BLE001 -- daemon may die mid-wave
+                    break
+            wave += 1
+            time.sleep(0.2)
+        proc.wait(timeout=10)
+    finally:
+        stop_daemon(proc)
+        feed1.stop()
+
+    # The feed streamed the overload coherently before the crash: the
+    # shed victim failed with its structured reason, the deadlined
+    # probe expired, and retention evictions were announced.
+    feed_events = feed1.events
+    shed_events = [
+        e for e in feed_events
+        if e.get("event") == "job_state" and e.get("state") == "failed"
+        and e.get("error_type") == "LoadShed"
+    ]
+    assert shed_events, "shed victim never hit the feed"
+    expired_events = [
+        e for e in feed_events
+        if e.get("event") == "job_state"
+        and e.get("error_type") == "DeadlineExceeded"
+    ]
+    assert expired_events, "deadline expiry never hit the feed"
+    evict_events = [
+        e for e in feed_events
+        if e.get("event") == "job_state" and e.get("state") == "evicted"
+    ]
+    assert evict_events, "retention evictions never hit the feed"
+
+    # --- incarnation 2: replay the intact journal, finish the work ----
+    proc2, client2 = start_daemon(state_dir, env=env)
+    try:
+        # Everything the first daemon accepted converges to a terminal
+        # answer (done, failed, or an evicted tombstone) -- nothing is
+        # lost and nothing stays pending forever.
+        wait_until(
+            lambda: client2.stats()["ok"], timeout_s=30,
+            what="restarted daemon to answer stats",
+        )
+        wait_until(
+            lambda: all(
+                client2.status(e["job_id"]).get("state")
+                in ("done", "failed", "evicted")
+                for e in shed_events[:1]
+            ),
+            timeout_s=30, what="recovered jobs to settle",
+        )
+
+        # The flow result survives byte-identical with zero redundant
+        # executions: resident results dedup, evicted ones resubmit and
+        # load from the content-addressed cache -- either way no flow
+        # runs again in this incarnation.
+        view2 = client2.run(FLOW_SPEC, timeout_s=120, poll_s=0.2)
+        assert view2["state"] == "done"
+        payload2 = view2["result"]["result"]
+        assert json.dumps(payload2, sort_keys=True) == json.dumps(
+            payload1, sort_keys=True
+        )
+        telemetry = client2.stats()["telemetry"]
+        assert telemetry["flows_run"] == 0, (
+            "the restarted daemon re-executed a cached flow"
+        )
+
+        # Metrics stayed coherent across the crash: a fresh, valid
+        # exposition with the worker pool gauge pre-seeded.
+        prom2 = _scrape_prometheus(env)
+        assert validate_prometheus(prom2) == []
+        assert "repro_workers{" in prom2
+    finally:
+        stop_daemon(proc2)
+
+    # --- clean in-process run: byte-identical flow result -------------
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(clean_cache))
+    from repro.experiments.runner import run_configuration
+
+    _design, clean_result = run_configuration(
+        DESIGN, FLOW_CONFIG, period_ns=PERIOD_NS, scale=SCALE, seed=SEED
+    )
+    assert json.dumps(payload1, sort_keys=True) == json.dumps(
+        clean_result.to_dict(), sort_keys=True
+    )

@@ -146,6 +146,64 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     return 0 if matrix.ok else EXIT_QUARANTINED
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.dse import ExploreSpec, LatticeSpec, explore
+    from repro.experiments.dse.pareto import parse_objectives
+    from repro.experiments.dse.search import load_report
+    from repro.experiments.resilience import RetryPolicy
+
+    lattice_kwargs = {}
+    if args.slow_tracks:
+        lattice_kwargs["slow_tracks"] = tuple(args.slow_tracks)
+    if args.slow_vdd:
+        lattice_kwargs["slow_vdd"] = tuple(args.slow_vdd)
+    if args.tier_caps:
+        lattice_kwargs["tier_caps"] = tuple(args.tier_caps)
+    if args.fm_tols:
+        lattice_kwargs["fm_tolerances"] = tuple(args.fm_tols)
+    spec = ExploreSpec(
+        design=args.design,
+        scale=args.scale,
+        seed=args.seed,
+        lattice=LatticeSpec(**lattice_kwargs),
+        objectives=parse_objectives(args.objectives),
+        prune=False if args.no_prune else None,
+        reuse_prefix=False if args.no_reuse else None,
+        warm_periods=False if args.no_warm else None,
+    )
+    if args.report:
+        report = load_report(spec)
+        if report is None:
+            print("no stored exploration for this spec; run without "
+                  "--report first", file=sys.stderr)
+            return 1
+    else:
+        policy = RetryPolicy().with_overrides(
+            keep_going=args.keep_going,
+            max_retries=args.max_retries,
+            timeout_s=args.timeout,
+        )
+        report = explore(
+            spec,
+            jobs=args.jobs or 1,
+            resume=args.resume,
+            policy=policy,
+            progress=print,
+        )
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}")
+    if args.stats:
+        print("\n-- telemetry --")
+        print(get_telemetry().summary())
+    return 0 if report.ok else EXIT_QUARANTINED
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.experiments import cache
 
@@ -723,6 +781,44 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace(p_matrix)
     add_check(p_matrix)
     p_matrix.set_defaults(func=_cmd_matrix)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="Pareto design-space exploration over the hetero-3D lattice",
+    )
+    add_common(p_explore, with_config=False, with_period=False)
+    p_explore.add_argument("--jobs", type=int, default=None,
+                           help="worker processes (default 1)")
+    p_explore.add_argument("--objectives", default="pdp_pj:min,ppc:max",
+                           metavar="M:SENSE,...",
+                           help="comma-separated metric:min|max pairs "
+                                "(default pdp_pj:min,ppc:max)")
+    p_explore.add_argument("--slow-tracks", type=int, nargs="+", default=None,
+                           metavar="T", help="slow-die track heights")
+    p_explore.add_argument("--slow-vdd", type=float, nargs="+", default=None,
+                           metavar="V", help="slow-die supplies in volts")
+    p_explore.add_argument("--tier-caps", type=float, nargs="+", default=None,
+                           metavar="CAP",
+                           help="timing-pinning area caps (0.20-0.30)")
+    p_explore.add_argument("--fm-tols", type=float, nargs="+", default=None,
+                           metavar="TOL", help="FM balance tolerances")
+    p_explore.add_argument("--no-prune", action="store_true",
+                           help="disable dominance pruning")
+    p_explore.add_argument("--no-reuse", action="store_true",
+                           help="disable stage-prefix reuse")
+    p_explore.add_argument("--no-warm", action="store_true",
+                           help="disable warm-started period searches")
+    p_explore.add_argument("--report", action="store_true",
+                           help="print the stored run's Pareto report "
+                                "without evaluating anything")
+    p_explore.add_argument("--json", metavar="PATH", default=None,
+                           help="also write the full report as JSON to PATH")
+    p_explore.add_argument("--stats", action="store_true",
+                           help="print cache/flow telemetry after the run")
+    add_resilience(p_explore)
+    add_trace(p_explore)
+    add_check(p_explore)
+    p_explore.set_defaults(func=_cmd_explore)
 
     p_sweep = sub.add_parser("sweep", help="find the 12T 2-D max frequency")
     add_common(p_sweep, with_config=False, with_period=False)

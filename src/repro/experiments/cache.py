@@ -303,7 +303,11 @@ def manifest_lock(key: str, *, timeout_s: float | None = None):
 
 
 def clear_cache() -> int:
-    """Delete every cache entry; returns the number of files removed."""
+    """Delete every cache entry; returns the number of files removed.
+
+    Covers the flat result/period/manifest entries and the design-space
+    explorer's stage-prefix store (``dse_prefix/<key>/NN_stage.json``).
+    """
     removed = 0
     root = cache_dir()
     if not root.is_dir():
@@ -314,4 +318,17 @@ def clear_cache() -> int:
             removed += 1
         except OSError:
             pass
+    prefix_root = root / "dse_prefix"
+    if prefix_root.is_dir():
+        for path in prefix_root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for sub in prefix_root.iterdir():
+            with contextlib.suppress(OSError):
+                sub.rmdir()
+        with contextlib.suppress(OSError):
+            prefix_root.rmdir()
     return removed

@@ -1,0 +1,62 @@
+"""Pareto design-space exploration (the ROADMAP's large-scale DSE item).
+
+The paper hand-picks five configurations per netlist; this package
+searches the heterogeneous design space the paper only gestures at --
+tier-split caps (20-30%), slow-tier voltage under the 0.3*V_DDH margin
+rule, track-height library mixes, and FM balance tolerances -- for
+PPC/PDP Pareto fronts, batch-evaluating hundreds to thousands of
+configs through the cached parallel engine.
+
+Three compounding perf layers keep that affordable:
+
+- **stage-prefix reuse** (:mod:`.search`): per-stage checkpoints keyed
+  by a content hash of only the fields each stage consumes, so configs
+  differing in late-stage knobs share their synthesis/pseudo-place
+  prefix;
+- **warm-started period searches**: each config's max-frequency search
+  starts from the nearest evaluated neighbor's answer, collapsing most
+  searches to 1-2 probes;
+- **dominance pruning** (:mod:`.pareto`): lower-bound predictions from
+  lattice neighbors skip configs that provably cannot enter the front
+  -- every skip logged, never silent.
+"""
+
+from repro.experiments.dse.pareto import (
+    Objective,
+    ParetoFront,
+    brute_force_front,
+    parse_objectives,
+    pareto_mask,
+)
+from repro.experiments.dse.search import (
+    ExploreReport,
+    ExploreSpec,
+    explore,
+    grid_boundary_search,
+    period_grid,
+)
+from repro.experiments.dse.space import (
+    TIER_CAP_RANGE,
+    DseConfig,
+    LatticeSpec,
+    build_library,
+    generate_lattice,
+)
+
+__all__ = [
+    "DseConfig",
+    "ExploreReport",
+    "ExploreSpec",
+    "LatticeSpec",
+    "Objective",
+    "ParetoFront",
+    "TIER_CAP_RANGE",
+    "brute_force_front",
+    "build_library",
+    "explore",
+    "generate_lattice",
+    "grid_boundary_search",
+    "pareto_mask",
+    "parse_objectives",
+    "period_grid",
+]

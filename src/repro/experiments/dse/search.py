@@ -1,0 +1,1138 @@
+"""Batch explorer: prefix reuse, warm period searches, pruning, resume.
+
+One exploration pushes every runnable lattice config through a
+per-config max-frequency search plus a final evaluation, against three
+compounding cost reducers:
+
+1. **Stage-prefix reuse.**  Synthesis and pseudo-place consume only
+   ``(design, scale, seed, fast library, period, utilization)`` -- not
+   the slow library, tier cap, or FM tolerance.  Their checkpoints are
+   therefore stored once per *prefix key* (a content hash of exactly
+   those fields) in ``<cache>/dse_prefix/<key>/`` and re-slotted into
+   every later config's flow via
+   :func:`~repro.integrity.checkpoint.rebind_checkpoint_tier_library`
+   + ``from_stage`` resume.  Reuse is counted in
+   ``telemetry.prefix_stages_reused``; a fully warm sweep re-executes
+   zero prefix stages.
+
+2. **Warm-started period searches.**  Periods live on a shared
+   geometric grid (:func:`period_grid`), so every config's search is a
+   boundary search over grid indices
+   (:func:`grid_boundary_search`) -- and the nearest already-evaluated
+   lattice neighbor's index seeds it, collapsing the usual
+   ``log2(steps)`` bisection to 1-2 probes.  Under a monotone
+   pass/fail predicate the warm result is provably identical to the
+   cold one (property-tested); sharing the grid is also what lets
+   *different* configs share prefix checkpoints, since the prefix key
+   contains the probe period.
+
+   The same independence argument also runs *forward*: partitioning is
+   the only stage the tier-cap and FM-tolerance axes feed, so each
+   evaluation first runs to the partitioning checkpoint only
+   (``until_stage``), fingerprints the partitioned state (parameter
+   echoes masked), and serves the entire post-partition tail from the
+   ``dse_suffix`` cache when any earlier config produced the same
+   partition -- distinct (cap, fm) settings collapse onto far fewer
+   distinct partitions.  Exact by construction; counted in
+   ``telemetry.suffix_flows_reused``.
+
+3. **Dominance pruning.**  Before evaluating a config, its objective
+   vector is lower-bounded from every evaluated lattice neighbor in
+   range: each predicts the candidate as its own vector relaxed by the
+   per-step optimism margin (``$REPRO_DSE_PRUNE_MARGIN``), and the
+   componentwise *minimum* of the predictions is the bound -- sound as
+   soon as any one neighbor's smoothness assumption holds, which is
+   what keeps configs across a partition-flip cliff safe.  If a front
+   member is <= that bound everywhere and < somewhere
+   (:meth:`~repro.experiments.dse.pareto.ParetoFront.certifies_skip`),
+   the config cannot enter the front and is skipped -- logged with the
+   bound and the dominating point, counted in ``telemetry.dse_pruned``,
+   never silent.
+
+Every flow evaluation is content-addressed in the on-disk cache, and a
+run-manifest records completed rows per wave, so an interrupted
+exploration resumes (``repro explore --resume``) with zero redundant
+flow runs and a byte-identical final front.
+
+Environment knobs (all read at :func:`explore` time):
+
+- ``REPRO_DSE_PERIOD_STEPS`` -- period-grid resolution (default 17);
+- ``REPRO_DSE_PRUNE`` / ``REPRO_DSE_PREFIX`` / ``REPRO_DSE_WARM`` --
+  kill switches for the three layers (``0``/``off`` disables);
+- ``REPRO_DSE_SUFFIX`` -- kill switch for partition-fingerprint tail
+  reuse (part of the prefix layer; also auto-disabled whenever
+  ``$REPRO_CHECK`` enables stage-boundary checks, the one consumer of
+  the notes the fingerprint masks);
+- ``REPRO_DSE_PRUNE_MARGIN`` -- per-step optimism of the lower-bound
+  predictor: either one float (uniform across axes) or four
+  comma-separated floats, one per lattice axis in
+  ``(slow_tracks, slow_vdd, tier_cap, fm_tolerance)`` order (default
+  uniform ``0.25``: any neighbor may underestimate the candidate by up
+  to 25% per lattice step before a skip becomes unsound);
+- ``REPRO_DSE_PRUNE_DISTANCE`` -- the consensus radius: every
+  evaluated config within this many lattice steps contributes a
+  prediction to the componentwise-min bound (default 1).  Because the
+  bound is a minimum, widening the radius only *loosens* it -- extra
+  neighbors can veto a skip, never enable one -- so larger values
+  trade pruning yield for extra safety near metric cliffs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.experiments import cache
+from repro.experiments.dse.pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    ParetoFront,
+    pareto_mask,
+)
+from repro.experiments.dse.space import (
+    DseConfig,
+    LatticeSpec,
+    build_library,
+    generate_lattice,
+)
+from repro.experiments.faults import inject
+from repro.experiments.resilience import (
+    RetryPolicy,
+    WorkerTaskError,
+    call_with_retry,
+    run_jobs_with_retry,
+)
+from repro.experiments.telemetry import get_telemetry, timed_stage
+from repro.flow.report import FlowResult
+from repro.integrity.contracts import CheckMode, current_mode
+from repro.integrity.checkpoint import (
+    checkpoint_path,
+    rebind_checkpoint_tier_library,
+)
+from repro.log import get_logger
+from repro.obs import emit_metric, span
+
+__all__ = [
+    "ExploreReport",
+    "ExploreSpec",
+    "evaluate_config",
+    "explore",
+    "grid_boundary_search",
+    "load_report",
+    "period_grid",
+]
+
+_log = get_logger("dse")
+
+ENV_PERIOD_STEPS = "REPRO_DSE_PERIOD_STEPS"
+ENV_PRUNE = "REPRO_DSE_PRUNE"
+ENV_PREFIX = "REPRO_DSE_PREFIX"
+ENV_SUFFIX = "REPRO_DSE_SUFFIX"
+ENV_WARM = "REPRO_DSE_WARM"
+ENV_PRUNE_MARGIN = "REPRO_DSE_PRUNE_MARGIN"
+ENV_PRUNE_DISTANCE = "REPRO_DSE_PRUNE_DISTANCE"
+
+_FALSY = {"0", "off", "false", "no"}
+
+#: Stages whose output is independent of every per-config axis (slow
+#: library, tier cap, FM tolerance) -- the shareable flow prefix, in
+#: stage order.  ``rebind_checkpoint_tier_library`` enforces the
+#: independence claim at reuse time.
+PREFIX_STAGES = ("synthesis", "pseudo_place")
+_STAGE_AFTER = {"synthesis": "pseudo_place", "pseudo_place": "partitioning"}
+_SLOW_TIER = 1
+
+#: Partitioning is the last stage that reads the tier cap / FM
+#: tolerance axes; everything after it is a pure function of the
+#: partitioned design state plus ``(period, utilization,
+#: opt_iterations, seed)``.  That makes the whole flow *tail* reusable
+#: across configs whose partitions collapse to the same state -- keyed
+#: by a fingerprint of the partitioning checkpoint.
+_PARTITION_STAGE = "partitioning"
+_PARTITION_INDEX = 2  # stage position in the voltage-compatible flow
+_SUFFIX_RESUME = "placement_3d"
+
+#: Parameter echoes partitioning writes into ``design.notes``.  They
+#: are excluded from the suffix fingerprint: no flow stage reads them
+#: (only the stage-boundary invariant checks do, and suffix reuse is
+#: disabled whenever ``$REPRO_CHECK`` turns those on), so two configs
+#: whose partitions agree on everything else produce byte-identical
+#: tails.
+_PARTITION_ECHO_NOTES = frozenset({
+    "pinned_cells",
+    "pinned_area_fraction",
+    "pinned_area_cap",
+    "fm_balance_tolerance",
+})
+
+#: The grid widens the 12T sweep bracket upward: low-voltage slow dies
+#: can need more relaxed periods than the fast-library search ever saw.
+_GRID_WIDEN = 1.5
+
+#: Metrics copied into every report row (objectives are added on top).
+_ROW_METRICS = (
+    "frequency_ghz",
+    "wns_ns",
+    "total_power_mw",
+    "pdp_pj",
+    "die_cost_1e6",
+    "ppc",
+    "wirelength_mm",
+)
+
+
+def _env_flag(name: str, default: bool = True) -> bool:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+#: Per-axis pruning optimism, ``(slow_tracks, slow_vdd, tier_cap,
+#: fm_tolerance)`` order -- see the module docstring for the rationale.
+DEFAULT_PRUNE_MARGINS = (0.25, 0.25, 0.25, 0.25)
+DEFAULT_PRUNE_DISTANCE = 1
+
+
+def _parse_margins(raw: str) -> tuple[float, ...]:
+    parts = [float(p) for p in raw.split(",") if p.strip()]
+    if len(parts) == 1:
+        return tuple(parts * 4)
+    if len(parts) == 4:
+        return tuple(parts)
+    raise ValueError(
+        f"REPRO_DSE_PRUNE_MARGIN needs 1 or 4 floats, got {raw!r}"
+    )
+
+
+def _env_margins(name: str) -> tuple[float, ...]:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return DEFAULT_PRUNE_MARGINS
+    try:
+        return _parse_margins(raw)
+    except ValueError:
+        return DEFAULT_PRUNE_MARGINS
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "") or default)
+    except ValueError:
+        return default
+
+
+@dataclass(frozen=True)
+class ExploreSpec:
+    """Everything one exploration depends on (picklable for workers).
+
+    ``None`` perf knobs mean "resolve from the environment at explore
+    time"; :func:`resolve_spec` pins them so workers and manifests see
+    concrete values.
+    """
+
+    design: str
+    scale: float = 0.4
+    seed: int = 0
+    lattice: LatticeSpec = field(default_factory=LatticeSpec)
+    objectives: tuple[Objective, ...] = DEFAULT_OBJECTIVES
+    opt_iterations: int = 4
+    utilization: float = 0.82
+    period_steps: int | None = None
+    prune: bool | None = None
+    reuse_prefix: bool | None = None
+    warm_periods: bool | None = None
+    prune_margin: tuple[float, ...] | float | None = None
+    prune_distance: int | None = None
+
+    def key_fields(self) -> dict:
+        """Fields that shape the run-manifest identity.
+
+        The perf toggles stay out: pruning/reuse/warm starts change how
+        much work runs, never what any evaluated row contains, so a
+        resumed run may legally flip them.
+        """
+        return {
+            "design": self.design,
+            "scale": self.scale,
+            "seed": self.seed,
+            "lattice": self.lattice.to_dict(),
+            "objectives": [o.label for o in self.objectives],
+            "opt_iterations": self.opt_iterations,
+            "utilization": self.utilization,
+            "period_steps": self.period_steps,
+        }
+
+
+def resolve_spec(spec: ExploreSpec) -> ExploreSpec:
+    """Pin every ``None`` perf knob from the environment/defaults."""
+    return replace(
+        spec,
+        period_steps=(
+            spec.period_steps if spec.period_steps is not None
+            else max(2, _env_int(ENV_PERIOD_STEPS, 17))
+        ),
+        prune=(
+            spec.prune if spec.prune is not None
+            else _env_flag(ENV_PRUNE)
+        ),
+        reuse_prefix=(
+            spec.reuse_prefix if spec.reuse_prefix is not None
+            else _env_flag(ENV_PREFIX)
+        ),
+        warm_periods=(
+            spec.warm_periods if spec.warm_periods is not None
+            else _env_flag(ENV_WARM)
+        ),
+        prune_margin=(
+            (spec.prune_margin,) * 4
+            if isinstance(spec.prune_margin, (int, float))
+            else spec.prune_margin if spec.prune_margin is not None
+            else _env_margins(ENV_PRUNE_MARGIN)
+        ),
+        prune_distance=(
+            spec.prune_distance if spec.prune_distance is not None
+            else _env_int(ENV_PRUNE_DISTANCE, DEFAULT_PRUNE_DISTANCE)
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# period grid + boundary search
+# ----------------------------------------------------------------------
+def period_grid(design: str, steps: int) -> list[float]:
+    """Shared geometric period grid for one design.
+
+    Sharing a *discrete* grid across every config is load-bearing twice:
+    probe periods coincide across configs (so prefix checkpoints keyed
+    by period are actually shared), and a warm-started search lands on
+    exactly the periods a cold one would probe.
+    """
+    from repro.experiments.runner import _SWEEP_BOUNDS
+
+    lo, hi = _SWEEP_BOUNDS[design]
+    hi *= _GRID_WIDEN
+    if steps < 2:
+        raise ValueError("period grid needs at least 2 steps")
+    ratio = hi / lo
+    return [
+        round(lo * ratio ** (i / (steps - 1)), 6) for i in range(steps)
+    ]
+
+
+def grid_boundary_search(n: int, passes, hint: int | None = None):
+    """Minimal grid index whose probe passes; ``(index, probes)``.
+
+    ``passes(i) -> bool`` must be monotone (False...False True...True)
+    for the contract "returns the first passing index, or ``n - 1``
+    when nothing passes"; under that assumption the result is identical
+    for every ``hint`` -- including ``None`` (cold bisection) -- which
+    the property tests pin.  A good hint (the neighbor config's answer)
+    costs 1-2 probes; a bad one degrades gracefully to galloping +
+    bisection, never worse than O(log n).
+    """
+    if n < 1:
+        raise ValueError("empty period grid")
+    probes = 0
+    known: dict[int, bool] = {}
+
+    def probe(i: int) -> bool:
+        nonlocal probes
+        if i not in known:
+            probes += 1
+            known[i] = bool(passes(i))
+        return known[i]
+
+    lo, hi = -1, n - 1  # invariant: lo failed (or virtual), answer in (lo, hi]
+    if hint is not None and 0 <= hint < n:
+        if probe(hint):
+            if hint == 0 or not probe(hint - 1):
+                return hint, probes
+            # The boundary sits below the hint: gallop down.
+            hi, step = hint - 1, 2
+            while hi > 0:
+                i = hint - step
+                if i <= 0:
+                    break
+                if not probe(i):
+                    lo = i
+                    break
+                hi = i
+                step *= 2
+        else:
+            # The boundary sits above the hint: gallop up.
+            lo, step = hint, 1
+            while True:
+                i = lo + step
+                if i >= n - 1:
+                    break
+                if probe(i):
+                    hi = i
+                    break
+                lo = i
+                step *= 2
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if probe(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi, probes
+
+
+# ----------------------------------------------------------------------
+# cached flow evaluation with prefix reuse
+# ----------------------------------------------------------------------
+def _flow_key_fields(spec: ExploreSpec) -> dict:
+    lat = spec.lattice
+    return {
+        "design": spec.design,
+        "scale": spec.scale,
+        "seed": spec.seed,
+        "fast_tracks": lat.fast_tracks,
+        "fast_vdd": lat.fast_vdd,
+        "utilization": spec.utilization,
+        "opt_iterations": spec.opt_iterations,
+    }
+
+
+def _result_cache_key(cfg: DseConfig, spec: ExploreSpec, period_ns: float) -> str:
+    return cache.cache_key(
+        "dse_result", period_ns=period_ns,
+        **_flow_key_fields(spec), **cfg.key_fields(),
+    )
+
+
+def _prefix_cache_key(spec: ExploreSpec, period_ns: float) -> str:
+    """Content hash of exactly the fields the prefix stages consume."""
+    return cache.cache_key(
+        "dse_prefix", period_ns=period_ns, **_flow_key_fields(spec)
+    )
+
+
+def _prefix_root() -> Path:
+    return cache.cache_dir() / "dse_prefix"
+
+
+def _partition_fingerprint(tmpdir: str) -> str | None:
+    """Content hash of the partitioning checkpoint's design payload,
+    with the parameter-echo notes (:data:`_PARTITION_ECHO_NOTES`)
+    masked out.  ``None`` when the checkpoint is unreadable -- the
+    caller then falls back to running the tail, never to guessing."""
+    path = checkpoint_path(tmpdir, _PARTITION_INDEX, _PARTITION_STAGE)
+    try:
+        payload = json.loads(path.read_text())["design"]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    notes = payload.get("notes")
+    if isinstance(notes, dict):
+        payload = dict(payload)
+        payload["notes"] = {
+            k: v for k, v in notes.items()
+            if k not in _PARTITION_ECHO_NOTES
+        }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _suffix_cache_key(
+    spec: ExploreSpec, period_ns: float, fingerprint: str
+) -> str:
+    """Content hash of exactly what the post-partition tail consumes:
+    the fingerprinted design state plus the runtime knobs the tail
+    stages read.  Deliberately *not* keyed on the config axes -- the
+    collapse of distinct (cap, fm) settings onto one partition is the
+    entire savings."""
+    return cache.cache_key(
+        "dse_suffix", period_ns=period_ns, fingerprint=fingerprint,
+        **_flow_key_fields(spec),
+    )
+
+
+def _seed_prefix(tmpdir: str, prefix_key: str, slow_lib) -> tuple[int, str | None]:
+    """Copy the deepest stored prefix checkpoint into ``tmpdir``.
+
+    Returns ``(stages_reused, from_stage)``: the checkpoint is
+    re-slotted for this config's slow library and the flow resumes at
+    the stage after it.  Any unreadable/unshareable entry falls back to
+    the shallower stage, then to a cold start -- reuse can degrade,
+    never corrupt.
+    """
+    store = _prefix_root() / prefix_key
+    for idx in range(len(PREFIX_STAGES) - 1, -1, -1):
+        stage = PREFIX_STAGES[idx]
+        src = checkpoint_path(store, idx, stage)
+        if not src.exists():
+            continue
+        try:
+            envelope = json.loads(src.read_text())
+            rebound = rebind_checkpoint_tier_library(
+                envelope, _SLOW_TIER, slow_lib
+            )
+        except (OSError, ValueError, CheckpointError) as exc:
+            _log.warning(
+                "dse prefix %s/%s unusable (%s); trying an earlier stage",
+                prefix_key[:12], stage, exc,
+            )
+            continue
+        dst = checkpoint_path(tmpdir, idx, stage)
+        dst.write_text(json.dumps(rebound))
+        return idx + 1, _STAGE_AFTER[stage]
+    return 0, None
+
+
+def _publish_prefix(tmpdir: str, prefix_key: str) -> None:
+    """Move this run's prefix checkpoints into the shared store.
+
+    Atomic per file (tmp + rename); concurrent publishers of the same
+    key write byte-identical content (the flow is deterministic), so
+    last-wins is safe.  Best-effort like every cache write.
+    """
+    store = _prefix_root() / prefix_key
+    try:
+        store.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        _log.warning("cannot create dse prefix store %s: %s", store, exc)
+        return
+    for idx, stage in enumerate(PREFIX_STAGES):
+        src = checkpoint_path(tmpdir, idx, stage)
+        dst = checkpoint_path(store, idx, stage)
+        if not src.exists() or dst.exists():
+            continue
+        try:
+            tmp = dst.with_suffix(f".tmp.{os.getpid()}")
+            shutil.copyfile(src, tmp)
+            os.replace(tmp, dst)
+        except OSError as exc:
+            _log.warning("dse prefix publish failed for %s: %s", dst.name, exc)
+
+
+def _flow_at_period(
+    cfg: DseConfig, spec: ExploreSpec, period_ns: float
+) -> FlowResult:
+    """One (config, period) evaluation: cache, prefix-reuse, run, store."""
+    from repro.flow.hetero import run_flow_hetero_3d
+
+    telemetry = get_telemetry()
+    rkey = _result_cache_key(cfg, spec, period_ns)
+    if cache.cache_enabled():
+        result = cache.load_result(rkey)
+        if result is not None:
+            telemetry.disk_hits += 1
+            return result
+        telemetry.disk_misses += 1
+
+    fast_lib = spec.lattice.fast_library()
+    slow_lib = build_library(cfg.slow_tracks, cfg.slow_vdd)
+    kwargs = dict(
+        period_ns=period_ns,
+        scale=spec.scale,
+        seed=spec.seed,
+        utilization=spec.utilization,
+        opt_iterations=spec.opt_iterations,
+        pinning_area_cap=cfg.tier_cap,
+        fm_tolerance=cfg.fm_tolerance,
+    )
+    use_prefix = bool(spec.reuse_prefix) and cache.cache_enabled()
+    with timed_stage(
+        "dse_flow", design=spec.design, config=cfg.label, period_ns=period_ns
+    ), inject("cell", design=spec.design, config=cfg.label):
+        if not use_prefix:
+            _design, result = run_flow_hetero_3d(
+                spec.design, fast_lib, slow_lib, **kwargs
+            )
+            telemetry.flows_run += 1
+        else:
+            pkey = _prefix_cache_key(spec, period_ns)
+            # Suffix reuse is sound only while the stage-boundary
+            # checks are off: they are the one consumer of the notes
+            # the fingerprint masks (see _PARTITION_ECHO_NOTES).
+            use_suffix = (
+                _env_flag(ENV_SUFFIX, True)
+                and current_mode(None) is CheckMode.OFF
+            )
+            with tempfile.TemporaryDirectory(prefix="repro-dse-") as tmpdir:
+                seeded, from_stage = _seed_prefix(tmpdir, pkey, slow_lib)
+                result = None
+                skey = None
+                if use_suffix:
+                    # Stop after partitioning (the only stage the
+                    # cap/fm axes feed), fingerprint its checkpoint,
+                    # and serve the whole tail from cache when another
+                    # config already produced this exact state.
+                    run_flow_hetero_3d(
+                        spec.design, fast_lib, slow_lib,
+                        checkpoint_dir=tmpdir, from_stage=from_stage,
+                        until_stage=_PARTITION_STAGE, **kwargs,
+                    )
+                    fingerprint = _partition_fingerprint(tmpdir)
+                    if fingerprint is not None:
+                        skey = _suffix_cache_key(spec, period_ns, fingerprint)
+                        result = cache.load_result(skey)
+                    from_stage = _SUFFIX_RESUME
+                if result is not None:
+                    telemetry.suffix_flows_reused += 1
+                    emit_metric("suffix_flows_reused", 1)
+                else:
+                    _design, result = run_flow_hetero_3d(
+                        spec.design, fast_lib, slow_lib,
+                        checkpoint_dir=tmpdir, from_stage=from_stage,
+                        **kwargs,
+                    )
+                    if skey is not None:
+                        cache.store_result(
+                            skey, result,
+                            meta={"design": spec.design, "dse": cfg.label,
+                                  "period_ns": period_ns},
+                        )
+                telemetry.flows_run += 1
+                if seeded:
+                    telemetry.prefix_stages_reused += seeded
+                    emit_metric("prefix_stages_reused", seeded)
+                if seeded < len(PREFIX_STAGES):
+                    _publish_prefix(tmpdir, pkey)
+    if cache.cache_enabled():
+        cache.store_result(
+            rkey, result,
+            meta={"design": spec.design, "dse": cfg.label,
+                  "period_ns": period_ns},
+        )
+    return result
+
+
+def evaluate_config(
+    cfg: DseConfig, spec: ExploreSpec, hint_index: int | None = None
+) -> dict:
+    """Full evaluation of one config: period search + metrics row."""
+    grid = period_grid(spec.design, spec.period_steps)
+    telemetry = get_telemetry()
+    # Re-import to keep one source of truth for the WNS acceptance band.
+    from repro.experiments.runner import _WNS_TOLERANCE
+
+    memo: dict[int, FlowResult] = {}
+
+    def result_at(i: int) -> FlowResult:
+        if i not in memo:
+            memo[i] = _flow_at_period(cfg, spec, grid[i])
+        return memo[i]
+
+    def passes(i: int) -> bool:
+        telemetry.period_probes += 1
+        result = result_at(i)
+        return result.wns_ns >= -_WNS_TOLERANCE * grid[i]
+
+    with timed_stage("dse_config", design=spec.design, config=cfg.label):
+        hint = hint_index if spec.warm_periods else None
+        index, probes = grid_boundary_search(len(grid), passes, hint=hint)
+        emit_metric("period_probes", probes)
+        result = result_at(index)
+
+    metrics = {name: float(getattr(result, name)) for name in _ROW_METRICS}
+    for objective in spec.objectives:
+        if objective.metric not in metrics:
+            try:
+                metrics[objective.metric] = float(
+                    getattr(result, objective.metric)
+                )
+            except (AttributeError, TypeError) as exc:
+                raise ValueError(
+                    f"objective metric {objective.metric!r} is not a"
+                    f" numeric FlowResult field"
+                ) from exc
+    return {
+        "label": cfg.label,
+        "config": cfg.to_dict(),
+        "period_ns": grid[index],
+        "period_index": index,
+        "probes": probes,
+        "metrics": metrics,
+    }
+
+
+# ----------------------------------------------------------------------
+# worker entry point (top level: picklable by spawn/fork alike)
+# ----------------------------------------------------------------------
+def _evaluate_task(cfg: DseConfig, spec: ExploreSpec, hint_index):
+    from repro.experiments.telemetry import get_telemetry, reset_telemetry
+    from repro.obs import reset_trace, trace_snapshot
+
+    reset_telemetry()
+    reset_trace(from_env=True)
+    try:
+        with inject("worker", stage="dse", design=spec.design,
+                    config=cfg.label):
+            row = evaluate_config(cfg, spec, hint_index)
+    except Exception as exc:  # noqa: BLE001 -- process boundary
+        raise WorkerTaskError.wrap(
+            exc, stage="dse", design=spec.design, config=cfg.label
+        ) from None
+    return cfg.label, row, get_telemetry().snapshot(), trace_snapshot()
+
+
+# ----------------------------------------------------------------------
+# the explorer
+# ----------------------------------------------------------------------
+def _objective_vector(row: dict, objectives) -> tuple[float, ...]:
+    return tuple(
+        o.to_min(row["metrics"][o.metric]) for o in objectives
+    )
+
+
+def _compute_front(rows: dict, objectives) -> list[str]:
+    """Final front over every evaluated row -- label-sorted, so the
+    result is independent of evaluation order, interruption points,
+    parallelism, and which configs pruning skipped (soundness means
+    skipped configs could never have entered it)."""
+    labels = sorted(rows)
+    if not labels:
+        return []
+    points = np.array(
+        [_objective_vector(rows[label], objectives) for label in labels]
+    )
+    mask = pareto_mask(points)
+    return [label for label, keep in zip(labels, mask) if keep]
+
+
+def _nearest_evaluated(
+    cfg: DseConfig, by_label: dict[str, DseConfig], spec: ExploreSpec
+) -> tuple[str, int] | None:
+    best: tuple[int, str] | None = None
+    for label, other in by_label.items():
+        dist = spec.lattice.distance(cfg, other)
+        if best is None or dist < best[0]:
+            best = (dist, label)
+            if dist == 1:
+                break  # cannot do better on a lattice
+    if best is None:
+        return None
+    return best[1], best[0]
+
+
+def _optimism(spec: ExploreSpec, a: DseConfig, b: DseConfig) -> float:
+    """Total prediction optimism between two lattice points: per-axis
+    margin times per-axis step count, summed.  Anisotropic on purpose
+    -- see the ``REPRO_DSE_PRUNE_MARGIN`` doc."""
+    ia = spec.lattice.axis_indices(a)
+    ib = spec.lattice.axis_indices(b)
+    return sum(
+        m * abs(x - y) for m, x, y in zip(spec.prune_margin, ia, ib)
+    )
+
+
+def _maybe_prune(
+    cfg: DseConfig,
+    spec: ExploreSpec,
+    rows: dict[str, dict],
+    by_label: dict[str, DseConfig],
+    front: ParetoFront,
+) -> dict | None:
+    """Skip record when the config provably cannot enter the front.
+
+    Every evaluated config within ``prune_distance`` lattice steps
+    predicts a lower bound for the candidate: its own objective vector
+    relaxed by the per-axis optimism of the path between them.  The
+    candidate's bound is the *componentwise minimum* over all such
+    predictions -- a pessimist's consensus.  ``min(e_1..e_k)`` is a
+    true lower bound as soon as *any one* ``e_j`` is, so the skip is
+    sound whenever at least one nearby neighbor's smoothness assumption
+    holds -- which is what protects configs sitting across a metric
+    cliff (a partition flip): their good-side neighbors drag the bound
+    down and the certificate fails.  Only a front member that dominates
+    the combined bound certifies the skip.
+    """
+    used: list[tuple[int, str]] = []
+    bound: list[float] | None = None
+    for label, other in by_label.items():
+        dist = spec.lattice.distance(cfg, other)
+        if dist > spec.prune_distance:
+            continue
+        optimism = _optimism(spec, cfg, other)
+        vector = _objective_vector(rows[label], spec.objectives)
+        estimate = [v - optimism * abs(v) for v in vector]
+        used.append((dist, label))
+        bound = (
+            estimate if bound is None
+            else [min(b, e) for b, e in zip(bound, estimate)]
+        )
+    if bound is None:
+        return None
+    certificate = front.certifies_skip(tuple(bound))
+    if certificate is None:
+        return None
+    dominated_by, dom_vector = certificate
+    used.sort()
+    return {
+        "reason": "dominance",
+        "neighbors": [label for _, label in used],
+        "distance": used[0][0],
+        "lower_bound": list(bound),
+        "dominated_by": dominated_by,
+        "dominating_vector": list(dom_vector),
+    }
+
+
+@dataclass
+class ExploreReport:
+    """Everything one exploration produced (JSON-serializable)."""
+
+    spec_fields: dict
+    rows: dict[str, dict]
+    skipped: dict[str, dict]
+    incompatible: list[dict]
+    failed: dict[str, dict]
+    front_ids: list[str]
+    objectives: list[str]
+    telemetry: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def front_rows(self) -> list[dict]:
+        """Front rows with volatile perf counters stripped: ``probes``
+        varies with warm starts and cache state without changing any
+        result, so it cannot participate in the identity artifact."""
+        rows = []
+        for label in self.front_ids:
+            row = dict(self.rows[label])
+            row.pop("probes", None)
+            rows.append(row)
+        return rows
+
+    def front_json(self) -> str:
+        """Canonical serialization of the front -- the byte-identity
+        artifact the benchmark and CI compare across run modes."""
+        return json.dumps(
+            self.front_rows(), sort_keys=True, separators=(",", ":")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec_fields,
+            "rows": self.rows,
+            "skipped": self.skipped,
+            "incompatible": self.incompatible,
+            "failed": self.failed,
+            "front": self.front_ids,
+            "objectives": self.objectives,
+            "telemetry": self.telemetry,
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "ExploreReport":
+        return ExploreReport(
+            spec_fields=dict(d.get("spec", {})),
+            rows=dict(d.get("rows", {})),
+            skipped=dict(d.get("skipped", {})),
+            incompatible=list(d.get("incompatible", [])),
+            failed=dict(d.get("failed", {})),
+            front_ids=list(d.get("front", [])),
+            objectives=list(d.get("objectives", [])),
+            telemetry=dict(d.get("telemetry", {})),
+        )
+
+    def render(self, *, top: int | None = None) -> str:
+        """ASCII Pareto report (``repro explore --report``)."""
+        lines = [
+            f"explored {len(self.rows)} config(s),"
+            f" pruned {len(self.skipped)},"
+            f" incompatible {len(self.incompatible)},"
+            f" failed {len(self.failed)}",
+            f"Pareto front ({' / '.join(self.objectives)}):"
+            f" {len(self.front_ids)} member(s)",
+            f"{'config':28s} {'period':>7s} {'freq':>6s} {'PDP':>9s}"
+            f" {'PPC':>12s} {'power':>9s} {'cost':>8s}",
+        ]
+        ranked = sorted(
+            self.front_ids,
+            key=lambda l: self.rows[l]["metrics"].get("pdp_pj", 0.0),
+        )
+        if top is not None:
+            ranked = ranked[:top]
+        for label in ranked:
+            row = self.rows[label]
+            m = row["metrics"]
+            lines.append(
+                f"{label:28s} {row['period_ns']:7.3f}"
+                f" {m.get('frequency_ghz', 0.0):6.2f}"
+                f" {m.get('pdp_pj', 0.0):9.3f}"
+                f" {m.get('ppc', 0.0):12.1f}"
+                f" {m.get('total_power_mw', 0.0):9.3f}"
+                f" {m.get('die_cost_1e6', 0.0):8.4f}"
+            )
+        if self.skipped:
+            lines.append("pruned (dominance-certified, never evaluated):")
+            for label in sorted(self.skipped):
+                rec = self.skipped[label]
+                lines.append(
+                    f"  {label:28s} dominated by {rec['dominated_by']}"
+                    f" (bound from {len(rec['neighbors'])} neighbor(s),"
+                    f" nearest {rec['distance']} step(s))"
+                )
+        if self.failed:
+            lines.append("failed:")
+            for label in sorted(self.failed):
+                rec = self.failed[label]
+                lines.append(
+                    f"  {label:28s} {rec.get('error_type', '?')}:"
+                    f" {rec.get('message', '')}"
+                )
+        return "\n".join(lines)
+
+
+def _manifest_key(spec: ExploreSpec) -> str:
+    return cache.cache_key("dse_manifest", **spec.key_fields())
+
+
+def _store_manifest(
+    key: str, spec: ExploreSpec, rows, skipped, failed, *, complete: bool
+) -> None:
+    cache.store_manifest(
+        key,
+        {
+            "spec": spec.key_fields(),
+            "rows": rows,
+            "skipped": skipped,
+            "failed": failed,
+            "complete": complete,
+        },
+    )
+
+
+def load_report(spec: ExploreSpec) -> ExploreReport | None:
+    """Rebuild the report of a stored run without evaluating anything.
+
+    Powers ``repro explore --report``: reads the run-manifest for this
+    spec and recomputes the front from the rows it recorded.  Returns
+    ``None`` when no manifest exists (nothing was ever run).
+    """
+    spec = resolve_spec(spec)
+    manifest = cache.load_manifest(_manifest_key(spec))
+    if manifest is None:
+        return None
+    configs, incompatible_pairs = generate_lattice(spec.lattice)
+    rows = dict(manifest.get("rows", {}))
+    return ExploreReport(
+        spec_fields=spec.key_fields(),
+        rows=rows,
+        skipped=dict(manifest.get("skipped", {})),
+        incompatible=[
+            {"label": cfg.label, "config": cfg.to_dict(), "reason": reason}
+            for cfg, reason in incompatible_pairs
+        ],
+        failed=dict(manifest.get("failed", {})),
+        front_ids=_compute_front(rows, spec.objectives),
+        objectives=[o.label for o in spec.objectives],
+        telemetry={},
+    )
+
+
+def explore(
+    spec: ExploreSpec,
+    *,
+    jobs: int = 1,
+    resume: bool = False,
+    policy: RetryPolicy | None = None,
+    progress=None,
+) -> ExploreReport:
+    """Run one exploration end to end; quarantines failing configs.
+
+    ``jobs > 1`` fans config evaluations out in waves through
+    :func:`~repro.experiments.resilience.run_jobs_with_retry`;
+    pruning/warm-start state advances between waves.  ``resume``
+    restores completed rows and recorded skips from the run-manifest
+    (zero redundant flow runs); ``progress`` is an optional callable
+    receiving one status line per wave.
+    """
+    spec = resolve_spec(spec)
+    policy = policy or RetryPolicy()
+    telemetry = get_telemetry()
+    configs, incompatible_pairs = generate_lattice(spec.lattice)
+    incompatible = [
+        {"label": cfg.label, "config": cfg.to_dict(), "reason": reason}
+        for cfg, reason in incompatible_pairs
+    ]
+    for entry in incompatible:
+        _log.info(
+            "config %s incompatible, not run: %s",
+            entry["label"], entry["reason"],
+        )
+
+    rows: dict[str, dict] = {}
+    skipped: dict[str, dict] = {}
+    failed: dict[str, dict] = {}
+    mkey = _manifest_key(spec)
+
+    with cache.manifest_lock(mkey):
+        if resume:
+            manifest = cache.load_manifest(mkey)
+            if manifest is None:
+                _log.warning("no dse run-manifest to resume from; starting cold")
+            else:
+                rows = dict(manifest.get("rows", {}))
+                skipped = dict(manifest.get("skipped", {}))
+                _log.info(
+                    "resuming exploration: %d row(s), %d skip(s) restored"
+                    " (prior failures retry)",
+                    len(rows), len(skipped),
+                )
+
+        front = ParetoFront(len(spec.objectives))
+        by_label: dict[str, DseConfig] = {}
+        for label in sorted(rows):
+            cfg = DseConfig.from_dict(rows[label]["config"])
+            by_label[label] = cfg
+            front.add(label, _objective_vector(rows[label], spec.objectives))
+
+        pending = [
+            c for c in configs
+            if c.label not in rows and c.label not in skipped
+        ]
+        wave_size = max(1, jobs)
+
+        with span(
+            "dse", design=spec.design, configs=len(configs), jobs=jobs
+        ):
+            while pending:
+                wave: list[DseConfig] = []
+                hints: dict[str, int | None] = {}
+                while pending and len(wave) < wave_size:
+                    cfg = pending.pop(0)
+                    if spec.prune:
+                        skip = _maybe_prune(cfg, spec, rows, by_label, front)
+                        if skip is not None:
+                            skipped[cfg.label] = skip
+                            telemetry.dse_pruned += 1
+                            emit_metric("dse_pruned", 1)
+                            _log.info(
+                                "pruned %s: bound %s (from %d neighbors)"
+                                " dominated by %s",
+                                cfg.label, skip["lower_bound"],
+                                len(skip["neighbors"]), skip["dominated_by"],
+                            )
+                            continue
+                    neighbor = _nearest_evaluated(cfg, by_label, spec)
+                    hints[cfg.label] = (
+                        rows[neighbor[0]]["period_index"]
+                        if neighbor is not None else None
+                    )
+                    wave.append(cfg)
+                if not wave:
+                    break
+
+                wave_rows = _run_wave(
+                    wave, spec, hints, jobs=jobs, policy=policy, failed=failed
+                )
+                for label, row in wave_rows.items():
+                    rows[label] = row
+                    by_label[label] = DseConfig.from_dict(row["config"])
+                    front.add(
+                        label, _objective_vector(row, spec.objectives)
+                    )
+                _store_manifest(
+                    mkey, spec, rows, skipped, failed, complete=False
+                )
+                if progress is not None:
+                    progress(
+                        f"evaluated {len(rows)}/{len(configs)}"
+                        f" (pruned {len(skipped)}, failed {len(failed)},"
+                        f" front {len(front)})"
+                    )
+
+        complete = (
+            not failed
+            and len(rows) + len(skipped) == len(configs)
+        )
+        _store_manifest(mkey, spec, rows, skipped, failed, complete=complete)
+
+    report = ExploreReport(
+        spec_fields=spec.key_fields(),
+        rows=rows,
+        skipped=skipped,
+        incompatible=incompatible,
+        failed=failed,
+        front_ids=_compute_front(rows, spec.objectives),
+        objectives=[o.label for o in spec.objectives],
+        telemetry=telemetry.snapshot(),
+    )
+    return report
+
+
+def _run_wave(
+    wave: list[DseConfig],
+    spec: ExploreSpec,
+    hints: dict[str, int | None],
+    *,
+    jobs: int,
+    policy: RetryPolicy,
+    failed: dict[str, dict],
+) -> dict[str, dict]:
+    """Evaluate one wave of configs (parallel when it pays)."""
+    results: dict[str, dict] = {}
+    if jobs > 1 and len(wave) > 1:
+        from repro.experiments.parallel import _pool_factory
+        from repro.experiments.resilience import PoolUnavailable
+        from repro.obs import attach_subtree
+
+        tasks = {
+            cfg.label: (cfg, spec, hints.get(cfg.label)) for cfg in wave
+        }
+        try:
+            raw, wave_failures = run_jobs_with_retry(
+                tasks,
+                _evaluate_task,
+                pool_factory=_pool_factory,
+                jobs=min(jobs, len(wave)),
+                policy=policy,
+                describe=lambda label: ("dse", spec.design, label),
+            )
+        except PoolUnavailable as exc:
+            _log.warning(
+                "worker pool unavailable (%s); evaluating wave serially", exc
+            )
+            raw, wave_failures = {}, {}
+            _run_wave_serial(wave, spec, hints, policy, results, failed)
+            return results
+        telemetry = get_telemetry()
+        for label, (_label, row, snapshot, trace) in raw.items():
+            results[label] = row
+            telemetry.merge(snapshot)
+            attach_subtree(trace, worker=f"dse:{label}")
+        for label, cell in wave_failures.items():
+            failed[label] = cell.to_dict()
+        return results
+    _run_wave_serial(wave, spec, hints, policy, results, failed)
+    return results
+
+
+def _run_wave_serial(
+    wave: list[DseConfig],
+    spec: ExploreSpec,
+    hints: dict[str, int | None],
+    policy: RetryPolicy,
+    results: dict[str, dict],
+    failed: dict[str, dict],
+) -> None:
+    for cfg in wave:
+        value, failure = call_with_retry(
+            lambda c=cfg: evaluate_config(c, spec, hints.get(c.label)),
+            policy=policy, stage="dse",
+            design=spec.design, config=cfg.label,
+        )
+        if failure is not None:
+            failed[cfg.label] = failure.to_dict()
+            _log.warning(
+                "quarantined dse config %s after %d attempt(s): %s: %s",
+                cfg.label, failure.attempts,
+                failure.error_type, failure.message,
+            )
+            continue
+        results[cfg.label] = value

@@ -1,0 +1,205 @@
+"""Config lattice for the design-space explorer.
+
+A lattice is the cross product of four axes the paper motivates:
+
+- ``slow_tracks`` -- track height of the top (slow) die library;
+- ``slow_vdd`` -- its supply, constrained by the Section II-B rule that
+  V_DDH - V_DDL must stay below ``0.3 * V_DDH`` (otherwise the pair
+  needs level shifters and is reported *incompatible*, never run);
+- ``tier_cap`` -- the timing-based pinning area cap, restricted to the
+  paper's 20-30% range (Section III-A1);
+- ``fm_tolerance`` -- the FM partitioner's balance tolerance.
+
+The fast (bottom-die) library is fixed per exploration, which is what
+lets every config share one synthesis/pseudo-place prefix per clock
+period (:mod:`repro.experiments.dse.search`).
+
+Incompatibility is decided by the *actual* library objects
+(:meth:`~repro.liberty.library.StdCellLibrary.voltage_compatible_with`
+plus the ``vdd > vth + 50mV`` constructability floor), so the lattice
+can never silently diverge from what the flow itself would reject.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.liberty.library import StdCellLibrary
+from repro.liberty.presets import make_track_variant
+
+__all__ = [
+    "TIER_CAP_RANGE",
+    "DseConfig",
+    "LatticeSpec",
+    "build_library",
+    "generate_lattice",
+]
+
+#: The paper's pinning-area-cap range (Section III-A1): "capped at
+#: 20-30% of cell area".  Lattice specs outside it are rejected.
+TIER_CAP_RANGE = (0.20, 0.30)
+
+
+@lru_cache(maxsize=None)
+def build_library(tracks: int, vdd_v: float | None = None) -> StdCellLibrary:
+    """Preset library for one lattice point (memoized: table synthesis
+    is cheap but the lattice asks for the same corner thousands of
+    times)."""
+    return make_track_variant(tracks, vdd_v=vdd_v)
+
+
+@dataclass(frozen=True, order=True)
+class DseConfig:
+    """One lattice point: the axis values of a single candidate config."""
+
+    slow_tracks: int
+    slow_vdd: float
+    tier_cap: float
+    fm_tolerance: float
+
+    @property
+    def label(self) -> str:
+        """Stable unique id used in manifests, logs and reports."""
+        return (
+            f"{self.slow_tracks}T@{self.slow_vdd:.3f}V"
+            f"/cap{self.tier_cap:.3f}/fm{self.fm_tolerance:.3f}"
+        )
+
+    def key_fields(self) -> dict:
+        """The config's contribution to content-addressed cache keys."""
+        return {
+            "slow_tracks": self.slow_tracks,
+            "slow_vdd": self.slow_vdd,
+            "tier_cap": self.tier_cap,
+            "fm_tolerance": self.fm_tolerance,
+        }
+
+    def to_dict(self) -> dict:
+        return self.key_fields()
+
+    @staticmethod
+    def from_dict(d: dict) -> "DseConfig":
+        return DseConfig(
+            slow_tracks=int(d["slow_tracks"]),
+            slow_vdd=float(d["slow_vdd"]),
+            tier_cap=float(d["tier_cap"]),
+            fm_tolerance=float(d["fm_tolerance"]),
+        )
+
+
+@dataclass(frozen=True)
+class LatticeSpec:
+    """The axes of one exploration (defaults: a 300-point lattice)."""
+
+    fast_tracks: int = 12
+    fast_vdd: float | None = None  # None = the preset's own supply
+    slow_tracks: tuple[int, ...] = (8, 9, 10)
+    slow_vdd: tuple[float, ...] = (0.66, 0.70, 0.75, 0.81, 0.90)
+    tier_caps: tuple[float, ...] = (0.20, 0.225, 0.25, 0.275, 0.30)
+    fm_tolerances: tuple[float, ...] = (0.08, 0.10, 0.12, 0.15)
+
+    def __post_init__(self) -> None:
+        lo, hi = TIER_CAP_RANGE
+        bad = [c for c in self.tier_caps if not lo <= c <= hi]
+        if bad:
+            raise ValueError(
+                f"tier caps {bad} outside the paper's"
+                f" {lo:.0%}-{hi:.0%} pinning range (Section III-A1)"
+            )
+        bad = [t for t in self.fm_tolerances if not 0.0 < t <= 0.5]
+        if bad:
+            raise ValueError(f"FM balance tolerances {bad} outside (0, 0.5]")
+        if not (self.slow_tracks and self.slow_vdd
+                and self.tier_caps and self.fm_tolerances):
+            raise ValueError("every lattice axis needs at least one value")
+
+    @property
+    def size(self) -> int:
+        return (len(self.slow_tracks) * len(self.slow_vdd)
+                * len(self.tier_caps) * len(self.fm_tolerances))
+
+    def fast_library(self) -> StdCellLibrary:
+        return build_library(self.fast_tracks, self.fast_vdd)
+
+    def axis_indices(self, cfg: DseConfig) -> tuple[int, int, int, int]:
+        """The config's coordinates in the lattice (for neighbor
+        distance -- warm starts and pruning predictions)."""
+        return (
+            self.slow_tracks.index(cfg.slow_tracks),
+            self.slow_vdd.index(cfg.slow_vdd),
+            self.tier_caps.index(cfg.tier_cap),
+            self.fm_tolerances.index(cfg.fm_tolerance),
+        )
+
+    def distance(self, a: DseConfig, b: DseConfig) -> int:
+        """Manhattan distance in lattice steps between two configs."""
+        ia, ib = self.axis_indices(a), self.axis_indices(b)
+        return sum(abs(x - y) for x, y in zip(ia, ib))
+
+    def to_dict(self) -> dict:
+        return {
+            "fast_tracks": self.fast_tracks,
+            "fast_vdd": self.fast_vdd,
+            "slow_tracks": list(self.slow_tracks),
+            "slow_vdd": list(self.slow_vdd),
+            "tier_caps": list(self.tier_caps),
+            "fm_tolerances": list(self.fm_tolerances),
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "LatticeSpec":
+        return LatticeSpec(
+            fast_tracks=int(d["fast_tracks"]),
+            fast_vdd=None if d.get("fast_vdd") is None else float(d["fast_vdd"]),
+            slow_tracks=tuple(int(v) for v in d["slow_tracks"]),
+            slow_vdd=tuple(float(v) for v in d["slow_vdd"]),
+            tier_caps=tuple(float(v) for v in d["tier_caps"]),
+            fm_tolerances=tuple(float(v) for v in d["fm_tolerances"]),
+        )
+
+
+def generate_lattice(
+    spec: LatticeSpec,
+) -> tuple[list[DseConfig], list[tuple[DseConfig, str]]]:
+    """Expand the axes into runnable and incompatible configs.
+
+    Returns ``(runnable, incompatible)``; incompatible entries carry a
+    human-readable reason (voltage-margin violation or an
+    unconstructable corner) and are *reported*, never silently dropped
+    and never run.  The runnable list is in lexicographic axis order
+    with the last axis varying fastest, so consecutive configs are
+    lattice neighbors -- which is what makes warm-started period
+    searches land 1-2 steps from an already-evaluated answer.
+    """
+    fast_lib = spec.fast_library()
+    runnable: list[DseConfig] = []
+    incompatible: list[tuple[DseConfig, str]] = []
+
+    # Classify each (tracks, vdd) corner once, not once per cap/fm combo.
+    corner_reason: dict[tuple[int, float], str | None] = {}
+    for tracks, vdd in itertools.product(spec.slow_tracks, spec.slow_vdd):
+        try:
+            slow_lib = build_library(tracks, vdd)
+        except ValueError as exc:
+            corner_reason[(tracks, vdd)] = f"unconstructable corner: {exc}"
+            continue
+        if not fast_lib.voltage_compatible_with(slow_lib):
+            corner_reason[(tracks, vdd)] = (
+                f"voltage margin: {fast_lib.vdd_v:.2f}V - {vdd:.2f}V"
+                f" violates the 0.3*V_DDH rule (needs level shifters)"
+            )
+        else:
+            corner_reason[(tracks, vdd)] = None
+
+    for tracks, vdd, cap, fm in itertools.product(
+        spec.slow_tracks, spec.slow_vdd, spec.tier_caps, spec.fm_tolerances
+    ):
+        cfg = DseConfig(tracks, vdd, cap, fm)
+        reason = corner_reason[(tracks, vdd)]
+        if reason is None:
+            runnable.append(cfg)
+        else:
+            incompatible.append((cfg, reason))
+    return runnable, incompatible

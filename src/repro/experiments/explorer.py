@@ -33,9 +33,15 @@ class PairResult:
         return f"{self.slow_tracks}+{self.fast_tracks}T"
 
     @property
-    def ppc(self) -> float:
-        """PPC of the implementation (0 when the pair was not run)."""
-        return self.result.ppc if self.result is not None else 0.0
+    def ppc(self) -> float | None:
+        """PPC of the implementation, or ``None`` when the pair was not
+        run (incompatible voltage gap).
+
+        A sentinel like ``0.0`` would rank an *unrun* pair as a real --
+        terrible -- PPC value and poison any ``min()``/sort over the
+        exploration, so not-run is ``None`` and ranking excludes it.
+        """
+        return self.result.ppc if self.result is not None else None
 
 
 def explore_track_pairs(
@@ -52,7 +58,8 @@ def explore_track_pairs(
     The faster (taller) library always goes on the bottom tier.  Pairs
     whose voltage gap violates the Section II-B rule are reported as
     incompatible rather than run (they would need level shifters).
-    Results are sorted best-PPC first.
+    Results are sorted best-PPC first; incompatible (not-run) pairs have
+    ``ppc is None`` and sort after every ranked pair.
     """
     libs = {t: make_track_variant(t) for t in track_heights}
     results: list[PairResult] = []
@@ -74,5 +81,7 @@ def explore_track_pairs(
                 opt_iterations=opt_iterations,
             )
             results.append(PairResult(fast, slow, True, result))
-    results.sort(key=lambda p: p.ppc, reverse=True)
+    results.sort(
+        key=lambda p: (p.ppc is None, -(p.ppc if p.ppc is not None else 0.0))
+    )
     return results

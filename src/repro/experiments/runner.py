@@ -56,7 +56,7 @@ from repro.flow.design import Design
 from repro.flow.report import FlowResult
 from repro.log import get_logger
 from repro.netlist.generators import DESIGN_NAMES
-from repro.obs import add_span_event, span
+from repro.obs import add_span_event, emit_metric, span
 
 __all__ = [
     "default_scale",
@@ -138,6 +138,7 @@ def find_target_period(
     configs = configurations()
     lo, hi = _SWEEP_BOUNDS[design_name]
     best = hi
+    probes = 0
     with timed_stage("period_search", design=design_name), inject(
         "period_search", design=design_name
     ):
@@ -150,6 +151,7 @@ def find_target_period(
                 seed=seed,
                 opt_iterations=8,
             )
+            probes += 1
             get_telemetry().period_probes += 1
             get_telemetry().flows_run += 1
             if result.wns_ns >= -_WNS_TOLERANCE * mid:
@@ -159,6 +161,10 @@ def find_target_period(
                 lo = mid
             if hi - lo < 0.02:
                 break
+        # On the period_search span (the one wrapping this search's sta
+        # spans), so traces carry the search cost as data: warm-start
+        # wins are asserted by this metric, never by wall clock.
+        emit_metric("period_probes", probes)
     _period_cache[mem_key] = best
     cache.store_period(
         disk_key, best, meta={"design": design_name, "scale": scale, "seed": seed}

@@ -5,6 +5,14 @@ A process-global :class:`Telemetry` object accumulates, per run:
 - ``flows_run`` / ``period_probes`` -- how many full flow executions
   actually happened (the expensive part; a fully warm matrix run must
   report zero);
+- ``flow_stages_run`` -- individual stage bodies executed by the staged
+  driver (:func:`repro.flow.pipeline.execute_flow`); the design-space
+  explorer's stage-prefix reuse is proven by this counter, not timing;
+- ``prefix_stages_reused`` / ``suffix_flows_reused`` / ``dse_pruned``
+  -- the explorer's perf layers: checkpointed stages served from the
+  shared prefix store instead of re-executing, post-partition flow
+  tails served whole from the partition-fingerprint cache, and lattice
+  configs skipped by dominance pruning (every skip is also logged);
 - ``memory_hits`` / ``disk_hits`` / ``disk_misses`` -- where each
   requested cell was served from;
 - ``retries`` / ``timeouts`` / ``quarantined`` / ``pool_rebuilds`` --
@@ -41,6 +49,10 @@ class Telemetry:
 
     flows_run: int = 0
     period_probes: int = 0
+    flow_stages_run: int = 0
+    prefix_stages_reused: int = 0
+    suffix_flows_reused: int = 0
+    dse_pruned: int = 0
     memory_hits: int = 0
     disk_hits: int = 0
     disk_misses: int = 0
@@ -75,6 +87,10 @@ class Telemetry:
             other = Telemetry.from_snapshot(other)
         self.flows_run += other.flows_run
         self.period_probes += other.period_probes
+        self.flow_stages_run += other.flow_stages_run
+        self.prefix_stages_reused += other.prefix_stages_reused
+        self.suffix_flows_reused += other.suffix_flows_reused
+        self.dse_pruned += other.dse_pruned
         self.memory_hits += other.memory_hits
         self.disk_hits += other.disk_hits
         self.disk_misses += other.disk_misses
@@ -114,6 +130,10 @@ class Telemetry:
         t = Telemetry(
             flows_run=d.get("flows_run", 0),
             period_probes=d.get("period_probes", 0),
+            flow_stages_run=d.get("flow_stages_run", 0),
+            prefix_stages_reused=d.get("prefix_stages_reused", 0),
+            suffix_flows_reused=d.get("suffix_flows_reused", 0),
+            dse_pruned=d.get("dse_pruned", 0),
             memory_hits=d.get("memory_hits", 0),
             disk_hits=d.get("disk_hits", 0),
             disk_misses=d.get("disk_misses", 0),
@@ -136,7 +156,11 @@ class Telemetry:
         """Multi-line human-readable report (``repro matrix --stats``)."""
         lines = [
             f"flows run        {self.flows_run}"
-            f" (period probes {self.period_probes})",
+            f" (period probes {self.period_probes},"
+            f" stages {self.flow_stages_run})",
+            f"dse              prefix stages reused {self.prefix_stages_reused},"
+            f" suffix flows reused {self.suffix_flows_reused},"
+            f" configs pruned {self.dse_pruned}",
             f"cache            memory {self.memory_hits} hits,"
             f" disk {self.disk_hits} hits / {self.disk_misses} misses",
             f"resilience       retries {self.retries},"

@@ -162,12 +162,14 @@ def run_flow_hetero_3d(
     hetero_cts: bool = True,
     repartition: bool = True,
     pinning_area_cap: float = 0.25,
+    fm_tolerance: float | None = None,
     repartition_config: RepartitionConfig | None = None,
     cost_model: CostModel | None = None,
     allow_level_shifters: bool = False,
     check: str | None = None,
     checkpoint_dir: str | None = None,
     from_stage: str | None = None,
+    until_stage: str | None = None,
 ) -> tuple[Design, FlowResult]:
     """Implement one netlist as a 9+12-track heterogeneous M3D design.
 
@@ -175,11 +177,21 @@ def run_flow_hetero_3d(
     Disabling ``timing_partitioning``/``hetero_cts``/``repartition``
     reproduces the plain Pin-3D baseline of Table V.
 
+    ``pinning_area_cap`` bounds the fast-die area fraction the timing
+    pinning may claim (the paper's 20-30% range) and ``fm_tolerance``
+    overrides the FM partitioner's balance tolerance (default
+    :data:`~repro.flow.pin3d.FM_BALANCE_TOLERANCE`) -- both are lattice
+    axes of the design-space explorer (:mod:`repro.experiments.dse`).
+
     Library pairs violating the Section II-B voltage rule are rejected
     unless ``allow_level_shifters`` is set, in which case every illegal
     low-to-high crossing gets a level shifter -- the costly alternative
     Section III-B argues against, kept here so the tradeoff is measurable
     (see ``benchmarks/test_level_shifter_study.py``).
+
+    ``until_stage`` stops after the named stage (checkpoint written,
+    no signoff report) -- the returned result is ``None`` and the flow
+    can be resumed later with ``from_stage``.
     """
     voltage_ok = fast_lib.voltage_compatible_with(slow_lib)
     if not voltage_ok and not allow_level_shifters:
@@ -188,6 +200,9 @@ def run_flow_hetero_3d(
             "level shifters would be required (Section III-B); pass "
             "allow_level_shifters=True to insert them anyway"
         )
+    balance_tolerance = (
+        FM_BALANCE_TOLERANCE if fm_tolerance is None else float(fm_tolerance)
+    )
 
     # Pre-ECO optimization runs with a conservative fill bound: pushing a
     # 9-track-limited path with brute-force upsizing would fill the fast
@@ -289,11 +304,11 @@ def run_flow_hetero_3d(
                 areas_fast,
                 areas_slow,
                 pinned=pinned,
-                balance_tolerance=FM_BALANCE_TOLERANCE,
+                balance_tolerance=balance_tolerance,
                 seed=seed,
             )
             apply_partition(design, assignment)  # remaps top tier to 9T
-            design.notes["fm_balance_tolerance"] = FM_BALANCE_TOLERANCE
+            design.notes["fm_balance_tolerance"] = balance_tolerance
             emit_metric("cut_nets", len(netlist.cut_nets()))
 
     def placement_3d(ctx: FlowContext) -> None:
@@ -445,6 +460,7 @@ def run_flow_hetero_3d(
         check=check,
         checkpoint_dir=checkpoint_dir,
         from_stage=from_stage,
+        until_stage=until_stage,
         tier_libs={FAST_TIER: fast_lib, SLOW_TIER: slow_lib},
     )
     return ctx.design, ctx.result

@@ -71,6 +71,7 @@ def execute_flow(
     check: str | CheckMode | None = None,
     checkpoint_dir: str | None = None,
     from_stage: str | None = None,
+    until_stage: str | None = None,
     tier_libs: dict | None = None,
 ) -> FlowContext:
     """Run a staged flow under the integrity contract policy.
@@ -78,13 +79,21 @@ def execute_flow(
     ``check`` overrides ``$REPRO_CHECK`` for this run; ``from_stage``
     requires ``checkpoint_dir`` and resumes from the newest valid
     checkpoint before that stage (cold-starting when none is usable).
-    ``tier_libs`` supplies the flow's live library objects so a resumed
-    design binds the exact cells a cold run would.
+    ``until_stage`` stops the flow after the named stage completes (its
+    contract checks and checkpoint included), leaving the context ready
+    for a later ``from_stage`` resume.  ``tier_libs`` supplies the
+    flow's live library objects so a resumed design binds the exact
+    cells a cold run would.
     """
     ctx = ctx or FlowContext()
     names = [s.name for s in stages]
     if len(set(names)) != len(names):
         raise FlowError(f"duplicate stage names in flow: {names}")
+    if until_stage is not None and until_stage not in names:
+        raise FlowError(
+            f"unknown stage {until_stage!r} for this flow "
+            f"(stages: {', '.join(names)})"
+        )
     mode = current_mode(check)
 
     start = 0
@@ -116,13 +125,20 @@ def execute_flow(
                         "%r instead", names[target - 1], names[start - 1],
                     )
 
+    # Imported lazily (like the fault hook) to keep flow -> experiments
+    # a runtime-only edge.
+    from repro.experiments.telemetry import get_telemetry
+
     for index in range(start, len(stages)):
         stage = stages[index]
         stage.fn(ctx)
+        get_telemetry().flow_stages_run += 1
         _maybe_corrupt(ctx, stage.name)
         if ctx.design is not None:
             enforce(ctx.design, stage=stage.name, checks=stage.checks,
                     mode=mode)
             if checkpoint_dir is not None:
                 write_checkpoint(checkpoint_dir, index, stage.name, ctx.design)
+        if stage.name == until_stage:
+            break
     return ctx

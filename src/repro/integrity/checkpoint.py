@@ -40,6 +40,7 @@ __all__ = [
     "latest_valid_checkpoint",
     "library_from_spec",
     "load_checkpoint",
+    "rebind_checkpoint_tier_library",
     "write_checkpoint",
 ]
 
@@ -290,6 +291,51 @@ def _canonical(payload: dict) -> str:
 
 def _checksum(payload: dict) -> str:
     return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def rebind_checkpoint_tier_library(
+    envelope: dict, tier: int, lib: StdCellLibrary
+) -> dict:
+    """Copy of a checkpoint envelope with one tier's library spec
+    replaced and the payload checksum recomputed.
+
+    The design-space explorer's prefix store shares synthesis and
+    pseudo-place checkpoints across configs that differ only in the
+    *slow*-tier library: those stages never consume it, but the
+    envelope embeds its spec (and the checksum covers the spec), so a
+    borrowing config must re-slot its own library before resuming.
+
+    Raises :class:`CheckpointError` when any netlist instance actually
+    references the library being swapped out -- the guard that keeps
+    "this stage does not consume tier N's library" honest: if it ever
+    stops being true, reuse fails loudly instead of resuming a design
+    bound to the wrong cells.
+    """
+    import copy
+
+    if not isinstance(envelope, dict) or "design" not in envelope:
+        raise CheckpointError("envelope has no design payload")
+    envelope = copy.deepcopy(envelope)
+    payload = envelope["design"]
+    try:
+        old_spec = payload["tier_libs"][str(tier)]
+        instances = payload["netlist"]["instances"]
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed checkpoint payload: {exc}") from exc
+    old_name = str(old_spec.get("name", ""))
+    if old_name != lib.name:
+        bound = sorted(
+            {str(d.get("lib")) for d in instances if d.get("lib") == old_name}
+        )
+        if bound:
+            raise CheckpointError(
+                f"cannot re-slot tier {tier} library {old_name!r} ->"
+                f" {lib.name!r}: instances are bound to it (the stage"
+                f" consumed the library; this checkpoint is not shareable)"
+            )
+    payload["tier_libs"][str(tier)] = _library_spec(lib)
+    envelope["checksum"] = _checksum(payload)
+    return envelope
 
 
 def checkpoint_path(directory: str | Path, index: int, stage: str) -> Path:

@@ -122,6 +122,19 @@ METRIC_DEFS: dict[str, MetricDef] = {
     "place_disturbed_fraction": MetricDef(
         "frac", "perf", "share of movable cells dirty at the last legalize"
     ),
+    "period_probes": MetricDef(
+        "count", "perf", "flow probes spent by one target-period search"
+    ),
+    "prefix_stages_reused": MetricDef(
+        "count", "perf", "flow stages served from the DSE prefix store"
+    ),
+    "suffix_flows_reused": MetricDef(
+        "count", "perf",
+        "DSE flow tails served by partition-fingerprint reuse"
+    ),
+    "dse_pruned": MetricDef(
+        "count", "perf", "lattice configs skipped by dominance pruning"
+    ),
 }
 
 

@@ -1,0 +1,190 @@
+"""Property suites for the DSE dominance kernel and boundary search.
+
+Three invariants carry the explorer's correctness claims:
+
+- the vectorized mask and the incremental front agree with the
+  pure-python brute-force reference on arbitrary point sets;
+- a certified skip can never remove a Pareto-optimal point (pruning
+  soundness);
+- :func:`grid_boundary_search` returns the same index for every hint,
+  including no hint, whenever the pass predicate is monotone (warm
+  starts change cost, never answers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.dse.pareto import (
+    Objective,
+    ParetoFront,
+    brute_force_front,
+    pareto_mask,
+    parse_objectives,
+)
+from repro.experiments.dse.search import grid_boundary_search
+
+coords = st.floats(
+    min_value=-100.0, max_value=100.0,
+    allow_nan=False, allow_infinity=False,
+)
+
+
+def point_sets(max_dim=4, max_points=40):
+    return st.integers(min_value=1, max_value=max_dim).flatmap(
+        lambda k: st.lists(
+            st.tuples(*([coords] * k)), min_size=0, max_size=max_points
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# kernel == brute force
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(point_sets())
+def test_pareto_mask_matches_brute_force(points):
+    if not points:
+        assert len(pareto_mask(np.empty((0, 2)))) == 0
+        return
+    reference = set(brute_force_front(points))
+    mask = pareto_mask(np.array(points))
+    assert {i for i, keep in enumerate(mask) if keep} == reference
+
+
+@settings(max_examples=200, deadline=None)
+@given(point_sets())
+def test_incremental_front_matches_brute_force(points):
+    """Whatever the insertion order, the surviving ids are exactly the
+    non-dominated indices (duplicates of a front point all survive)."""
+    if not points:
+        return
+    k = len(points[0])
+    front = ParetoFront(k)
+    for i, p in enumerate(points):
+        front.add(str(i), p)
+    assert set(front.ids) == {str(i) for i in brute_force_front(points)}
+
+
+@settings(max_examples=100, deadline=None)
+@given(point_sets(), st.randoms(use_true_random=False))
+def test_incremental_front_is_order_independent(points, rng):
+    if not points:
+        return
+    k = len(points[0])
+    a = ParetoFront(k)
+    for i, p in enumerate(points):
+        a.add(str(i), p)
+    order = list(range(len(points)))
+    rng.shuffle(order)
+    b = ParetoFront(k)
+    for i in order:
+        b.add(str(i), points[i])
+    assert set(a.ids) == set(b.ids)
+
+
+# ----------------------------------------------------------------------
+# pruning soundness
+# ----------------------------------------------------------------------
+@settings(max_examples=200, deadline=None)
+@given(point_sets(max_dim=3, max_points=25), st.data())
+def test_certified_skip_never_drops_a_front_member(points, data):
+    """If ``certifies_skip(lb)`` fires, then *no* vector >= lb can be
+    Pareto-optimal against the evaluated set: adding any such vector to
+    the full point set must leave it dominated."""
+    if not points:
+        return
+    k = len(points[0])
+    front = ParetoFront(k)
+    for i, p in enumerate(points):
+        front.add(str(i), p)
+    lb = data.draw(st.tuples(*([coords] * k)), label="lower_bound")
+    certificate = front.certifies_skip(lb)
+    if certificate is None:
+        return
+    # Any candidate at or above the bound (we try the bound itself and
+    # a few dominated offsets) must be dominated in the combined set.
+    offsets = data.draw(
+        st.lists(
+            st.tuples(*([st.floats(min_value=0.0, max_value=10.0,
+                                   allow_nan=False)] * k)),
+            min_size=1, max_size=4,
+        ),
+        label="offsets",
+    )
+    for off in [(0.0,) * k] + offsets:
+        candidate = tuple(b + o for b, o in zip(lb, off))
+        combined = points + [candidate]
+        assert len(combined) - 1 not in brute_force_front(combined), (
+            f"certified skip dropped Pareto-optimal {candidate}"
+            f" (certificate {certificate})"
+        )
+
+
+# ----------------------------------------------------------------------
+# boundary search: warm == cold == ground truth
+# ----------------------------------------------------------------------
+@settings(max_examples=300, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=-5, max_value=45),
+)
+def test_grid_boundary_search_warm_equals_cold(n, boundary, hint):
+    """Monotone predicate: fails below ``boundary``, passes at and
+    above it.  Ground truth is the first passing index, or ``n - 1``
+    when nothing passes."""
+    def passes(i):
+        assert 0 <= i < n, f"probe {i} out of range"
+        return i >= boundary
+
+    truth = boundary if boundary < n else n - 1
+    cold_index, cold_probes = grid_boundary_search(n, passes)
+    assert cold_index == truth
+    warm_index, warm_probes = grid_boundary_search(n, passes, hint=hint)
+    assert warm_index == truth
+    assert warm_probes <= n
+    assert cold_probes <= n
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=2, max_value=60))
+def test_grid_boundary_search_exact_hint_costs_two_probes(n):
+    """The advertised win: a hint equal to the answer costs <= 2 probes
+    (pass at the hint, fail just below it)."""
+    for boundary in {1, n // 2, n - 1}:
+        _, probes = grid_boundary_search(
+            n, lambda i: i >= boundary, hint=boundary
+        )
+        assert probes <= 2
+
+
+def test_grid_boundary_search_rejects_empty_grid():
+    with pytest.raises(ValueError):
+        grid_boundary_search(0, lambda i: True)
+
+
+def test_grid_boundary_search_all_fail_returns_last_index():
+    index, _ = grid_boundary_search(9, lambda i: False)
+    assert index == 8
+
+
+# ----------------------------------------------------------------------
+# objectives
+# ----------------------------------------------------------------------
+def test_parse_objectives_round_trip():
+    objectives = parse_objectives("pdp_pj:min, ppc:max")
+    assert [o.label for o in objectives] == ["pdp_pj:min", "ppc:max"]
+    assert objectives[0].to_min(2.0) == 2.0
+    assert objectives[1].to_min(2.0) == -2.0
+
+
+def test_parse_objectives_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_objectives("pdp_pj")
+    with pytest.raises(ValueError):
+        parse_objectives("")
+    with pytest.raises(ValueError):
+        Objective("x", "upward")

@@ -1,0 +1,94 @@
+"""The DSE config lattice: paper ranges, compatibility, ordering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.dse.space import (
+    TIER_CAP_RANGE,
+    DseConfig,
+    LatticeSpec,
+    build_library,
+    generate_lattice,
+)
+
+
+def test_tier_caps_outside_paper_range_rejected():
+    with pytest.raises(ValueError, match="pinning range"):
+        LatticeSpec(tier_caps=(0.15,))
+    with pytest.raises(ValueError, match="pinning range"):
+        LatticeSpec(tier_caps=(0.25, 0.35))
+    # The boundary values themselves are legal.
+    LatticeSpec(tier_caps=TIER_CAP_RANGE)
+
+
+def test_fm_tolerance_and_empty_axis_validation():
+    with pytest.raises(ValueError, match="tolerances"):
+        LatticeSpec(fm_tolerances=(0.0,))
+    with pytest.raises(ValueError, match="at least one value"):
+        LatticeSpec(slow_vdd=())
+
+
+def test_lattice_size_and_order():
+    spec = LatticeSpec(
+        slow_tracks=(8, 9), slow_vdd=(0.90,),
+        tier_caps=(0.20, 0.30), fm_tolerances=(0.10,),
+    )
+    assert spec.size == 4
+    runnable, incompatible = generate_lattice(spec)
+    assert len(runnable) + len(incompatible) == spec.size
+    # Lexicographic order, last axis fastest: consecutive runnable
+    # configs are near-neighbors, which is what warm starts rely on.
+    labels = [c.label for c in runnable]
+    assert labels == sorted(labels) == [
+        "8T@0.900V/cap0.200/fm0.100",
+        "8T@0.900V/cap0.300/fm0.100",
+        "9T@0.900V/cap0.200/fm0.100",
+        "9T@0.900V/cap0.300/fm0.100",
+    ]
+
+
+def test_voltage_margin_rule_classifies_incompatible():
+    """0.63 V against the 12T fast die at 0.90 V breaks the 0.3*V_DDH
+    margin, so every config at that corner is reported, never run."""
+    spec = LatticeSpec(
+        slow_tracks=(8,), slow_vdd=(0.62, 0.90),
+        tier_caps=(0.25,), fm_tolerances=(0.10,),
+    )
+    runnable, incompatible = generate_lattice(spec)
+    assert [c.slow_vdd for c in runnable] == [0.90]
+    assert len(incompatible) == 1
+    cfg, reason = incompatible[0]
+    assert cfg.slow_vdd == 0.62
+    assert "0.3*V_DDH" in reason
+    # And the classification agrees with the actual library objects.
+    fast = spec.fast_library()
+    assert not fast.voltage_compatible_with(build_library(8, 0.62))
+    assert fast.voltage_compatible_with(build_library(8, 0.90))
+
+
+def test_unconstructable_corner_reported_not_raised():
+    """A supply below the slow library's vth floor cannot build a
+    library at all; the lattice reports it instead of crashing."""
+    spec = LatticeSpec(
+        slow_tracks=(8,), slow_vdd=(0.10,),
+        tier_caps=(0.25,), fm_tolerances=(0.10,),
+    )
+    runnable, incompatible = generate_lattice(spec)
+    assert not runnable
+    assert "unconstructable" in incompatible[0][1]
+
+
+def test_config_round_trip_and_distance():
+    spec = LatticeSpec()
+    cfg = DseConfig(8, 0.70, 0.25, 0.10)
+    assert DseConfig.from_dict(cfg.to_dict()) == cfg
+    assert LatticeSpec.from_dict(spec.to_dict()) == spec
+    other = DseConfig(9, 0.75, 0.25, 0.10)
+    # one track step + one vdd step on the default axes
+    assert spec.distance(cfg, other) == spec.distance(other, cfg) == 2
+    assert spec.distance(cfg, cfg) == 0
+
+
+def test_build_library_memoizes():
+    assert build_library(8, 0.90) is build_library(8, 0.90)

@@ -1,0 +1,61 @@
+"""Regression: a not-run track pair must never rank as PPC == 0.0.
+
+``PairResult.ppc`` used to return a ``0.0`` sentinel for incompatible
+(never-run) pairs, which any ``min()``/sort over the exploration read
+as a real -- catastrophically bad -- PPC value.  Not-run is ``None``
+now, and ranking keeps every evaluated pair ahead of every not-run one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.explorer import PairResult
+from repro.flow.report import FlowResult
+
+
+def _result(ppc_value: float) -> FlowResult:
+    """A structurally complete FlowResult with the given PPC."""
+    values = {}
+    for f in dataclasses.fields(FlowResult):
+        if f.type == "str":
+            values[f.name] = "x"
+        elif f.type == "int":
+            values[f.name] = 1
+        elif f.type == "float":
+            values[f.name] = 1.0
+        else:
+            values[f.name] = None
+    values.update(design="aes", config="3D_HET", ppc=ppc_value)
+    return FlowResult(**values)
+
+
+def test_not_run_pair_has_no_ppc():
+    pair = PairResult(12, 8, False, None)
+    assert pair.ppc is None
+
+
+def test_run_pair_reports_real_ppc():
+    pair = PairResult(12, 8, True, _result(250.0))
+    assert pair.ppc == 250.0
+
+
+def test_ranking_excludes_not_run_pairs():
+    """Every evaluated pair outranks every not-run pair -- even one
+    with a worse-than-zero-sentinel PPC -- and evaluated pairs stay in
+    best-first order (the old 0.0 sentinel inverted both properties)."""
+    pairs = [
+        PairResult(12, 8, False, None),
+        PairResult(12, 9, True, _result(0.5)),   # worse than the old sentinel
+        PairResult(12, 10, True, _result(900.0)),
+        PairResult(10, 8, False, None),
+    ]
+    pairs.sort(
+        key=lambda p: (p.ppc is None, -(p.ppc if p.ppc is not None else 0.0))
+    )
+    labels = [p.label for p in pairs]
+    assert labels[:2] == ["10+12T", "9+12T"]
+    assert all(p.ppc is None for p in pairs[2:])
+    # min() over ranked pairs can no longer be poisoned by a sentinel.
+    ranked = [p.ppc for p in pairs if p.ppc is not None]
+    assert min(ranked) == 0.5
